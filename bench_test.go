@@ -1,0 +1,439 @@
+// Package iotsid_test holds the benchmark harness: one benchmark per table
+// and figure of the paper's evaluation (regeneration cost + correctness of
+// the regenerated rows), the §VI system-overhead experiment on all three
+// collection paths, and the ablation benches DESIGN.md calls out.
+package iotsid_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"iotsid/internal/bridge"
+	"iotsid/internal/core"
+	"iotsid/internal/dataset"
+	"iotsid/internal/eval"
+	"iotsid/internal/home"
+	"iotsid/internal/instr"
+	"iotsid/internal/miio"
+	"iotsid/internal/mlearn"
+	"iotsid/internal/mlearn/bayes"
+	"iotsid/internal/mlearn/forest"
+	"iotsid/internal/mlearn/knn"
+	"iotsid/internal/mlearn/svm"
+	"iotsid/internal/mlearn/tree"
+	"iotsid/internal/smartthings"
+	"iotsid/internal/survey"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *eval.Suite
+	suiteErr  error
+)
+
+func sharedSuite(b *testing.B) *eval.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suite, suiteErr = eval.NewSuite(eval.DefaultConfig())
+	})
+	if suiteErr != nil {
+		b.Fatalf("suite: %v", suiteErr)
+	}
+	return suite
+}
+
+// --- Tables ---
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := eval.TableI(); len(rows) != 9 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkTableIII regenerates the questionnaire aggregation (population
+// simulation + tally) per iteration.
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pop, err := survey.Simulate(survey.DefaultProfile(), 340, survey.ModeQuota,
+			rand.New(rand.NewSource(2021)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := survey.Aggregate(pop)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.SensitiveCategories()) != 7 {
+			b.Fatalf("sensitive = %v", res.SensitiveCategories())
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := s.Fig4()
+		if f.ControlWorsePct < 80 {
+			b.Fatalf("fig4 = %+v", f)
+		}
+	}
+}
+
+// BenchmarkTableIV regenerates the corpus and samples it.
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		corpus, err := dataset.Corpus(dataset.CorpusConfig{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(corpus) != dataset.BaseCorpusSize {
+			b.Fatal("bad corpus")
+		}
+	}
+}
+
+func BenchmarkTableV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := eval.TableV()
+		if c.Accuracy == 0 {
+			b.Fatal("bad table V")
+		}
+	}
+}
+
+// BenchmarkTableVI runs the paper's full headline pipeline per iteration:
+// build all six datasets, 7:3 split, oversample, train, cross-validate,
+// evaluate.
+func BenchmarkTableVI(b *testing.B) {
+	corpus, err := dataset.Corpus(dataset.CorpusConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fm, err := core.Train(corpus, dataset.BuildConfig{Seed: 42}, core.TrainConfig{Seed: 9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range fm.Models() {
+			e, _ := fm.Entry(m)
+			if e.Report.TestAccuracy < 0.85 {
+				b.Fatalf("%s accuracy %v below the Table VI band", m, e.Report.TestAccuracy)
+			}
+		}
+	}
+}
+
+// --- Figures ---
+
+func BenchmarkFig5(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts := s.Fig5()
+		if len(pts) < 8 || pts[0].Users < pts[len(pts)-1].Users {
+			b.Fatal("bad fig5")
+		}
+	}
+}
+
+// BenchmarkFig6 retrains the window model and extracts its feature weights
+// per iteration.
+func BenchmarkFig6(b *testing.B) {
+	s := sharedSuite(b)
+	d, err := s.DatasetFor(dataset.ModelWindow)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := core.TrainModel(dataset.ModelWindow, d, core.TrainConfig{Seed: 9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if e.Weights[0].Attr != "smoke" {
+			b.Fatalf("top weight = %s", e.Weights[0].Attr)
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := s.Fig7()
+		total := 0
+		for _, r := range rows {
+			total += r.Strategies
+		}
+		if total != dataset.CameraWarnCount {
+			b.Fatalf("total = %d", total)
+		}
+	}
+}
+
+// --- §VI system-overhead experiment ---
+
+// BenchmarkOverheadJudge measures the bare determiner: featurize + tree
+// walk on a live snapshot.
+func BenchmarkOverheadJudge(b *testing.B) {
+	s := sharedSuite(b)
+	snap, err := dataset.LegalSceneSeeded(dataset.ModelWindow, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Memory.Judge(dataset.ModelWindow, snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOverheadAuthorizeSim measures the full framework path with an
+// in-process collector.
+func BenchmarkOverheadAuthorizeSim(b *testing.B) {
+	s := sharedSuite(b)
+	h, err := home.NewStandard(home.EnvConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	det, err := core.DefaultDetector()
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := core.New(core.Config{Detector: det, Collector: &core.SimCollector{Env: h.Env()}, Memory: s.Memory})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := instr.BuiltinRegistry().Build("window.open", "window-1", instr.OriginUser, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Authorize(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOverheadAuthorizeMiio measures the full framework path when the
+// context is collected over the encrypted UDP protocol.
+func BenchmarkOverheadAuthorizeMiio(b *testing.B) {
+	s := sharedSuite(b)
+	h, err := home.NewStandard(home.EnvConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	token, err := miio.ParseToken("00112233445566778899aabbccddeeff")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gw, err := miio.NewGateway(miio.GatewayConfig{DeviceID: 1, Token: token,
+		Handler: bridge.NewXiaomiHandler(h, instr.BuiltinRegistry())})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer gw.Close()
+	client, err := miio.Dial(gw.Addr().String(), token, miio.WithTimeout(2*time.Second))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	det, err := core.DefaultDetector()
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := core.New(core.Config{Detector: det, Collector: &core.MiioCollector{Client: client}, Memory: s.Memory})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := instr.BuiltinRegistry().Build("window.open", "window-1", instr.OriginUser, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Authorize(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOverheadAuthorizeSmartThings measures the REST collection path.
+func BenchmarkOverheadAuthorizeSmartThings(b *testing.B) {
+	s := sharedSuite(b)
+	h, err := home.NewStandard(home.EnvConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := smartthings.NewServer(smartthings.ServerConfig{Token: "llat-bench",
+		Backend: bridge.NewSTBackend(h, instr.BuiltinRegistry())})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := smartthings.NewClient(srv.URL(), "llat-bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	det, err := core.DefaultDetector()
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := core.New(core.Config{Detector: det, Collector: &core.STCollector{Client: client}, Memory: s.Memory})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := instr.BuiltinRegistry().Build("window.open", "window-1", instr.OriginUser, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Authorize(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations ---
+
+func benchClassifier(b *testing.B, factory func() mlearn.Classifier) {
+	b.Helper()
+	s := sharedSuite(b)
+	d, err := s.DatasetFor(dataset.ModelWindow)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	train, test, err := d.SplitStratified(0.7, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	balanced, err := mlearn.OversampleRandom(train, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := factory()
+		if err := c.Fit(balanced); err != nil {
+			b.Fatal(err)
+		}
+		if acc := mlearn.Evaluate(c, test).Accuracy(); acc < 0.5 {
+			b.Fatalf("accuracy %v", acc)
+		}
+	}
+}
+
+func BenchmarkBaselineTree(b *testing.B) {
+	benchClassifier(b, func() mlearn.Classifier { return tree.New(tree.Config{MinSamplesLeaf: 5}) })
+}
+
+func BenchmarkBaselineKNN(b *testing.B) {
+	benchClassifier(b, func() mlearn.Classifier { return knn.New(5) })
+}
+
+func BenchmarkBaselineBayes(b *testing.B) {
+	benchClassifier(b, func() mlearn.Classifier { return bayes.New() })
+}
+
+func BenchmarkBaselineSVM(b *testing.B) {
+	benchClassifier(b, func() mlearn.Classifier { return svm.New(svm.Config{Seed: 9}) })
+}
+
+func benchCriterion(b *testing.B, crit tree.Criterion) {
+	benchClassifier(b, func() mlearn.Classifier {
+		return tree.New(tree.Config{Criterion: crit, MinSamplesLeaf: 5})
+	})
+}
+
+func BenchmarkAblationCriterionGini(b *testing.B)      { benchCriterion(b, tree.Gini) }
+func BenchmarkAblationCriterionEntropy(b *testing.B)   { benchCriterion(b, tree.Entropy) }
+func BenchmarkAblationCriterionGainRatio(b *testing.B) { benchCriterion(b, tree.GainRatio) }
+
+func benchSampling(b *testing.B, sampling core.Sampling) {
+	s := sharedSuite(b)
+	d, err := s.DatasetFor(dataset.ModelWindow)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := core.TrainModel(dataset.ModelWindow, d, core.TrainConfig{Seed: 9, Sampling: sampling})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if e.Report.TestAccuracy < 0.5 {
+			b.Fatal("degenerate model")
+		}
+	}
+}
+
+func BenchmarkAblationSamplingNone(b *testing.B)   { benchSampling(b, core.SampleNone) }
+func BenchmarkAblationSamplingRandom(b *testing.B) { benchSampling(b, core.SampleRandomOversample) }
+func BenchmarkAblationSamplingSMOTE(b *testing.B)  { benchSampling(b, core.SampleSMOTE) }
+
+// BenchmarkExtensionForest trains the random-forest extension on the window
+// model per iteration.
+func BenchmarkExtensionForest(b *testing.B) {
+	benchClassifier(b, func() mlearn.Classifier {
+		return forest.New(forest.Config{Trees: 25, Seed: 9, Tree: tree.Config{MinSamplesLeaf: 3}})
+	})
+}
+
+// BenchmarkExtensionPrevention runs the pre-execution vs post-hoc defence
+// comparison per iteration.
+func BenchmarkExtensionPrevention(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := s.PreventionComparison(100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.IDSDetected <= r.PVDetected {
+			b.Fatalf("IDS %d must beat post-hoc %d", r.IDSDetected, r.PVDetected)
+		}
+	}
+}
+
+// BenchmarkExtensionCampaign runs a 10-round attack campaign per iteration.
+func BenchmarkExtensionCampaign(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := s.Campaign(10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.BlockRate() < 0.5 {
+			b.Fatalf("block rate %v", r.BlockRate())
+		}
+	}
+}
+
+// BenchmarkExtensionTransfer evaluates the trained memory against a fresh
+// home per iteration.
+func BenchmarkExtensionTransfer(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Transfer([]int64{9999})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Accuracy < 0.8 {
+				b.Fatalf("%s transfer accuracy %v", r.Model, r.Accuracy)
+			}
+		}
+	}
+}

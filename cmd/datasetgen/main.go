@@ -1,0 +1,107 @@
+// Command datasetgen emits the automation-strategy corpus and the
+// per-device-model machine-learning datasets.
+//
+// Usage:
+//
+//	datasetgen -out DIR [-seed N]
+//
+// Writes corpus.json plus one <model>.csv per evaluated device model.
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"iotsid/internal/dataset"
+	"iotsid/internal/mlearn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "datasetgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("out", "dataset-out", "output directory")
+	corpusSeed := flag.Int64("seed", 1, "corpus seed")
+	dataSeed := flag.Int64("data-seed", 42, "dataset seed")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	corpus, err := dataset.Corpus(dataset.CorpusConfig{Seed: *corpusSeed})
+	if err != nil {
+		return err
+	}
+	corpusPath := filepath.Join(*out, "corpus.json")
+	f, err := os.Create(corpusPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(corpus); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d strategies)\n", corpusPath, len(corpus))
+
+	all, err := dataset.BuildAll(corpus, dataset.BuildConfig{Seed: *dataSeed})
+	if err != nil {
+		return err
+	}
+	for _, m := range dataset.Models() {
+		path := filepath.Join(*out, string(m)+".csv")
+		if err := writeCSV(path, all[m]); err != nil {
+			return err
+		}
+		counts := all[m].ClassCounts()
+		fmt.Printf("wrote %s (%d rows, %d legal / %d attack)\n", path, all[m].Len(), counts[1], counts[0])
+	}
+	return nil
+}
+
+func writeCSV(path string, d *mlearn.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := make([]string, 0, d.Schema.Len()+1)
+	for _, a := range d.Schema.Attrs {
+		header = append(header, a.Name)
+	}
+	header = append(header, "label")
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for i, row := range d.X {
+		rec := make([]string, 0, len(row)+1)
+		for j, v := range row {
+			a := d.Schema.Attrs[j]
+			if a.Kind == mlearn.Categorical {
+				rec = append(rec, a.Categories[int(v)])
+			} else {
+				rec = append(rec, strconv.FormatFloat(v, 'f', -1, 64))
+			}
+		}
+		rec = append(rec, strconv.Itoa(d.Y[i]))
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

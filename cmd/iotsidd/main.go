@@ -1,0 +1,256 @@
+// Command iotsidd runs the full intrusion-detection deployment: the home
+// simulator, the Xiaomi-style encrypted UDP gateway, the SmartThings-style
+// REST bridge, the trigger-action automation engine, and the trained IDS
+// framework gating every sensitive instruction on all three paths.
+//
+// It then fast-forwards simulated time, injecting periodic sensor-spoofing
+// attacks, and reports every interception and camera warning.
+//
+// Usage:
+//
+//	iotsidd [-hours 24] [-step 1m] [-seed 7] [-attack-every 4h]
+//	        [-miio-addr 127.0.0.1:0] [-st-addr 127.0.0.1:0] [-token HEX32]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"iotsid/internal/automation"
+	"iotsid/internal/bridge"
+	"iotsid/internal/core"
+	"iotsid/internal/dataset"
+	"iotsid/internal/home"
+	"iotsid/internal/instr"
+	"iotsid/internal/miio"
+	"iotsid/internal/sensor"
+	"iotsid/internal/smartthings"
+	"iotsid/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "iotsidd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	hours := flag.Float64("hours", 24, "simulated hours to run")
+	step := flag.Duration("step", time.Minute, "simulation step")
+	seed := flag.Int64("seed", 7, "world seed")
+	attackEvery := flag.Duration("attack-every", 4*time.Hour, "inject a spoofed-sensor attack at this simulated interval")
+	miioAddr := flag.String("miio-addr", "127.0.0.1:0", "gateway UDP listen address")
+	stAddr := flag.String("st-addr", "127.0.0.1:0", "REST bridge listen address")
+	tokenHex := flag.String("token", "00112233445566778899aabbccddeeff", "gateway device token (32 hex chars)")
+	auditPath := flag.String("audit", "", "write the audit trace as JSON lines to this file on exit")
+	rulesPath := flag.String("rules", "", "load automation rules from this file instead of the builtin set")
+	devmodeAddr := flag.String("devmode-addr", "127.0.0.1:0", "developer-mode event channel UDP address (empty = disabled)")
+	saveMemory := flag.String("save-memory", "", "write the trained feature memory to this file")
+	loadMemory := flag.String("load-memory", "", "load a previously trained feature memory instead of training")
+	flag.Parse()
+
+	// World.
+	h, err := home.NewStandard(home.EnvConfig{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	registry := instr.BuiltinRegistry()
+
+	// IDS: questionnaire-derived detector + corpus-trained feature memory.
+	detector, err := core.DefaultDetector()
+	if err != nil {
+		return err
+	}
+	var memory *core.FeatureMemory
+	if *loadMemory != "" {
+		f, err := os.Open(*loadMemory)
+		if err != nil {
+			return err
+		}
+		memory, err = core.Load(f)
+		_ = f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded feature memory from %s (%d models)\n", *loadMemory, len(memory.Models()))
+	} else {
+		fmt.Println("training feature memory from the strategy corpus...")
+		corpus, err := dataset.Corpus(dataset.CorpusConfig{Seed: 1})
+		if err != nil {
+			return err
+		}
+		memory, err = core.Train(corpus, dataset.BuildConfig{Seed: 42}, core.TrainConfig{Seed: 9})
+		if err != nil {
+			return err
+		}
+	}
+	if *saveMemory != "" {
+		f, err := os.Create(*saveMemory)
+		if err != nil {
+			return err
+		}
+		if err := memory.Save(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("feature memory written to %s\n", *saveMemory)
+	}
+	framework, err := core.New(core.Config{
+		Detector:  detector,
+		Collector: &core.SimCollector{Env: h.Env()},
+		Memory:    memory,
+	})
+	if err != nil {
+		return err
+	}
+	audit := trace.NewLog(8192)
+	framework.SetAuditLog(audit)
+
+	// Vendor paths, both gated by the IDS.
+	token, err := miio.ParseToken(*tokenHex)
+	if err != nil {
+		return err
+	}
+	xiaomi := bridge.NewXiaomiHandler(h, registry)
+	xiaomi.SetGate(framework.Gate)
+	gw, err := miio.NewGateway(miio.GatewayConfig{Addr: *miioAddr, DeviceID: 0x4d41, Token: token, Handler: xiaomi})
+	if err != nil {
+		return err
+	}
+	defer gw.Close()
+	stBackend := bridge.NewSTBackend(h, registry)
+	stBackend.SetGate(framework.Gate)
+	st, err := smartthings.NewServer(smartthings.ServerConfig{Addr: *stAddr, Token: "llat-iotsidd", Backend: stBackend})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	fmt.Printf("miio gateway listening on %s (token %s)\n", gw.Addr(), token)
+	fmt.Printf("smartthings bridge on %s (token llat-iotsidd)\n", st.URL())
+
+	// Developer-mode event channel: pushes every sensor change to
+	// subscribers, as the vendor gateway's plaintext side channel does.
+	var pump *bridge.EventPump
+	var devmode *miio.DevMode
+	if *devmodeAddr != "" {
+		devmode, err = miio.NewDevMode(miio.DevModeConfig{Addr: *devmodeAddr})
+		if err != nil {
+			return err
+		}
+		defer devmode.Close()
+		pump, err = bridge.NewEventPump(h.Env(), devmode)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("devmode event channel on %s\n", devmode.Addr())
+	}
+
+	// Automation platform with the IDS interceptor.
+	engine := automation.NewEngine(registry, h.Execute)
+	engine.SetInterceptor(framework.Interceptor())
+	if *rulesPath != "" {
+		f, err := os.Open(*rulesPath)
+		if err != nil {
+			return err
+		}
+		n, err := automation.LoadRules(f, engine)
+		_ = f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %d automation rules from %s\n", n, *rulesPath)
+	} else {
+		rules := []struct{ name, text string }{
+			{"fire vent", `WHEN smoke == TRUE THEN window.open @ window-1`},
+			{"gas vent", `WHEN combustible_gas == TRUE THEN window.open @ window-1`},
+			{"evening lights", `WHEN occupancy == TRUE AND hour_of_day >= 18 THEN light.on @ light-1`},
+			{"cool when hot", `WHEN temperature_in > 28 AND occupancy == TRUE THEN aircon.set_cool @ aircon-1`},
+			{"morning curtains", `WHEN hour_of_day >= 7 AND hour_of_day < 8 AND occupancy == TRUE THEN curtain.open @ curtain-1`},
+		}
+		for _, r := range rules {
+			if err := engine.AddRuleText(r.name, r.text); err != nil {
+				return err
+			}
+		}
+	}
+	warner := core.NewCameraWarner()
+
+	// Simulated run.
+	steps := int(*hours * float64(time.Hour) / float64(*step))
+	attackSteps := int(*attackEvery / *step)
+	fmt.Printf("\nsimulating %v hours (%d steps of %v)\n\n", *hours, steps, *step)
+	var blocked, allowed int
+	for i := 0; i < steps; i++ {
+		h.Env().Step(*step)
+		if attackSteps > 0 && i > 0 && i%attackSteps == 0 {
+			injectSpoof(h)
+			fmt.Printf("%s  ATTACK injected: spoofed smoke sensor (clean air, empty home)\n",
+				h.Env().Now().Format("Jan 2 15:04"))
+		}
+		snap := h.Env().Snapshot()
+		if pump != nil {
+			if _, err := pump.Tick(); err != nil {
+				return err
+			}
+		}
+		for _, ev := range engine.Evaluate(snap) {
+			switch {
+			case ev.Err != "":
+				fmt.Printf("%s  rule %q error: %s\n", snap.At.Format("Jan 2 15:04"), ev.Rule, ev.Err)
+			case ev.Allowed:
+				allowed++
+				fmt.Printf("%s  rule %q: %s @ %s ALLOWED (%s)\n",
+					snap.At.Format("Jan 2 15:04"), ev.Rule, ev.Op, ev.DeviceID, ev.Reason)
+			default:
+				blocked++
+				fmt.Printf("%s  rule %q: %s @ %s BLOCKED (%s)\n",
+					snap.At.Format("Jan 2 15:04"), ev.Rule, ev.Op, ev.DeviceID, ev.Reason)
+			}
+		}
+		for _, w := range warner.Observe(snap) {
+			fmt.Printf("%s  camera warning: %s\n", snap.At.Format("Jan 2 15:04"), w)
+		}
+	}
+	fmt.Printf("\nrun complete: %d automation firings allowed, %d blocked by the IDS\n", allowed, blocked)
+	fmt.Printf("camera warnings by trigger: %v\n", warner.Stats())
+	if devmode != nil {
+		fmt.Printf("devmode subscribers at shutdown: %d\n", devmode.Subscribers())
+	}
+	fmt.Printf("audit trace: %d decisions recorded (%v)\n",
+		audit.Len(), audit.CountByOutcome(trace.Query{Kind: trace.KindDecision}))
+	if *auditPath != "" {
+		f, err := os.Create(*auditPath)
+		if err != nil {
+			return err
+		}
+		if err := audit.Export(f, trace.Query{}); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("audit trace written to %s\n", *auditPath)
+	}
+	return nil
+}
+
+// injectSpoof forges the smoke boolean with every correlate inconsistent —
+// the paper's §III-A attack.
+func injectSpoof(h *home.Home) {
+	spoof := sensor.NewSnapshot(h.Env().Now())
+	spoof.Set(sensor.FeatSmoke, sensor.Bool(true))
+	spoof.Set(sensor.FeatGas, sensor.Bool(false))
+	spoof.Set(sensor.FeatAirQuality, sensor.Number(30))
+	spoof.Set(sensor.FeatMotion, sensor.Bool(false))
+	spoof.Set(sensor.FeatOccupancy, sensor.Bool(false))
+	spoof.Set(sensor.FeatVoiceCmd, sensor.Bool(false))
+	spoof.Set(sensor.FeatDoorLock, sensor.Label(sensor.LockUnlocked))
+	h.Env().Apply(spoof)
+}

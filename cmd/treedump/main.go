@@ -1,0 +1,77 @@
+// Command treedump trains (or loads) the feature memory and writes each
+// device model's decision tree as Graphviz dot plus its Fig 6-style feature
+// weights — the interpretability view of what the context memory actually
+// enforces.
+//
+// Usage:
+//
+//	treedump -out DIR [-load-memory FILE]
+//	dot -Tpng DIR/window.dot -o window.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"iotsid/internal/core"
+	"iotsid/internal/dataset"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "treedump:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("out", "trees", "output directory")
+	loadMemory := flag.String("load-memory", "", "load a trained feature memory instead of training")
+	flag.Parse()
+
+	var memory *core.FeatureMemory
+	if *loadMemory != "" {
+		f, err := os.Open(*loadMemory)
+		if err != nil {
+			return err
+		}
+		memory, err = core.Load(f)
+		_ = f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		fmt.Println("training feature memory...")
+		corpus, err := dataset.Corpus(dataset.CorpusConfig{Seed: 1})
+		if err != nil {
+			return err
+		}
+		memory, err = core.Train(corpus, dataset.BuildConfig{Seed: 42}, core.TrainConfig{Seed: 9})
+		if err != nil {
+			return err
+		}
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	for _, m := range memory.Models() {
+		entry, _ := memory.Entry(m)
+		dot, err := entry.Tree.DOT(string(m))
+		if err != nil {
+			return fmt.Errorf("%s: %w", m, err)
+		}
+		path := filepath.Join(*out, string(m)+".dot")
+		if err := os.WriteFile(path, []byte(dot), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%s (depth %d, %d nodes) -> %s\n", m, entry.Tree.Depth(), entry.Tree.NodeCount(), path)
+		for _, w := range entry.Weights {
+			if w.Weight > 0 {
+				fmt.Printf("    %-18s %.4f\n", w.Attr, w.Weight)
+			}
+		}
+	}
+	return nil
+}

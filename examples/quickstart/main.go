@@ -1,0 +1,71 @@
+// Quickstart: train the context feature memory from the strategy corpus,
+// then judge one sensitive instruction against a live sensor context.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"iotsid/internal/core"
+	"iotsid/internal/dataset"
+	"iotsid/internal/home"
+	"iotsid/internal/instr"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. The sensitive command detector comes from the questionnaire.
+	detector, err := core.DefaultDetector()
+	if err != nil {
+		return err
+	}
+	fmt.Println("sensitive categories:", detector.SensitiveCategories())
+
+	// 2. Train the feature memory: 804 strategies → per-model datasets →
+	//    oversampled 7:3 training → one decision tree per device model.
+	corpus, err := dataset.Corpus(dataset.CorpusConfig{Seed: 1})
+	if err != nil {
+		return err
+	}
+	memory, err := core.Train(corpus, dataset.BuildConfig{Seed: 42}, core.TrainConfig{Seed: 9})
+	if err != nil {
+		return err
+	}
+	for _, m := range memory.Models() {
+		e, _ := memory.Entry(m)
+		fmt.Printf("model %-18s test accuracy %.4f, FNR %.4f\n", m, e.Report.TestAccuracy, e.Report.FNR)
+	}
+
+	// 3. Assemble the framework over a simulated home.
+	h, err := home.NewStandard(home.EnvConfig{Seed: 11})
+	if err != nil {
+		return err
+	}
+	framework, err := core.New(core.Config{
+		Detector:  detector,
+		Collector: &core.SimCollector{Env: h.Env()},
+		Memory:    memory,
+	})
+	if err != nil {
+		return err
+	}
+
+	// 4. Judge a sensitive instruction against the live context.
+	open, err := instr.BuiltinRegistry().Build("window.open", "window-1", instr.OriginUser, nil)
+	if err != nil {
+		return err
+	}
+	decision, err := framework.Authorize(open)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nwindow.open in the current context → allowed=%v\n  reason: %s\n",
+		decision.Allowed, decision.Reason)
+	return nil
+}

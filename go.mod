@@ -1,0 +1,3 @@
+module iotsid
+
+go 1.22

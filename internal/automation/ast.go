@@ -1,0 +1,228 @@
+// Package automation implements the Trigger-Action platform of §II-C: users
+// write rules that connect sensor events ("Trigger") to device instructions
+// ("Action"), in the style of IFTTT / Home Assistant automations. Rules are
+// written in a small DSL:
+//
+//	WHEN occupancy == true AND hour_of_day >= 18 THEN light.on @ light-1
+//	WHEN smoke == true THEN window.open @ window-1 WITH reason = "ventilate"
+//
+// Conditions are boolean expressions over the shared sensor feature
+// vocabulary; actions are opcodes from the instruction registry addressed to
+// a device.
+package automation
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"iotsid/internal/sensor"
+)
+
+// Expr is a boolean expression over a sensor snapshot.
+type Expr interface {
+	// Eval evaluates the expression; it errors on type mismatches and
+	// unknown features so broken rules surface instead of silently never
+	// firing.
+	Eval(s sensor.Snapshot) (bool, error)
+	// String renders the expression in DSL syntax.
+	String() string
+}
+
+// CmpOp is a comparison operator.
+type CmpOp int
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota + 1
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+var cmpNames = map[CmpOp]string{
+	OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+}
+
+// String renders the operator.
+func (o CmpOp) String() string {
+	if s, ok := cmpNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Compare tests one feature against a literal.
+type Compare struct {
+	Feature sensor.Feature
+	Op      CmpOp
+	Value   sensor.Value
+}
+
+// Eval implements Expr.
+func (c *Compare) Eval(s sensor.Snapshot) (bool, error) {
+	got, ok := s.Get(c.Feature)
+	if !ok {
+		return false, fmt.Errorf("automation: feature %q absent from snapshot", c.Feature)
+	}
+	if got.Type() != c.Value.Type() {
+		return false, fmt.Errorf("automation: feature %q is %s, literal is %s",
+			c.Feature, got.Type(), c.Value.Type())
+	}
+	switch c.Value.Type() {
+	case sensor.TypeBool, sensor.TypeLabel:
+		eq := got.Equal(c.Value)
+		switch c.Op {
+		case OpEq:
+			return eq, nil
+		case OpNe:
+			return !eq, nil
+		default:
+			return false, fmt.Errorf("automation: operator %s invalid for %s feature %q",
+				c.Op, got.Type(), c.Feature)
+		}
+	case sensor.TypeNumber:
+		a, _ := got.Number()
+		b, _ := c.Value.Number()
+		switch c.Op {
+		case OpEq:
+			return a == b, nil
+		case OpNe:
+			return a != b, nil
+		case OpLt:
+			return a < b, nil
+		case OpLe:
+			return a <= b, nil
+		case OpGt:
+			return a > b, nil
+		case OpGe:
+			return a >= b, nil
+		}
+	}
+	return false, fmt.Errorf("automation: unsupported comparison on %q", c.Feature)
+}
+
+// String implements Expr.
+func (c *Compare) String() string {
+	lit := c.Value.String()
+	if c.Value.Type() == sensor.TypeLabel {
+		lit = strconv.Quote(lit)
+	}
+	return fmt.Sprintf("%s %s %s", c.Feature, c.Op, lit)
+}
+
+// And is a conjunction.
+type And struct{ L, R Expr }
+
+// Eval implements Expr with short-circuiting.
+func (a *And) Eval(s sensor.Snapshot) (bool, error) {
+	l, err := a.L.Eval(s)
+	if err != nil {
+		return false, err
+	}
+	if !l {
+		return false, nil
+	}
+	return a.R.Eval(s)
+}
+
+// String implements Expr.
+func (a *And) String() string { return fmt.Sprintf("%s AND %s", a.L, a.R) }
+
+// Or is a disjunction.
+type Or struct{ L, R Expr }
+
+// Eval implements Expr with short-circuiting.
+func (o *Or) Eval(s sensor.Snapshot) (bool, error) {
+	l, err := o.L.Eval(s)
+	if err != nil {
+		return false, err
+	}
+	if l {
+		return true, nil
+	}
+	return o.R.Eval(s)
+}
+
+// String implements Expr.
+func (o *Or) String() string { return fmt.Sprintf("(%s OR %s)", o.L, o.R) }
+
+// Not negates a sub-expression.
+type Not struct{ E Expr }
+
+// Eval implements Expr.
+func (n *Not) Eval(s sensor.Snapshot) (bool, error) {
+	v, err := n.E.Eval(s)
+	if err != nil {
+		return false, err
+	}
+	return !v, nil
+}
+
+// String implements Expr.
+func (n *Not) String() string { return fmt.Sprintf("NOT (%s)", n.E) }
+
+// Action is the THEN half of a rule.
+type Action struct {
+	Op       string
+	DeviceID string
+	Args     map[string]any
+}
+
+// String renders the action in DSL syntax.
+func (a Action) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s @ %s", a.Op, a.DeviceID)
+	if len(a.Args) > 0 {
+		b.WriteString(" WITH ")
+		first := true
+		for _, k := range sortedKeys(a.Args) {
+			if !first {
+				b.WriteString(", ")
+			}
+			first = false
+			switch v := a.Args[k].(type) {
+			case string:
+				fmt.Fprintf(&b, "%s = %q", k, v)
+			default:
+				fmt.Fprintf(&b, "%s = %v", k, v)
+			}
+		}
+	}
+	return b.String()
+}
+
+// Rule is one automation strategy: a trigger condition plus an action.
+// Dwell, when non-zero, requires the condition to hold continuously for
+// that long before the action fires (the DSL's FOR clause, mirroring Home
+// Assistant's `for:` and IFTTT's sustained triggers).
+type Rule struct {
+	Name      string
+	Condition Expr
+	Dwell     time.Duration
+	Action    Action
+}
+
+// String renders the full rule in DSL syntax.
+func (r Rule) String() string {
+	if r.Dwell > 0 {
+		return fmt.Sprintf("WHEN %s FOR %s THEN %s", r.Condition, r.Dwell, r.Action)
+	}
+	return fmt.Sprintf("WHEN %s THEN %s", r.Condition, r.Action)
+}
+
+func sortedKeys(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j-1] > keys[j]; j-- {
+			keys[j-1], keys[j] = keys[j], keys[j-1]
+		}
+	}
+	return keys
+}

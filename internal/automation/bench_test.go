@@ -1,0 +1,36 @@
+package automation
+
+import (
+	"fmt"
+	"testing"
+
+	"iotsid/internal/instr"
+)
+
+func BenchmarkParseRule(b *testing.B) {
+	p := NewParser(instr.BuiltinRegistry())
+	src := `WHEN occupancy == TRUE AND hour_of_day >= 18 AND illuminance < 150 FOR 5m THEN light.on @ light-1 WITH brightness = 60`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.ParseRule("bench", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateHundredRules(b *testing.B) {
+	e := NewEngine(instr.BuiltinRegistry(), func(instr.Instruction) error { return nil })
+	for i := 0; i < 100; i++ {
+		src := fmt.Sprintf(`WHEN occupancy == TRUE AND hour_of_day >= %d THEN light.on @ light-1`, i%24)
+		if err := e.AddRuleText(fmt.Sprintf("r%d", i), src); err != nil {
+			b.Fatal(err)
+		}
+	}
+	snap := eveningSnap()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Evaluate(snap)
+		e.ResetEdges()
+	}
+}

@@ -1,0 +1,29 @@
+package automation
+
+import "testing"
+
+// FuzzParseRule drives the DSL parser with arbitrary text: it must return
+// errors for garbage and never panic, and anything it accepts must render
+// to text that re-parses.
+func FuzzParseRule(f *testing.F) {
+	f.Add(`WHEN smoke == TRUE THEN window.open @ window-1`)
+	f.Add(`WHEN occupancy == TRUE AND hour_of_day >= 18 FOR 5m THEN light.on @ light-1 WITH brightness = 60`)
+	f.Add(`WHEN (smoke == TRUE OR combustible_gas == TRUE) AND NOT occupancy == FALSE THEN alarm.siren_on @ alarm-hub-1`)
+	f.Add(``)
+	f.Add(`WHEN`)
+	f.Fuzz(func(t *testing.T, src string) {
+		p := testParser()
+		r, err := p.ParseRule("fuzz", src)
+		if err != nil {
+			return
+		}
+		// Accepted rules must round-trip through their rendered form.
+		r2, err := p.ParseRule("fuzz", r.String())
+		if err != nil {
+			t.Fatalf("accepted rule %q renders to unparseable %q: %v", src, r.String(), err)
+		}
+		if r2.Dwell != r.Dwell || r2.Action.Op != r.Action.Op || r2.Action.DeviceID != r.Action.DeviceID {
+			t.Fatalf("round trip changed rule: %q vs %q", r.String(), r2.String())
+		}
+	})
+}

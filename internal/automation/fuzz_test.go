@@ -1,0 +1,60 @@
+package automation
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParserNeverPanics throws random byte soup and near-miss rule text at
+// the parser: it must return errors, never panic.
+func TestParserNeverPanics(t *testing.T) {
+	p := testParser()
+	f := func(src string) bool {
+		_, _ = p.ParseRule("fuzz", src)
+		_, _ = p.ParseExpr(src)
+		return true // reaching here means no panic
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParserNearMissMutations mutates a valid rule at random positions; the
+// parser must either accept (if the mutation stays valid) or error, never
+// panic, and accepted rules must evaluate without panicking.
+func TestParserNearMissMutations(t *testing.T) {
+	const base = `WHEN occupancy == TRUE AND hour_of_day >= 18 THEN light.on @ light-1 WITH brightness = 40`
+	rng := rand.New(rand.NewSource(42))
+	alphabet := `abcdefgWHENTHO0123456789_.@="()<>!,- `
+	s := eveningSnap()
+	for i := 0; i < 3000; i++ {
+		mutated := []byte(base)
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			pos := rng.Intn(len(mutated))
+			mutated[pos] = alphabet[rng.Intn(len(alphabet))]
+		}
+		r, err := testParser().ParseRule("m", string(mutated))
+		if err != nil {
+			continue
+		}
+		_, _ = r.Condition.Eval(s)
+	}
+}
+
+// TestParserDeepNesting guards the recursive-descent parser against stack
+// abuse from deeply nested input.
+func TestParserDeepNesting(t *testing.T) {
+	depth := 10000
+	src := strings.Repeat("(", depth) + "smoke == TRUE" + strings.Repeat(")", depth)
+	e, err := testParser().ParseExpr(src)
+	if err != nil {
+		// Rejecting is fine too; panicking is not.
+		return
+	}
+	ok, err := e.Eval(eveningSnap())
+	if err != nil || ok {
+		t.Errorf("deep nest eval = %v, %v", ok, err)
+	}
+}

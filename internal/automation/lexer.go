@@ -1,0 +1,128 @@
+package automation
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies DSL tokens.
+type tokenKind int
+
+const (
+	tokEOF      tokenKind = iota + 1
+	tokIdent              // feature names, opcodes, device IDs, bare words
+	tokNumber             // 42, 3.5, -1
+	tokString             // "quoted"
+	tokKeyword            // WHEN THEN WITH AND OR NOT TRUE FALSE
+	tokOperator           // == != <= >= < > = @ , ( )
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "EOF"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokKeyword:
+		return "keyword"
+	case tokOperator:
+		return "operator"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"WHEN": true, "THEN": true, "WITH": true, "FOR": true,
+	"AND": true, "OR": true, "NOT": true,
+	"TRUE": true, "FALSE": true,
+}
+
+// lex tokenises one rule line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '(' || c == ')' || c == ',' || c == '@':
+			toks = append(toks, token{kind: tokOperator, text: string(c), pos: i})
+			i++
+		case c == '"':
+			j := i + 1
+			for j < n && src[j] != '"' {
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("automation: unterminated string at %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: src[i+1 : j], pos: i})
+			i = j + 1
+		case c == '=' || c == '!' || c == '<' || c == '>':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{kind: tokOperator, text: src[i : i+2], pos: i})
+				i += 2
+			} else if c == '<' || c == '>' || c == '=' {
+				toks = append(toks, token{kind: tokOperator, text: string(c), pos: i})
+				i++
+			} else {
+				return nil, fmt.Errorf("automation: stray '!' at %d", i)
+			}
+		case c == '-' || c >= '0' && c <= '9':
+			j := i
+			if c == '-' {
+				j++
+			}
+			dot := false
+			for j < n && (src[j] >= '0' && src[j] <= '9' || src[j] == '.' && !dot) {
+				if src[j] == '.' {
+					dot = true
+				}
+				j++
+			}
+			if j == i || (c == '-' && j == i+1) {
+				return nil, fmt.Errorf("automation: malformed number at %d", i)
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[i:j], pos: i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(src[j])) {
+				j++
+			}
+			word := src[i:j]
+			if keywords[strings.ToUpper(word)] {
+				toks = append(toks, token{kind: tokKeyword, text: strings.ToUpper(word), pos: i})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: i})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("automation: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.' || r == '-'
+}

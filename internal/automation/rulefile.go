@@ -1,0 +1,45 @@
+package automation
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// LoadRules reads a rule file and registers every rule with the engine.
+// The format is line-oriented:
+//
+//	# comment
+//	evening lights: WHEN occupancy == TRUE AND hour_of_day >= 18 THEN light.on @ light-1
+//	slow vent:      WHEN smoke == TRUE FOR 2m THEN window.open @ window-1
+//
+// Everything before the first colon is the rule name; blank lines and
+// #-comments are skipped. Returns how many rules were added; the first
+// malformed line aborts with its line number.
+func LoadRules(r io.Reader, e *Engine) (int, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 64*1024), 64*1024)
+	line := 0
+	added := 0
+	for scanner.Scan() {
+		line++
+		text := strings.TrimSpace(scanner.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		name, rule, ok := strings.Cut(text, ":")
+		if !ok {
+			return added, fmt.Errorf("automation: line %d: missing \"name:\" prefix", line)
+		}
+		name = strings.TrimSpace(name)
+		if err := e.AddRuleText(name, strings.TrimSpace(rule)); err != nil {
+			return added, fmt.Errorf("automation: line %d (%q): %w", line, name, err)
+		}
+		added++
+	}
+	if err := scanner.Err(); err != nil {
+		return added, fmt.Errorf("automation: read rules: %w", err)
+	}
+	return added, nil
+}

@@ -1,0 +1,390 @@
+// Package cloud implements the IoT cloud of the platform architecture
+// (Fig 1): when the mobile app and the device are not on the same LAN, the
+// app "sends the instructions to control the device to the IoT cloud; then
+// the cloud performs the command verification and forwarding". The cloud
+// authenticates users, checks device ownership, runs the IDS gate, forwards
+// verified instructions to the device layer, and keeps a command history.
+package cloud
+
+import (
+	"crypto/rand"
+	"crypto/subtle"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"iotsid/internal/instr"
+	"iotsid/internal/sensor"
+)
+
+// Forwarder carries a verified instruction to the device layer — in a real
+// deployment the cloud-to-gateway tunnel, here typically home.Execute or a
+// miio execute call.
+type Forwarder func(in instr.Instruction) error
+
+// Gate authorises an instruction against a sensor context before
+// forwarding; a non-nil error rejects it. This is the IDS hook.
+type Gate func(in instr.Instruction, ctx sensor.Snapshot) error
+
+// ContextSource supplies the sensor context the gate judges against.
+type ContextSource func() (sensor.Snapshot, error)
+
+// HistoryEntry records one command submission.
+type HistoryEntry struct {
+	User     string    `json:"user"`
+	Op       string    `json:"op"`
+	DeviceID string    `json:"device_id"`
+	Outcome  string    `json:"outcome"` // forwarded | rejected | failed
+	Detail   string    `json:"detail,omitempty"`
+	At       time.Time `json:"at"`
+}
+
+// Outcome values for history entries.
+const (
+	OutcomeForwarded = "forwarded"
+	OutcomeRejected  = "rejected"
+	OutcomeFailed    = "failed"
+)
+
+// Config wires a cloud instance.
+type Config struct {
+	// Addr is the TCP listen address; ":0" picks a free port.
+	Addr string
+	// Users maps account name → secret.
+	Users map[string]string
+	// Registry validates opcodes.
+	Registry *instr.Registry
+	// Forward delivers verified instructions.
+	Forward Forwarder
+	// Gate is the optional IDS hook.
+	Gate Gate
+	// Context supplies the snapshot the gate judges against; required
+	// when Gate is set.
+	Context ContextSource
+	// Now stamps history entries; defaults to time.Now.
+	Now func() time.Time
+	// MaxLoginFailures locks an account after this many consecutive bad
+	// logins (default 5).
+	MaxLoginFailures int
+	// LockoutWindow is how long a locked account stays locked (default 5
+	// minutes).
+	LockoutWindow time.Duration
+}
+
+// Server is a running cloud instance.
+type Server struct {
+	cfg  Config
+	ln   net.Listener
+	http *http.Server
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	sessions map[string]string // session token → user
+	devices  map[string]string // device ID → owning user
+	history  []HistoryEntry
+	failures map[string]int       // user → consecutive failed logins
+	lockedAt map[string]time.Time // user → lockout start
+}
+
+// NewServer validates the configuration, binds, and serves.
+func NewServer(cfg Config) (*Server, error) {
+	if len(cfg.Users) == 0 {
+		return nil, fmt.Errorf("cloud: server needs at least one user account")
+	}
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("cloud: server needs an instruction registry")
+	}
+	if cfg.Forward == nil {
+		return nil, fmt.Errorf("cloud: server needs a forwarder")
+	}
+	if cfg.Gate != nil && cfg.Context == nil {
+		return nil, fmt.Errorf("cloud: a gate needs a context source")
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.MaxLoginFailures <= 0 {
+		cfg.MaxLoginFailures = 5
+	}
+	if cfg.LockoutWindow <= 0 {
+		cfg.LockoutWindow = 5 * time.Minute
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: listen: %w", err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		ln:       ln,
+		sessions: make(map[string]string),
+		devices:  make(map[string]string),
+		failures: make(map[string]int),
+		lockedAt: make(map[string]time.Time),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/login", s.handleLogin)
+	mux.HandleFunc("/v1/devices", s.handleDevices)
+	mux.HandleFunc("/v1/command", s.handleCommand)
+	mux.HandleFunc("/v1/history", s.handleHistory)
+	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		_ = s.http.Serve(ln)
+	}()
+	return s, nil
+}
+
+// URL returns the cloud's base URL.
+func (s *Server) URL() string { return "http://" + s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	err := s.http.Close()
+	s.wg.Wait()
+	return err
+}
+
+// BindDevice registers a device as owned by a user (provisioning — in the
+// vendor world this is the pairing flow).
+func (s *Server) BindDevice(deviceID, user string) error {
+	if _, ok := s.cfg.Users[user]; !ok {
+		return fmt.Errorf("cloud: unknown user %q", user)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if owner, bound := s.devices[deviceID]; bound && owner != user {
+		return fmt.Errorf("cloud: device %q already bound to another account", deviceID)
+	}
+	s.devices[deviceID] = user
+	return nil
+}
+
+// History returns a copy of the command log.
+func (s *Server) History() []HistoryEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]HistoryEntry, len(s.history))
+	copy(out, s.history)
+	return out
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type loginRequest struct {
+	User   string `json:"user"`
+	Secret string `json:"secret"`
+}
+
+type loginResponse struct {
+	Session string `json:"session"`
+}
+
+func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	var req loginRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid JSON body"})
+		return
+	}
+	// Brute-force lockout: too many consecutive failures freeze the
+	// account for the lockout window.
+	s.mu.Lock()
+	if lockedAt, locked := s.lockedAt[req.User]; locked {
+		if s.cfg.Now().Sub(lockedAt) < s.cfg.LockoutWindow {
+			s.mu.Unlock()
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "account locked: too many failed logins"})
+			return
+		}
+		delete(s.lockedAt, req.User)
+		s.failures[req.User] = 0
+	}
+	s.mu.Unlock()
+
+	secret, ok := s.cfg.Users[req.User]
+	if !ok || subtle.ConstantTimeCompare([]byte(secret), []byte(req.Secret)) != 1 {
+		s.mu.Lock()
+		if ok { // only known accounts accumulate lockout state
+			s.failures[req.User]++
+			if s.failures[req.User] >= s.cfg.MaxLoginFailures {
+				s.lockedAt[req.User] = s.cfg.Now()
+			}
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusUnauthorized, errorBody{Error: "bad credentials"})
+		return
+	}
+	s.mu.Lock()
+	s.failures[req.User] = 0
+	s.mu.Unlock()
+	token, err := newToken()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "token generation failed"})
+		return
+	}
+	s.mu.Lock()
+	s.sessions[token] = req.User
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, loginResponse{Session: token})
+}
+
+func newToken() (string, error) {
+	var buf [16]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(buf[:]), nil
+}
+
+// sessionUser authenticates a request, returning the user or "".
+func (s *Server) sessionUser(r *http.Request) string {
+	auth := r.Header.Get("Authorization")
+	const prefix = "Session "
+	if !strings.HasPrefix(auth, prefix) {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[strings.TrimPrefix(auth, prefix)]
+}
+
+func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
+	user := s.sessionUser(r)
+	if user == "" {
+		writeJSON(w, http.StatusUnauthorized, errorBody{Error: "login required"})
+		return
+	}
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
+		return
+	}
+	s.mu.Lock()
+	var ids []string
+	for id, owner := range s.devices {
+		if owner == user {
+			ids = append(ids, id)
+		}
+	}
+	s.mu.Unlock()
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+		}
+	}
+	writeJSON(w, http.StatusOK, ids)
+}
+
+type commandRequest struct {
+	Op       string         `json:"op"`
+	DeviceID string         `json:"device_id"`
+	Args     map[string]any `json:"args,omitempty"`
+}
+
+type commandResponse struct {
+	Outcome string `json:"outcome"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+func (s *Server) handleCommand(w http.ResponseWriter, r *http.Request) {
+	user := s.sessionUser(r)
+	if user == "" {
+		writeJSON(w, http.StatusUnauthorized, errorBody{Error: "login required"})
+		return
+	}
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	var req commandRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid JSON body"})
+		return
+	}
+	// Verification step 1: the opcode must exist.
+	in, err := s.cfg.Registry.Build(req.Op, req.DeviceID, instr.OriginUser, req.Args)
+	if err != nil {
+		s.record(user, req, OutcomeRejected, err.Error())
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	// Verification step 2: the device must be bound to this account.
+	s.mu.Lock()
+	owner := s.devices[req.DeviceID]
+	s.mu.Unlock()
+	if owner != user {
+		s.record(user, req, OutcomeRejected, "device not bound to this account")
+		writeJSON(w, http.StatusForbidden, errorBody{Error: "device not bound to this account"})
+		return
+	}
+	// Verification step 3: the IDS gate.
+	if s.cfg.Gate != nil {
+		ctx, err := s.cfg.Context()
+		if err != nil {
+			s.record(user, req, OutcomeFailed, "context unavailable: "+err.Error())
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "sensor context unavailable"})
+			return
+		}
+		if err := s.cfg.Gate(in, ctx); err != nil {
+			s.record(user, req, OutcomeRejected, err.Error())
+			writeJSON(w, http.StatusForbidden, errorBody{Error: err.Error()})
+			return
+		}
+	}
+	// Forward.
+	if err := s.cfg.Forward(in); err != nil {
+		s.record(user, req, OutcomeFailed, err.Error())
+		writeJSON(w, http.StatusBadGateway, errorBody{Error: err.Error()})
+		return
+	}
+	s.record(user, req, OutcomeForwarded, "")
+	writeJSON(w, http.StatusOK, commandResponse{Outcome: OutcomeForwarded})
+}
+
+func (s *Server) record(user string, req commandRequest, outcome, detail string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.history = append(s.history, HistoryEntry{
+		User: user, Op: req.Op, DeviceID: req.DeviceID,
+		Outcome: outcome, Detail: detail, At: s.cfg.Now(),
+	})
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	user := s.sessionUser(r)
+	if user == "" {
+		writeJSON(w, http.StatusUnauthorized, errorBody{Error: "login required"})
+		return
+	}
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
+		return
+	}
+	s.mu.Lock()
+	var out []HistoryEntry
+	for _, e := range s.history {
+		if e.User == user {
+			out = append(out, e)
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,69 @@
+// Package core implements the paper's contribution: the contextual attack
+// detection framework of §IV, with its four components — the sensitive
+// command detector, the (multi-vendor) sensor data collector, the command
+// sensor context feature memory, and the command determiner — plus the
+// camera warning linkage of §V / Fig 7.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"iotsid/internal/instr"
+	"iotsid/internal/survey"
+)
+
+// Detector is the sensitive command detector (§IV-A): it makes the first
+// judgment on every instruction — is it a high-threat sensitive command?
+// Sensitivity is derived from the questionnaire: a category's control
+// instructions are sensitive when more than 50 % of respondents rated them
+// high-threat (Table III).
+type Detector struct {
+	sensitive map[instr.Category]bool
+}
+
+// NewDetector derives a detector from aggregated questionnaire results.
+func NewDetector(results survey.Results) *Detector {
+	d := &Detector{sensitive: make(map[instr.Category]bool, 9)}
+	for _, c := range results.SensitiveCategories() {
+		d.sensitive[c] = true
+	}
+	return d
+}
+
+// DefaultDetector runs the calibrated questionnaire (340 respondents, quota
+// mode) and derives the detector from it — the paper's Table III pipeline
+// end to end.
+func DefaultDetector() (*Detector, error) {
+	pop, err := survey.Simulate(survey.DefaultProfile(), 340, survey.ModeQuota, rand.New(rand.NewSource(2021)))
+	if err != nil {
+		return nil, fmt.Errorf("default detector: %w", err)
+	}
+	res, err := survey.Aggregate(pop)
+	if err != nil {
+		return nil, fmt.Errorf("default detector: %w", err)
+	}
+	return NewDetector(res), nil
+}
+
+// IsSensitive implements the first-stage judgment: only control
+// instructions can be sensitive (Fig 4: users rate control far above
+// status acquisition), and only in the categories that crossed the
+// questionnaire's 50 % threshold.
+func (d *Detector) IsSensitive(in instr.Instruction) bool {
+	if in.Kind != instr.KindControl {
+		return false
+	}
+	return d.sensitive[in.Category]
+}
+
+// SensitiveCategories lists the flagged categories in Table I order.
+func (d *Detector) SensitiveCategories() []instr.Category {
+	var out []instr.Category
+	for _, c := range instr.Categories() {
+		if d.sensitive[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}

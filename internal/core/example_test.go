@@ -1,0 +1,93 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"iotsid/internal/core"
+	"iotsid/internal/dataset"
+	"iotsid/internal/home"
+	"iotsid/internal/instr"
+	"iotsid/internal/sensor"
+)
+
+// Example_authorize wires the full framework and judges a sensitive
+// instruction against a staged burglary context.
+func Example_authorize() {
+	detector, err := core.DefaultDetector()
+	if err != nil {
+		fmt.Println("detector:", err)
+		return
+	}
+	corpus, err := dataset.Corpus(dataset.CorpusConfig{Seed: 1})
+	if err != nil {
+		fmt.Println("corpus:", err)
+		return
+	}
+	memory, err := core.Train(corpus, dataset.BuildConfig{Seed: 42}, core.TrainConfig{Seed: 9})
+	if err != nil {
+		fmt.Println("train:", err)
+		return
+	}
+	h, err := home.NewStandard(home.EnvConfig{Seed: 11})
+	if err != nil {
+		fmt.Println("home:", err)
+		return
+	}
+	ids, err := core.New(core.Config{
+		Detector:  detector,
+		Collector: &core.SimCollector{Env: h.Env()},
+		Memory:    memory,
+	})
+	if err != nil {
+		fmt.Println("framework:", err)
+		return
+	}
+
+	// Stage the attack context: nobody home, night, no hazard.
+	attack, err := dataset.AttackSceneSeeded(dataset.ModelWindow, 99)
+	if err != nil {
+		fmt.Println("scene:", err)
+		return
+	}
+	h.Env().Apply(attack)
+
+	open, err := instr.BuiltinRegistry().Build("window.open", "window-1", instr.OriginUser, nil)
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	decision, err := ids.Authorize(open)
+	if err != nil {
+		fmt.Println("authorize:", err)
+		return
+	}
+	fmt.Println("allowed:", decision.Allowed)
+	fmt.Println("sensitive:", decision.Sensitive)
+	// Output:
+	// allowed: false
+	// sensitive: true
+}
+
+// ExampleCameraWarner shows the Fig 7 linkage raising a warning on a door
+// opening.
+func ExampleCameraWarner() {
+	w := core.NewCameraWarner()
+	base := sensor.NewSnapshot(sceneClock(0))
+	base.Set(sensor.FeatDoorOpen, sensor.Bool(false))
+	base.Set(sensor.FeatOccupancy, sensor.Bool(false))
+	w.Observe(base) // prime
+
+	opened := sensor.NewSnapshot(sceneClock(1))
+	opened.Set(sensor.FeatDoorOpen, sensor.Bool(true))
+	opened.Set(sensor.FeatOccupancy, sensor.Bool(false))
+	for _, warning := range w.Observe(opened) {
+		fmt.Println(warning)
+	}
+	// Output:
+	// [door_window_opened] door opened
+}
+
+func sceneClock(minute int) time.Time {
+	return time.Date(2021, 4, 1, 3, minute, 0, 0, time.UTC)
+}

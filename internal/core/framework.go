@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"iotsid/internal/instr"
+	"iotsid/internal/sensor"
+	"iotsid/internal/trace"
+)
+
+// Framework is the assembled IDS of Fig 3: detector → collector → feature
+// memory → determiner. It exposes the two integration surfaces the rest of
+// the system uses: Authorize (collect live context, then judge) and Gate /
+// Interceptor adapters for the vendor bridges and the automation engine.
+type Framework struct {
+	detector  *Detector
+	collector Collector
+	memory    *FeatureMemory
+	judger    *Judger
+
+	mu    sync.Mutex
+	log   []LogEntry
+	audit *trace.Log
+}
+
+// LogEntry records one authorisation.
+type LogEntry struct {
+	Op       string   `json:"op"`
+	DeviceID string   `json:"device_id"`
+	Decision Decision `json:"decision"`
+}
+
+// Config wires a framework.
+type Config struct {
+	Detector  *Detector
+	Collector Collector
+	Memory    *FeatureMemory
+}
+
+// New assembles the framework.
+func New(cfg Config) (*Framework, error) {
+	if cfg.Collector == nil {
+		return nil, fmt.Errorf("core: framework needs a collector")
+	}
+	j, err := NewJudger(cfg.Detector, cfg.Memory)
+	if err != nil {
+		return nil, err
+	}
+	return &Framework{
+		detector:  cfg.Detector,
+		collector: cfg.Collector,
+		memory:    cfg.Memory,
+		judger:    j,
+	}, nil
+}
+
+// SetAuditLog attaches (or detaches) an audit trace: every authorisation
+// decision is appended to it as a trace.KindDecision event.
+func (f *Framework) SetAuditLog(l *trace.Log) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.audit = l
+}
+
+// Memory exposes the trained feature memory.
+func (f *Framework) Memory() *FeatureMemory { return f.memory }
+
+// Detector exposes the sensitive command detector.
+func (f *Framework) Detector() *Detector { return f.detector }
+
+// Authorize collects the live sensor context and judges the instruction —
+// the full runtime path of Fig 3.
+func (f *Framework) Authorize(in instr.Instruction) (Decision, error) {
+	ctx, err := f.collector.Collect()
+	if err != nil {
+		return Decision{}, fmt.Errorf("core: collect context: %w", err)
+	}
+	return f.judgeAndLog(in, ctx)
+}
+
+// Judge decides against a caller-supplied context (used when the caller
+// already holds the snapshot, e.g. the automation engine's evaluation
+// context).
+func (f *Framework) Judge(in instr.Instruction, ctx sensor.Snapshot) (Decision, error) {
+	return f.judgeAndLog(in, ctx)
+}
+
+func (f *Framework) judgeAndLog(in instr.Instruction, ctx sensor.Snapshot) (Decision, error) {
+	dec, err := f.judger.Judge(in, ctx)
+	if err != nil {
+		return Decision{}, err
+	}
+	f.mu.Lock()
+	f.log = append(f.log, LogEntry{Op: in.Op, DeviceID: in.DeviceID, Decision: dec})
+	audit := f.audit
+	f.mu.Unlock()
+	if audit != nil {
+		outcome := "allowed"
+		if !dec.Allowed {
+			outcome = "rejected"
+		}
+		fields := map[string]string{"origin": in.Origin.String()}
+		if dec.Model != "" {
+			fields["model"] = string(dec.Model)
+		}
+		audit.Append(trace.Event{
+			Kind:     trace.KindDecision,
+			DeviceID: in.DeviceID,
+			Op:       in.Op,
+			Outcome:  outcome,
+			Detail:   dec.Reason,
+			At:       ctx.At,
+			Fields:   fields,
+		})
+	}
+	return dec, nil
+}
+
+// Log returns a copy of the authorisation log.
+func (f *Framework) Log() []LogEntry {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]LogEntry, len(f.log))
+	copy(out, f.log)
+	return out
+}
+
+// Gate adapts the framework to the vendor bridges' gate signature: a
+// non-nil error blocks execution.
+func (f *Framework) Gate(in instr.Instruction, ctx sensor.Snapshot) error {
+	dec, err := f.judgeAndLog(in, ctx)
+	if err != nil {
+		return err
+	}
+	if !dec.Allowed {
+		return fmt.Errorf("ids: %s", dec.Reason)
+	}
+	return nil
+}
+
+// Interceptor adapts the framework to the automation engine. Judgment
+// errors fail closed for sensitive instructions: an unjudgeable sensitive
+// command must not run.
+func (f *Framework) Interceptor() func(in instr.Instruction, ctx sensor.Snapshot) (bool, string) {
+	return func(in instr.Instruction, ctx sensor.Snapshot) (bool, string) {
+		dec, err := f.judgeAndLog(in, ctx)
+		if err != nil {
+			if f.detector.IsSensitive(in) {
+				return false, fmt.Sprintf("ids: cannot judge sensitive instruction: %v", err)
+			}
+			return true, fmt.Sprintf("ids: judgment unavailable (%v); non-sensitive instruction allowed", err)
+		}
+		return dec.Allowed, dec.Reason
+	}
+}

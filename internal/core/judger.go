@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"iotsid/internal/dataset"
+	"iotsid/internal/instr"
+	"iotsid/internal/sensor"
+)
+
+// Decision is the command determiner's verdict on one instruction.
+type Decision struct {
+	Allowed   bool          `json:"allowed"`
+	Sensitive bool          `json:"sensitive"`
+	Model     dataset.Model `json:"model,omitempty"`
+	Reason    string        `json:"reason"`
+	// Explanation is the decision path the context tree took — which
+	// sensor conditions were tested and how they resolved.
+	Explanation string `json:"explanation,omitempty"`
+}
+
+// Judger is the command determiner (§IV-D): sensitive instructions are
+// allowed only when the trained context model confirms the live sensor
+// snapshot matches a legal activity scene.
+type Judger struct {
+	detector *Detector
+	memory   *FeatureMemory
+}
+
+// NewJudger wires the determiner.
+func NewJudger(d *Detector, fm *FeatureMemory) (*Judger, error) {
+	if d == nil {
+		return nil, fmt.Errorf("core: judger needs a detector")
+	}
+	if fm == nil {
+		return nil, fmt.Errorf("core: judger needs a feature memory")
+	}
+	return &Judger{detector: d, memory: fm}, nil
+}
+
+// Judge decides one instruction against a sensor context.
+func (j *Judger) Judge(in instr.Instruction, ctx sensor.Snapshot) (Decision, error) {
+	if !j.detector.IsSensitive(in) {
+		return Decision{
+			Allowed: true,
+			Reason:  fmt.Sprintf("%s is not a sensitive instruction", in.Op),
+		}, nil
+	}
+	m, ok := dataset.ModelForCategory(in.Category)
+	if !ok {
+		// Sensitive categories outside the evaluated six (alarms are
+		// triggers, cameras get the warning linkage, locks guard
+		// themselves — §V's Door/Alarm/Camera discussion).
+		return Decision{
+			Allowed:   true,
+			Sensitive: true,
+			Reason:    fmt.Sprintf("category %s is outside the context-model scope", in.Category),
+		}, nil
+	}
+	legal, explanation, err := j.memory.JudgeExplain(m, ctx)
+	if err != nil {
+		return Decision{}, err
+	}
+	if !legal {
+		return Decision{
+			Allowed:     false,
+			Sensitive:   true,
+			Model:       m,
+			Reason:      fmt.Sprintf("%s rejected: sensor context does not match a legal activity scene", in.Op),
+			Explanation: explanation,
+		}, nil
+	}
+	return Decision{
+		Allowed:     true,
+		Sensitive:   true,
+		Model:       m,
+		Reason:      fmt.Sprintf("%s allowed: sensor context matches a legal activity scene", in.Op),
+		Explanation: explanation,
+	}, nil
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+
+	"iotsid/internal/dataset"
+	"iotsid/internal/mlearn"
+	"iotsid/internal/mlearn/tree"
+	"iotsid/internal/sensor"
+)
+
+// Sampling selects the class-imbalance fix applied to training data.
+type Sampling int
+
+// Sampling strategies (§IV-C-2 picks oversampling).
+const (
+	SampleRandomOversample Sampling = iota + 1
+	SampleSMOTE
+	SampleNone
+)
+
+// String names the strategy.
+func (s Sampling) String() string {
+	switch s {
+	case SampleRandomOversample:
+		return "random_oversample"
+	case SampleSMOTE:
+		return "smote"
+	case SampleNone:
+		return "none"
+	default:
+		return fmt.Sprintf("sampling(%d)", int(s))
+	}
+}
+
+// TrainConfig tunes the feature-memory training pipeline.
+type TrainConfig struct {
+	Seed       int64
+	Tree       tree.Config
+	SplitRatio float64  // train share; default 0.7 (the paper's 7:3)
+	Sampling   Sampling // default random oversampling
+	KFold      int      // cross-validation folds; default 5
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.SplitRatio == 0 {
+		c.SplitRatio = 0.7
+	}
+	if c.Sampling == 0 {
+		c.Sampling = SampleRandomOversample
+	}
+	if c.KFold == 0 {
+		c.KFold = 5
+	}
+	if c.Tree.MinSamplesLeaf == 0 {
+		c.Tree.MinSamplesLeaf = 5
+	}
+	return c
+}
+
+// Report records how one device model trained and evaluated — the raw
+// material of Table VI.
+type Report struct {
+	Model         dataset.Model `json:"model"`
+	TrainExamples int           `json:"train_examples"`
+	TestExamples  int           `json:"test_examples"`
+	TrainAccuracy float64       `json:"train_accuracy"`
+	TestAccuracy  float64       `json:"test_accuracy"`
+	Recall        float64       `json:"recall"`
+	Precision     float64       `json:"precision"`
+	FPR           float64       `json:"fpr"`
+	FNR           float64       `json:"fnr"`
+	CVMeanAcc     float64       `json:"cv_mean_accuracy"`
+	CVStdAcc      float64       `json:"cv_std_accuracy"`
+}
+
+// Entry is one device model's slot in the feature memory: the trained tree,
+// its feature weights (Fig 6) and its evaluation report.
+type Entry struct {
+	Tree    *tree.Tree    `json:"tree"`
+	Weights []tree.Weight `json:"weights"`
+	Report  Report        `json:"report"`
+}
+
+// FeatureMemory is the command sensor context feature memory (§IV-C): one
+// trained decision tree per sensitive device model, with stored feature
+// weights. Safe for concurrent use.
+type FeatureMemory struct {
+	mu      sync.RWMutex
+	entries map[dataset.Model]*Entry
+}
+
+// NewFeatureMemory returns an empty memory.
+func NewFeatureMemory() *FeatureMemory {
+	return &FeatureMemory{entries: make(map[dataset.Model]*Entry)}
+}
+
+// Train builds the full memory from the strategy corpus: per device model,
+// build the dataset, split 7:3 stratified, fix the class imbalance on the
+// training split, grow the tree, cross-validate, and store tree + weights.
+func Train(corpus []dataset.Strategy, bcfg dataset.BuildConfig, tcfg TrainConfig) (*FeatureMemory, error) {
+	tcfg = tcfg.withDefaults()
+	fm := NewFeatureMemory()
+	all, err := dataset.BuildAll(corpus, bcfg)
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range dataset.Models() {
+		entry, err := trainModel(m, all[m], tcfg, tcfg.Seed+int64(i)*104729)
+		if err != nil {
+			return nil, fmt.Errorf("train %s: %w", m, err)
+		}
+		fm.entries[m] = entry
+	}
+	return fm, nil
+}
+
+// TrainModel trains a single model entry from a prebuilt dataset (used by
+// ablation benchmarks and tests).
+func TrainModel(m dataset.Model, d *mlearn.Dataset, tcfg TrainConfig) (*Entry, error) {
+	tcfg = tcfg.withDefaults()
+	return trainModel(m, d, tcfg, tcfg.Seed)
+}
+
+func trainModel(m dataset.Model, d *mlearn.Dataset, tcfg TrainConfig, seed int64) (*Entry, error) {
+	rng := rand.New(rand.NewSource(seed))
+	train, test, err := d.SplitStratified(tcfg.SplitRatio, rng)
+	if err != nil {
+		return nil, err
+	}
+	balanced, err := resample(train, tcfg.Sampling, rng)
+	if err != nil {
+		return nil, err
+	}
+	tr := tree.New(tcfg.Tree)
+	if err := tr.Fit(balanced); err != nil {
+		return nil, err
+	}
+	weights, err := tr.FeatureWeights()
+	if err != nil {
+		return nil, err
+	}
+	cv, err := mlearn.CrossValidate(func() mlearn.Classifier { return tree.New(tcfg.Tree) },
+		balanced, tcfg.KFold, rng)
+	if err != nil {
+		return nil, err
+	}
+	testEval := mlearn.Evaluate(tr, test)
+	report := Report{
+		Model:         m,
+		TrainExamples: balanced.Len(),
+		TestExamples:  test.Len(),
+		TrainAccuracy: mlearn.Evaluate(tr, balanced).Accuracy(),
+		TestAccuracy:  testEval.Accuracy(),
+		Recall:        testEval.Recall(),
+		Precision:     testEval.Precision(),
+		FPR:           testEval.FPR(),
+		FNR:           testEval.FNR(),
+		CVMeanAcc:     cv.MeanAccuracy(),
+		CVStdAcc:      cv.StdAccuracy(),
+	}
+	return &Entry{Tree: tr, Weights: weights, Report: report}, nil
+}
+
+func resample(d *mlearn.Dataset, s Sampling, rng *rand.Rand) (*mlearn.Dataset, error) {
+	switch s {
+	case SampleRandomOversample:
+		return mlearn.OversampleRandom(d, rng)
+	case SampleSMOTE:
+		return mlearn.OversampleSMOTE(d, 5, rng)
+	case SampleNone:
+		return d, nil
+	default:
+		return nil, fmt.Errorf("core: unknown sampling strategy %d", s)
+	}
+}
+
+// Put stores an entry (replacing any previous one).
+func (fm *FeatureMemory) Put(m dataset.Model, e *Entry) error {
+	if e == nil || e.Tree == nil {
+		return fmt.Errorf("core: nil entry for %s", m)
+	}
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	fm.entries[m] = e
+	return nil
+}
+
+// Entry fetches one model's entry.
+func (fm *FeatureMemory) Entry(m dataset.Model) (*Entry, bool) {
+	fm.mu.RLock()
+	defer fm.mu.RUnlock()
+	e, ok := fm.entries[m]
+	return e, ok
+}
+
+// Models lists the stored models in Table VI order.
+func (fm *FeatureMemory) Models() []dataset.Model {
+	fm.mu.RLock()
+	defer fm.mu.RUnlock()
+	var out []dataset.Model
+	for _, m := range dataset.Models() {
+		if _, ok := fm.entries[m]; ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Judge runs one model's tree on a live snapshot: true means the context
+// matches a legal activity scene. This is the allocation-free hot path; use
+// JudgeExplain when the decision path is wanted.
+func (fm *FeatureMemory) Judge(m dataset.Model, ctx sensor.Snapshot) (bool, error) {
+	e, ok := fm.Entry(m)
+	if !ok {
+		return false, fmt.Errorf("core: no trained model for %s", m)
+	}
+	x, err := m.Featurize(ctx)
+	if err != nil {
+		return false, fmt.Errorf("core: featurize context for %s: %w", m, err)
+	}
+	return e.Tree.Predict(x) == 1, nil
+}
+
+// JudgeExplain judges a snapshot and also returns the decision path the
+// tree took — the explanation a user sees for an interception.
+func (fm *FeatureMemory) JudgeExplain(m dataset.Model, ctx sensor.Snapshot) (bool, string, error) {
+	e, ok := fm.Entry(m)
+	if !ok {
+		return false, "", fmt.Errorf("core: no trained model for %s", m)
+	}
+	x, err := m.Featurize(ctx)
+	if err != nil {
+		return false, "", fmt.Errorf("core: featurize context for %s: %w", m, err)
+	}
+	path, err := e.Tree.ExplainString(x)
+	if err != nil {
+		return false, "", err
+	}
+	return e.Tree.Predict(x) == 1, path, nil
+}
+
+// memoryJSON is the persistence envelope.
+type memoryJSON struct {
+	Entries map[dataset.Model]*Entry `json:"entries"`
+}
+
+// Save serialises the memory as JSON.
+func (fm *FeatureMemory) Save(w io.Writer) error {
+	fm.mu.RLock()
+	defer fm.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(memoryJSON{Entries: fm.entries})
+}
+
+// Load restores a memory previously written by Save.
+func Load(r io.Reader) (*FeatureMemory, error) {
+	var raw memoryJSON
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("core: load feature memory: %w", err)
+	}
+	fm := NewFeatureMemory()
+	for m, e := range raw.Entries {
+		if e == nil || e.Tree == nil {
+			return nil, fmt.Errorf("core: serialised entry for %s has no tree", m)
+		}
+		fm.entries[m] = e
+	}
+	return fm, nil
+}

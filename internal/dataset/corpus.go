@@ -1,0 +1,361 @@
+// Package dataset reproduces the paper's data pipeline (§IV-C): a corpus of
+// 804 automation strategies in the style of IFTTT / vendor platforms
+// (Table IV), per-strategy user counts with the heavy-tailed popularity of
+// Fig 5, expansion of the corpus by popularity, context-violating attack
+// injection for negative samples, and featurisation into per-device-model
+// machine-learning datasets.
+//
+// The paper crawled its 804 strategies from vendor sites and web-automation
+// platforms; that data is not public, so the corpus here is generated from
+// parameterised strategy templates per device category — same scale, same
+// trigger-action shape, same popularity skew.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"iotsid/internal/automation"
+	"iotsid/internal/instr"
+)
+
+// BaseCorpusSize is the paper's count of original valid strategies.
+const BaseCorpusSize = 804
+
+// CameraWarnCount is the paper's count of camera-warning-related
+// strategies (Fig 7).
+const CameraWarnCount = 319
+
+// WarnTrigger classifies what a camera-warning strategy reacts to (the Fig 7
+// categories).
+type WarnTrigger int
+
+// Camera-warning trigger categories, Fig 7.
+const (
+	WarnNone WarnTrigger = iota // not a camera-warning strategy
+	WarnDoorWindowOpened
+	WarnSmokeFire
+	WarnWaterLeak
+	WarnGas
+	WarnMotion
+)
+
+// String names the warning trigger.
+func (w WarnTrigger) String() string {
+	switch w {
+	case WarnNone:
+		return "none"
+	case WarnDoorWindowOpened:
+		return "door_window_opened"
+	case WarnSmokeFire:
+		return "smoke_fire"
+	case WarnWaterLeak:
+		return "water_leak"
+	case WarnGas:
+		return "combustible_gas"
+	case WarnMotion:
+		return "motion"
+	default:
+		return fmt.Sprintf("warn(%d)", int(w))
+	}
+}
+
+// Strategy is one automation strategy of the corpus.
+type Strategy struct {
+	ID       int            `json:"id"`
+	Name     string         `json:"name"`
+	RuleText string         `json:"rule_text"` // automation-DSL source
+	Category instr.Category `json:"category"`  // category of the actuated device
+	Warn     WarnTrigger    `json:"warn"`      // non-zero for camera warnings
+	Users    int            `json:"users"`     // Fig 5 popularity
+}
+
+// template is a parameterised strategy generator.
+type template struct {
+	name string
+	cat  instr.Category
+	warn WarnTrigger
+	gen  func(r *rand.Rand) string
+}
+
+func u(r *rand.Rand, lo, hi int) int { return lo + r.Intn(hi-lo+1) }
+
+// templates returns the per-category strategy generators. Rule text always
+// parses under the builtin instruction registry (tested).
+func templates() []template {
+	return []template{
+		// Lighting: the bread-and-butter automations of every platform.
+		{name: "evening lights", cat: instr.CatLighting, gen: func(r *rand.Rand) string {
+			return fmt.Sprintf("WHEN occupancy == TRUE AND hour_of_day >= %d THEN light.on @ light-1", u(r, 17, 20))
+		}},
+		{name: "motion light", cat: instr.CatLighting, gen: func(r *rand.Rand) string {
+			return fmt.Sprintf("WHEN motion == TRUE AND illuminance < %d THEN light.on @ light-1", u(r, 80, 200))
+		}},
+		{name: "lights out at night", cat: instr.CatLighting, gen: func(r *rand.Rand) string {
+			return fmt.Sprintf("WHEN hour_of_day >= %d AND motion == FALSE THEN light.off @ light-1", u(r, 22, 23))
+		}},
+		{name: "away lights off", cat: instr.CatLighting, gen: func(r *rand.Rand) string {
+			return "WHEN occupancy == FALSE THEN light.off @ light-1"
+		}},
+		{name: "dawn dim", cat: instr.CatLighting, gen: func(r *rand.Rand) string {
+			return fmt.Sprintf("WHEN hour_of_day >= %d AND hour_of_day < 8 AND motion == TRUE THEN light.set_brightness @ light-1 WITH brightness = %d", u(r, 5, 6), u(r, 10, 40))
+		}},
+
+		// Air conditioning / thermostat.
+		{name: "cool when hot", cat: instr.CatAirConditioning, gen: func(r *rand.Rand) string {
+			return fmt.Sprintf("WHEN temperature_in > %d AND occupancy == TRUE THEN aircon.set_cool @ aircon-1", u(r, 26, 30))
+		}},
+		{name: "heat when cold", cat: instr.CatAirConditioning, gen: func(r *rand.Rand) string {
+			return fmt.Sprintf("WHEN temperature_in < %d AND occupancy == TRUE THEN aircon.set_heat @ aircon-1", u(r, 14, 18))
+		}},
+		{name: "pre-cool before arrival", cat: instr.CatAirConditioning, gen: func(r *rand.Rand) string {
+			return fmt.Sprintf("WHEN hour_of_day >= %d AND temperature_in > %d THEN aircon.on @ aircon-1", u(r, 16, 18), u(r, 27, 30))
+		}},
+		{name: "AC off when away", cat: instr.CatAirConditioning, gen: func(r *rand.Rand) string {
+			return "WHEN occupancy == FALSE THEN aircon.off @ aircon-1"
+		}},
+		{name: "AC off when window open", cat: instr.CatAirConditioning, gen: func(r *rand.Rand) string {
+			return "WHEN window_open == TRUE THEN aircon.off @ aircon-1"
+		}},
+
+		// Curtains / blinds.
+		{name: "morning open", cat: instr.CatCurtain, gen: func(r *rand.Rand) string {
+			return fmt.Sprintf("WHEN hour_of_day >= %d AND occupancy == TRUE THEN curtain.open @ curtain-1", u(r, 6, 9))
+		}},
+		{name: "evening close", cat: instr.CatCurtain, gen: func(r *rand.Rand) string {
+			return fmt.Sprintf("WHEN hour_of_day >= %d THEN curtain.close @ curtain-1", u(r, 18, 21))
+		}},
+		{name: "glare shield", cat: instr.CatCurtain, gen: func(r *rand.Rand) string {
+			return fmt.Sprintf("WHEN illuminance > %d AND outdoor_weather == sunny THEN curtain.set_position @ curtain-1 WITH position = %d", u(r, 2000, 6000), u(r, 20, 60))
+		}},
+
+		// Windows.
+		{name: "ventilate on smoke", cat: instr.CatWindowDoorLock, gen: func(r *rand.Rand) string {
+			return "WHEN smoke == TRUE THEN window.open @ window-1"
+		}},
+		{name: "ventilate on gas", cat: instr.CatWindowDoorLock, gen: func(r *rand.Rand) string {
+			return "WHEN combustible_gas == TRUE THEN window.open @ window-1"
+		}},
+		{name: "air the room", cat: instr.CatWindowDoorLock, gen: func(r *rand.Rand) string {
+			return fmt.Sprintf("WHEN air_quality > %d AND occupancy == TRUE THEN window.open @ window-1", u(r, 120, 200))
+		}},
+		{name: "close on rain", cat: instr.CatWindowDoorLock, gen: func(r *rand.Rand) string {
+			return "WHEN outdoor_weather == rain THEN window.close @ window-1"
+		}},
+		{name: "close at night", cat: instr.CatWindowDoorLock, gen: func(r *rand.Rand) string {
+			return fmt.Sprintf("WHEN hour_of_day >= %d THEN window.close @ window-1", u(r, 21, 23))
+		}},
+
+		// Kitchen.
+		{name: "morning rice", cat: instr.CatKitchen, gen: func(r *rand.Rand) string {
+			return fmt.Sprintf("WHEN hour_of_day >= %d AND occupancy == TRUE THEN cooker.start @ cooker-1", u(r, 6, 8))
+		}},
+		{name: "dinner prep", cat: instr.CatKitchen, gen: func(r *rand.Rand) string {
+			return fmt.Sprintf("WHEN hour_of_day >= %d AND motion == TRUE THEN oven.preheat @ cooker-1", u(r, 17, 19))
+		}},
+		{name: "stop cooking on smoke", cat: instr.CatKitchen, gen: func(r *rand.Rand) string {
+			return "WHEN smoke == TRUE THEN cooker.stop @ cooker-1"
+		}},
+
+		// Entertainment.
+		{name: "welcome home TV", cat: instr.CatEntertainment, gen: func(r *rand.Rand) string {
+			return fmt.Sprintf("WHEN occupancy == TRUE AND hour_of_day >= %d THEN tv.on @ tv-1", u(r, 18, 20))
+		}},
+		{name: "TV off at bedtime", cat: instr.CatEntertainment, gen: func(r *rand.Rand) string {
+			return fmt.Sprintf("WHEN hour_of_day >= %d THEN tv.off @ tv-1", u(r, 22, 23))
+		}},
+		{name: "quiet hours volume", cat: instr.CatEntertainment, gen: func(r *rand.Rand) string {
+			return fmt.Sprintf("WHEN hour_of_day >= %d THEN tv.set_volume @ tv-1 WITH volume = %d", u(r, 21, 23), u(r, 5, 20))
+		}},
+
+		// Alarm hub.
+		{name: "arm when away", cat: instr.CatAlarm, gen: func(r *rand.Rand) string {
+			return "WHEN occupancy == FALSE THEN alarm.arm @ alarm-hub-1"
+		}},
+		{name: "siren on gas", cat: instr.CatAlarm, gen: func(r *rand.Rand) string {
+			return "WHEN combustible_gas == TRUE THEN alarm.siren_on @ alarm-hub-1"
+		}},
+
+		// Vacuum.
+		{name: "clean when away", cat: instr.CatVacuum, gen: func(r *rand.Rand) string {
+			return fmt.Sprintf("WHEN occupancy == FALSE AND hour_of_day >= %d THEN vacuum.start @ vacuum-1", u(r, 9, 11))
+		}},
+		{name: "dock at night", cat: instr.CatVacuum, gen: func(r *rand.Rand) string {
+			return "WHEN hour_of_day >= 21 THEN vacuum.dock @ vacuum-1"
+		}},
+
+		// Locks.
+		{name: "lock at night", cat: instr.CatWindowDoorLock, gen: func(r *rand.Rand) string {
+			return fmt.Sprintf("WHEN hour_of_day >= %d THEN lock.lock @ lock-1", u(r, 21, 23))
+		}},
+	}
+}
+
+// warnTemplates returns camera-warning strategy generators (Fig 7).
+func warnTemplates() []template {
+	alert := func(msg string, cond string) func(*rand.Rand) string {
+		return func(*rand.Rand) string {
+			return fmt.Sprintf(`WHEN %s THEN camera.alert_user @ camera-1 WITH message = "%s"`, cond, msg)
+		}
+	}
+	return []template{
+		{name: "warn: door opened", cat: instr.CatCamera, warn: WarnDoorWindowOpened,
+			gen: alert("door opened", "door_open == TRUE")},
+		{name: "warn: window opened", cat: instr.CatCamera, warn: WarnDoorWindowOpened,
+			gen: alert("window opened", "window_open == TRUE")},
+		{name: "warn: door opened while away", cat: instr.CatCamera, warn: WarnDoorWindowOpened,
+			gen: alert("door opened while away", "door_open == TRUE AND occupancy == FALSE")},
+		{name: "warn: smoke", cat: instr.CatCamera, warn: WarnSmokeFire,
+			gen: alert("smoke detected", "smoke == TRUE")},
+		{name: "warn: fire risk", cat: instr.CatCamera, warn: WarnSmokeFire,
+			gen: alert("possible fire", "smoke == TRUE AND air_quality > 150")},
+		{name: "warn: water leak", cat: instr.CatCamera, warn: WarnWaterLeak,
+			gen: alert("water leak", "water_leak == TRUE")},
+		{name: "warn: gas leak", cat: instr.CatCamera, warn: WarnGas,
+			gen: alert("combustible gas", "combustible_gas == TRUE")},
+		{name: "warn: motion while away", cat: instr.CatCamera, warn: WarnMotion,
+			gen: alert("unexpected motion", "motion == TRUE AND occupancy == FALSE")},
+	}
+}
+
+// warnMix fixes the Fig 7 composition of the 319 camera-warning strategies:
+// door/window openings dominate, then smoke/fire, water, gas, motion.
+var warnMix = map[WarnTrigger]int{
+	WarnDoorWindowOpened: 141,
+	WarnSmokeFire:        82,
+	WarnWaterLeak:        44,
+	WarnGas:              33,
+	WarnMotion:           19,
+}
+
+// nonWarnMix fixes the category composition of the remaining 485
+// strategies.
+var nonWarnMix = map[instr.Category]int{
+	instr.CatLighting:        121,
+	instr.CatAirConditioning: 83,
+	instr.CatCurtain:         68,
+	instr.CatWindowDoorLock:  76,
+	instr.CatKitchen:         52,
+	instr.CatEntertainment:   45,
+	instr.CatAlarm:           23,
+	instr.CatVacuum:          17,
+}
+
+// Corpus generates the deterministic 804-strategy corpus. Popularity follows
+// a Zipf law with exponent s over strategy rank (Fig 5), scaled so the most
+// popular strategy has maxUsers users.
+type CorpusConfig struct {
+	Seed     int64
+	ZipfS    float64 // default 1.08
+	MaxUsers int     // default 52000
+}
+
+func (c CorpusConfig) withDefaults() CorpusConfig {
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.08
+	}
+	if c.MaxUsers == 0 {
+		c.MaxUsers = 52000
+	}
+	return c
+}
+
+// Corpus builds the strategy corpus: 319 camera-warning strategies in the
+// Fig 7 mix plus 485 strategies across the other categories, 804 total.
+func Corpus(cfg CorpusConfig) ([]Strategy, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	byWarn := make(map[WarnTrigger][]template)
+	for _, t := range warnTemplates() {
+		byWarn[t.warn] = append(byWarn[t.warn], t)
+	}
+	byCat := make(map[instr.Category][]template)
+	for _, t := range templates() {
+		byCat[t.cat] = append(byCat[t.cat], t)
+	}
+
+	var out []Strategy
+	id := 1
+	emit := func(t template) {
+		out = append(out, Strategy{
+			ID:       id,
+			Name:     fmt.Sprintf("%s #%d", t.name, id),
+			RuleText: t.gen(rng),
+			Category: t.cat,
+			Warn:     t.warn,
+		})
+		id++
+	}
+	for _, w := range []WarnTrigger{WarnDoorWindowOpened, WarnSmokeFire, WarnWaterLeak, WarnGas, WarnMotion} {
+		ts := byWarn[w]
+		for i := 0; i < warnMix[w]; i++ {
+			emit(ts[i%len(ts)])
+		}
+	}
+	for _, c := range instr.Categories() {
+		n := nonWarnMix[c]
+		if n == 0 {
+			continue
+		}
+		ts := byCat[c]
+		if len(ts) == 0 {
+			return nil, fmt.Errorf("dataset: no templates for category %v", c)
+		}
+		for i := 0; i < n; i++ {
+			emit(ts[i%len(ts)])
+		}
+	}
+	if len(out) != BaseCorpusSize {
+		return nil, fmt.Errorf("dataset: corpus size %d, want %d", len(out), BaseCorpusSize)
+	}
+
+	// Popularity: shuffle ranks so popularity is independent of category,
+	// then assign Zipf user counts by rank.
+	perm := rng.Perm(len(out))
+	for rank, idx := range perm {
+		users := float64(cfg.MaxUsers) / math.Pow(float64(rank+1), cfg.ZipfS)
+		out[idx].Users = int(users)
+		if out[idx].Users < 1 {
+			out[idx].Users = 1
+		}
+	}
+
+	// Every generated rule must parse — a corpus entry that the platform
+	// cannot execute is a generator bug.
+	parser := automation.NewParser(instr.BuiltinRegistry())
+	for _, s := range out {
+		if _, err := parser.ParseRule(s.Name, s.RuleText); err != nil {
+			return nil, fmt.Errorf("dataset: strategy %d does not parse: %w", s.ID, err)
+		}
+	}
+	return out, nil
+}
+
+// WarnStats tallies camera-warning strategies per trigger (Fig 7).
+func WarnStats(corpus []Strategy) map[WarnTrigger]int {
+	out := make(map[WarnTrigger]int)
+	for _, s := range corpus {
+		if s.Warn != WarnNone {
+			out[s.Warn]++
+		}
+	}
+	return out
+}
+
+// UserCounts returns the per-strategy user counts sorted descending — the
+// Fig 5 popularity curve.
+func UserCounts(corpus []Strategy) []int {
+	out := make([]int, 0, len(corpus))
+	for _, s := range corpus {
+		out = append(out, s.Users)
+	}
+	// Insertion sort descending (corpus is small).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] < out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

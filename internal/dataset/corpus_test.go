@@ -1,0 +1,143 @@
+package dataset
+
+import (
+	"testing"
+
+	"iotsid/internal/automation"
+	"iotsid/internal/instr"
+)
+
+func mustCorpus(t *testing.T, seed int64) []Strategy {
+	t.Helper()
+	c, err := Corpus(CorpusConfig{Seed: seed})
+	if err != nil {
+		t.Fatalf("Corpus: %v", err)
+	}
+	return c
+}
+
+func TestCorpusSizeAndComposition(t *testing.T) {
+	c := mustCorpus(t, 1)
+	if len(c) != BaseCorpusSize {
+		t.Fatalf("corpus size = %d, want %d", len(c), BaseCorpusSize)
+	}
+	warn := WarnStats(c)
+	var warnTotal int
+	for _, n := range warn {
+		warnTotal += n
+	}
+	if warnTotal != CameraWarnCount {
+		t.Errorf("camera-warning strategies = %d, want %d (Fig 7)", warnTotal, CameraWarnCount)
+	}
+	// Fig 7 mix: door/window openings dominate, then smoke/fire, water,
+	// gas, motion.
+	order := []WarnTrigger{WarnDoorWindowOpened, WarnSmokeFire, WarnWaterLeak, WarnGas, WarnMotion}
+	for i := 1; i < len(order); i++ {
+		if warn[order[i-1]] <= warn[order[i]] {
+			t.Errorf("warn mix not ordered: %v=%d <= %v=%d",
+				order[i-1], warn[order[i-1]], order[i], warn[order[i]])
+		}
+	}
+	// Every model's category has non-warning strategies to expand.
+	for _, m := range Models() {
+		cat, err := m.Category()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var n int
+		for _, s := range c {
+			if s.Category == cat && s.Warn == WarnNone {
+				n++
+			}
+		}
+		if n == 0 {
+			t.Errorf("no strategies for model %s", m)
+		}
+	}
+}
+
+func TestCorpusRulesParseAndTarget(t *testing.T) {
+	c := mustCorpus(t, 2)
+	parser := automation.NewParser(instr.BuiltinRegistry())
+	for _, s := range c[:50] {
+		r, err := parser.ParseRule(s.Name, s.RuleText)
+		if err != nil {
+			t.Fatalf("strategy %d %q: %v", s.ID, s.RuleText, err)
+		}
+		spec, ok := instr.BuiltinRegistry().Lookup(r.Action.Op)
+		if !ok {
+			t.Fatalf("strategy %d action %q unknown", s.ID, r.Action.Op)
+		}
+		if spec.Category != s.Category {
+			t.Errorf("strategy %d category %v, action category %v", s.ID, s.Category, spec.Category)
+		}
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	a := mustCorpus(t, 7)
+	b := mustCorpus(t, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("corpus diverges at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCorpusPopularityZipf(t *testing.T) {
+	c := mustCorpus(t, 3)
+	counts := UserCounts(c)
+	if len(counts) != BaseCorpusSize {
+		t.Fatalf("UserCounts len = %d", len(counts))
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i-1] < counts[i] {
+			t.Fatal("UserCounts not sorted descending")
+		}
+	}
+	if counts[0] < 10000 {
+		t.Errorf("head popularity %d suspiciously small", counts[0])
+	}
+	if counts[len(counts)-1] < 1 {
+		t.Error("tail popularity must be at least 1")
+	}
+	// Heavy tail: the top 10% of strategies carry most users (Fig 5).
+	var head, total int
+	for i, n := range counts {
+		total += n
+		if i < len(counts)/10 {
+			head += n
+		}
+	}
+	if float64(head)/float64(total) < 0.5 {
+		t.Errorf("head share = %v, want heavy tail", float64(head)/float64(total))
+	}
+}
+
+func TestWarnTriggerString(t *testing.T) {
+	names := map[WarnTrigger]string{
+		WarnNone: "none", WarnDoorWindowOpened: "door_window_opened",
+		WarnSmokeFire: "smoke_fire", WarnWaterLeak: "water_leak",
+		WarnGas: "combustible_gas", WarnMotion: "motion",
+	}
+	for w, want := range names {
+		if w.String() != want {
+			t.Errorf("%d = %q, want %q", w, w.String(), want)
+		}
+	}
+	if WarnTrigger(99).String() != "warn(99)" {
+		t.Error("unknown trigger name")
+	}
+}
+
+func TestExpansion(t *testing.T) {
+	if Expansion(0, 40) != 1 {
+		t.Error("zero users should still yield one example")
+	}
+	if Expansion(100, 40) != 10 {
+		t.Errorf("Expansion(100) = %d", Expansion(100, 40))
+	}
+	if Expansion(1<<20, 40) != 40 {
+		t.Error("cap not applied")
+	}
+}

@@ -1,0 +1,204 @@
+package dataset
+
+import (
+	"fmt"
+
+	"iotsid/internal/instr"
+	"iotsid/internal/mlearn"
+	"iotsid/internal/sensor"
+)
+
+// Model identifies one of the paper's per-device-category decision-tree
+// models (Table VI rows).
+type Model string
+
+// The six evaluated device models (Table VI). Door locks and alarms are
+// excluded by the paper (§V, "Door" / "Alarm" discussion); cameras get the
+// warning linkage of Fig 7 instead of a tree.
+const (
+	ModelWindow  Model = "window"
+	ModelAircon  Model = "air_conditioning"
+	ModelLight   Model = "light"
+	ModelCurtain Model = "curtain"
+	ModelTV      Model = "tv_stereo"
+	ModelKitchen Model = "kitchen"
+)
+
+// Models lists the evaluated device models in Table VI order.
+func Models() []Model {
+	return []Model{ModelWindow, ModelAircon, ModelLight, ModelCurtain, ModelTV, ModelKitchen}
+}
+
+// Title returns the Table VI display name.
+func (m Model) Title() string {
+	switch m {
+	case ModelWindow:
+		return "window"
+	case ModelAircon:
+		return "Air conditioning"
+	case ModelLight:
+		return "light"
+	case ModelCurtain:
+		return "Curtains, blinds"
+	case ModelTV:
+		return "TV, stereo"
+	case ModelKitchen:
+		return "Kitchen appliances"
+	default:
+		return string(m)
+	}
+}
+
+// Category maps the model to its Table I device category.
+func (m Model) Category() (instr.Category, error) {
+	switch m {
+	case ModelWindow:
+		return instr.CatWindowDoorLock, nil
+	case ModelAircon:
+		return instr.CatAirConditioning, nil
+	case ModelLight:
+		return instr.CatLighting, nil
+	case ModelCurtain:
+		return instr.CatCurtain, nil
+	case ModelTV:
+		return instr.CatEntertainment, nil
+	case ModelKitchen:
+		return instr.CatKitchen, nil
+	default:
+		return 0, fmt.Errorf("dataset: unknown model %q", m)
+	}
+}
+
+// ModelForCategory returns the model evaluating a category's sensitive
+// control instructions, or false when the paper has none (locks, alarms,
+// cameras, vacuums).
+func ModelForCategory(c instr.Category) (Model, bool) {
+	for _, m := range Models() {
+		mc, err := m.Category()
+		if err == nil && mc == c {
+			return m, true
+		}
+	}
+	return "", false
+}
+
+// Features returns the model's sensor context features. The window model
+// uses exactly the nine features of Fig 6, in the paper's weight order.
+func (m Model) Features() []sensor.Feature {
+	switch m {
+	case ModelWindow:
+		return []sensor.Feature{
+			sensor.FeatSmoke, sensor.FeatGas, sensor.FeatVoiceCmd,
+			sensor.FeatDoorLock, sensor.FeatTempIndoor, sensor.FeatAirQuality,
+			sensor.FeatWeather, sensor.FeatMotion, sensor.FeatHour,
+		}
+	case ModelAircon:
+		return []sensor.Feature{
+			sensor.FeatTempIndoor, sensor.FeatTempOutdoor, sensor.FeatOccupancy,
+			sensor.FeatHour, sensor.FeatHumidity, sensor.FeatVoiceCmd,
+			sensor.FeatWindowOpen,
+		}
+	case ModelLight:
+		return []sensor.Feature{
+			sensor.FeatIlluminance, sensor.FeatMotion, sensor.FeatOccupancy,
+			sensor.FeatHour, sensor.FeatVoiceCmd,
+		}
+	case ModelCurtain:
+		return []sensor.Feature{
+			sensor.FeatIlluminance, sensor.FeatHour, sensor.FeatOccupancy,
+			sensor.FeatWeather, sensor.FeatVoiceCmd, sensor.FeatMotion,
+		}
+	case ModelTV:
+		return []sensor.Feature{
+			sensor.FeatOccupancy, sensor.FeatHour, sensor.FeatNoise,
+			sensor.FeatVoiceCmd, sensor.FeatMotion,
+		}
+	case ModelKitchen:
+		return []sensor.Feature{
+			sensor.FeatOccupancy, sensor.FeatHour, sensor.FeatSmoke,
+			sensor.FeatPowerDraw, sensor.FeatVoiceCmd,
+		}
+	default:
+		return nil
+	}
+}
+
+// boolCats is the encoding domain for boolean features.
+var boolCats = []string{"false", "true"}
+
+// Schema builds the model's mlearn schema: booleans and labels become
+// categorical attributes, continuous sensors numeric ones.
+func (m Model) Schema() (mlearn.Schema, error) {
+	feats := m.Features()
+	if feats == nil {
+		return mlearn.Schema{}, fmt.Errorf("dataset: unknown model %q", m)
+	}
+	attrs := make([]mlearn.Attribute, 0, len(feats))
+	for _, f := range feats {
+		d, ok := sensor.Describe(f)
+		if !ok {
+			return mlearn.Schema{}, fmt.Errorf("dataset: feature %q not in vocabulary", f)
+		}
+		switch d.Type {
+		case sensor.TypeBool:
+			attrs = append(attrs, mlearn.Attribute{Name: string(f), Kind: mlearn.Categorical, Categories: boolCats})
+		case sensor.TypeLabel:
+			attrs = append(attrs, mlearn.Attribute{Name: string(f), Kind: mlearn.Categorical, Categories: d.Labels})
+		default:
+			attrs = append(attrs, mlearn.Attribute{Name: string(f), Kind: mlearn.Numeric})
+		}
+	}
+	return mlearn.NewSchema(attrs)
+}
+
+// Featurize encodes a sensor snapshot into the model's example vector. This
+// exact function is used both when building training data and when the
+// command determiner judges a live snapshot, so train and inference cannot
+// diverge.
+func (m Model) Featurize(snap sensor.Snapshot) ([]float64, error) {
+	feats := m.Features()
+	if feats == nil {
+		return nil, fmt.Errorf("dataset: unknown model %q", m)
+	}
+	out := make([]float64, len(feats))
+	for i, f := range feats {
+		v, ok := snap.Get(f)
+		if !ok {
+			return nil, fmt.Errorf("dataset: snapshot missing feature %q for model %s", f, m)
+		}
+		d := sensor.MustDescribe(f)
+		switch d.Type {
+		case sensor.TypeBool:
+			b, isBool := v.Bool()
+			if !isBool {
+				return nil, fmt.Errorf("dataset: feature %q not boolean", f)
+			}
+			if b {
+				out[i] = 1
+			}
+		case sensor.TypeLabel:
+			l, isLabel := v.Label()
+			if !isLabel {
+				return nil, fmt.Errorf("dataset: feature %q not a label", f)
+			}
+			idx := -1
+			for j, cand := range d.Labels {
+				if cand == l {
+					idx = j
+					break
+				}
+			}
+			if idx < 0 {
+				return nil, fmt.Errorf("dataset: feature %q label %q outside domain", f, l)
+			}
+			out[i] = float64(idx)
+		default:
+			n, isNum := v.Number()
+			if !isNum {
+				return nil, fmt.Errorf("dataset: feature %q not numeric", f)
+			}
+			out[i] = n
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,171 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"iotsid/internal/core"
+	"iotsid/internal/dataset"
+	"iotsid/internal/mlearn"
+	"iotsid/internal/mlearn/bayes"
+	"iotsid/internal/mlearn/knn"
+	"iotsid/internal/mlearn/svm"
+	"iotsid/internal/mlearn/tree"
+)
+
+// BaselineRow compares the paper's chosen decision tree against the other
+// classifiers it considered (§IV-C) on one device model.
+type BaselineRow struct {
+	Model      dataset.Model
+	TreeAcc    float64
+	KNNAcc     float64
+	BayesAcc   float64
+	SVMAcc     float64
+	TreeFNR    float64
+	BestIsTree bool
+}
+
+// Baselines trains tree, KNN, Naive Bayes and linear SVM on every model
+// under the paper's protocol and reports test accuracies.
+func (s *Suite) Baselines() ([]BaselineRow, error) {
+	out := make([]BaselineRow, 0, len(dataset.Models()))
+	for _, m := range dataset.Models() {
+		d, err := s.DatasetFor(m)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(s.Config.TrainSeed))
+		train, test, err := d.SplitStratified(0.7, rng)
+		if err != nil {
+			return nil, err
+		}
+		balanced, err := mlearn.OversampleRandom(train, rng)
+		if err != nil {
+			return nil, err
+		}
+		row := BaselineRow{Model: m}
+		classifiers := []struct {
+			c   mlearn.Classifier
+			dst *float64
+		}{
+			{tree.New(tree.Config{MinSamplesLeaf: 5}), &row.TreeAcc},
+			{knn.New(5), &row.KNNAcc},
+			{bayes.New(), &row.BayesAcc},
+			{svm.New(svm.Config{Seed: s.Config.TrainSeed}), &row.SVMAcc},
+		}
+		for _, entry := range classifiers {
+			if err := entry.c.Fit(balanced); err != nil {
+				return nil, fmt.Errorf("baseline fit %s: %w", m, err)
+			}
+			ev := mlearn.Evaluate(entry.c, test)
+			*entry.dst = ev.Accuracy()
+			if t, ok := entry.c.(*tree.Tree); ok {
+				_ = t
+				row.TreeFNR = ev.FNR()
+			}
+		}
+		row.BestIsTree = row.TreeAcc >= row.KNNAcc && row.TreeAcc >= row.BayesAcc && row.TreeAcc >= row.SVMAcc
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderBaselines formats the classifier comparison.
+func (s *Suite) RenderBaselines() (string, error) {
+	rows, err := s.Baselines()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Baseline comparison — test accuracy per classifier (§IV-C choice)\n")
+	fmt.Fprintf(&b, "  %-20s %8s %8s %8s %8s\n", "model", "tree", "knn", "bayes", "svm")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-20s %8.4f %8.4f %8.4f %8.4f\n", r.Model, r.TreeAcc, r.KNNAcc, r.BayesAcc, r.SVMAcc)
+	}
+	return b.String(), nil
+}
+
+// CriterionRow is one split-criterion ablation result.
+type CriterionRow struct {
+	Model     dataset.Model
+	Criterion tree.Criterion
+	TestAcc   float64
+	FNR       float64
+}
+
+// CriterionAblation sweeps the three split criteria the paper names
+// (information gain, gain ratio, Gini).
+func (s *Suite) CriterionAblation() ([]CriterionRow, error) {
+	var out []CriterionRow
+	for _, m := range dataset.Models() {
+		for _, crit := range []tree.Criterion{tree.Gini, tree.Entropy, tree.GainRatio} {
+			r, err := s.TrainReport(m, core.TrainConfig{
+				Seed: s.Config.TrainSeed,
+				Tree: tree.Config{Criterion: crit, MinSamplesLeaf: 5},
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, CriterionRow{Model: m, Criterion: crit, TestAcc: r.TestAccuracy, FNR: r.FNR})
+		}
+	}
+	return out, nil
+}
+
+// SamplingRow is one imbalance-handling ablation result.
+type SamplingRow struct {
+	Model    dataset.Model
+	Sampling core.Sampling
+	TestAcc  float64
+	Recall   float64
+	FNR      float64
+}
+
+// SamplingAblation compares no resampling, random oversampling (the paper's
+// choice) and SMOTE.
+func (s *Suite) SamplingAblation() ([]SamplingRow, error) {
+	var out []SamplingRow
+	for _, m := range dataset.Models() {
+		for _, sampling := range []core.Sampling{core.SampleNone, core.SampleRandomOversample, core.SampleSMOTE} {
+			r, err := s.TrainReport(m, core.TrainConfig{
+				Seed:     s.Config.TrainSeed,
+				Sampling: sampling,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, SamplingRow{Model: m, Sampling: sampling,
+				TestAcc: r.TestAccuracy, Recall: r.Recall, FNR: r.FNR})
+		}
+	}
+	return out, nil
+}
+
+// ScalingRow measures accuracy as the corpus expansion grows — the
+// "rationally expanded the data set" design choice (§IV-C-1).
+type ScalingRow struct {
+	Model     dataset.Model
+	Positives int
+	TestAcc   float64
+}
+
+// ScalingAblation sweeps the positive-example budget on one model.
+func (s *Suite) ScalingAblation(m dataset.Model, sizes []int) ([]ScalingRow, error) {
+	out := make([]ScalingRow, 0, len(sizes))
+	for _, n := range sizes {
+		d, err := dataset.Build(m, s.Corpus, dataset.BuildConfig{
+			Seed:             s.Config.DatasetSeed,
+			PositiveOverride: n,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e, err := core.TrainModel(m, d, core.TrainConfig{Seed: s.Config.TrainSeed})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ScalingRow{Model: m, Positives: n, TestAcc: e.Report.TestAccuracy})
+	}
+	return out, nil
+}

@@ -1,0 +1,190 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"iotsid/internal/core"
+	"iotsid/internal/dataset"
+	"iotsid/internal/home"
+	"iotsid/internal/instr"
+	"iotsid/internal/sensor"
+)
+
+// AttackType names one attack class of the campaign.
+type AttackType string
+
+// The campaign's attack classes — one per evaluated device model, each
+// staged from that model's attack-scene generator and delivered as the
+// model's sensitive control instruction. Note tv_scare: TV control never
+// crossed the questionnaire's 50 % high-threat bar (Table III), so the
+// sensitive command detector waves it through untouched — the campaign
+// keeps it to expose that scope boundary of the paper's design.
+const (
+	AttackWindowBurglary AttackType = "window_burglary"
+	AttackAirconWaste    AttackType = "aircon_energy_waste"
+	AttackLightCasing    AttackType = "light_casing"
+	AttackCurtainPrivacy AttackType = "curtain_privacy"
+	AttackTVScare        AttackType = "tv_scare"
+	AttackCookerFire     AttackType = "cooker_fire_risk"
+)
+
+// campaignAttacks binds each attack type to its model and instruction.
+var campaignAttacks = []struct {
+	Type   AttackType
+	Model  dataset.Model
+	Op     string
+	Device string
+}{
+	{AttackWindowBurglary, dataset.ModelWindow, "window.open", "window-1"},
+	{AttackAirconWaste, dataset.ModelAircon, "aircon.set_cool", "aircon-1"},
+	{AttackLightCasing, dataset.ModelLight, "light.on", "light-1"},
+	{AttackCurtainPrivacy, dataset.ModelCurtain, "curtain.open", "curtain-1"},
+	{AttackTVScare, dataset.ModelTV, "tv.on", "tv-1"},
+	{AttackCookerFire, dataset.ModelKitchen, "cooker.start", "cooker-1"},
+}
+
+// CampaignCounts tallies one attack type.
+type CampaignCounts struct {
+	Attempts int `json:"attempts"`
+	Blocked  int `json:"blocked"`
+}
+
+// CampaignResult is the outcome of a full attack campaign.
+type CampaignResult struct {
+	PerType map[AttackType]CampaignCounts `json:"per_type"`
+	// Legitimate sensitive commands issued from legal scenes, and how many
+	// the IDS wrongly blocked.
+	LegitAttempts int `json:"legit_attempts"`
+	LegitBlocked  int `json:"legit_blocked"`
+}
+
+// BlockRate returns the fraction of all attack attempts intercepted.
+func (r CampaignResult) BlockRate() float64 {
+	var attempts, blocked int
+	for _, c := range r.PerType {
+		attempts += c.Attempts
+		blocked += c.Blocked
+	}
+	if attempts == 0 {
+		return 0
+	}
+	return float64(blocked) / float64(attempts)
+}
+
+// FalseBlockRate returns the fraction of legitimate commands wrongly
+// rejected.
+func (r CampaignResult) FalseBlockRate() float64 {
+	if r.LegitAttempts == 0 {
+		return 0
+	}
+	return float64(r.LegitBlocked) / float64(r.LegitAttempts)
+}
+
+// Campaign runs a mixed attack campaign against a live deployment: per
+// round, every attack type stages its context in the home and fires its
+// sensitive instruction through the IDS gate; interleaved, legitimate
+// commands are issued from legal scenes. Uses the suite's trained memory.
+func (s *Suite) Campaign(rounds int) (CampaignResult, error) {
+	if rounds <= 0 {
+		return CampaignResult{}, fmt.Errorf("eval: rounds must be positive")
+	}
+	h, err := home.NewStandard(home.EnvConfig{Seed: s.Config.Seed + 101})
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	detector, err := core.DefaultDetector()
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	framework, err := core.New(core.Config{
+		Detector:  detector,
+		Collector: &core.SimCollector{Env: h.Env()},
+		Memory:    s.Memory,
+	})
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	registry := instr.BuiltinRegistry()
+	rng := rand.New(rand.NewSource(s.Config.Seed + 202))
+
+	res := CampaignResult{PerType: make(map[AttackType]CampaignCounts, len(campaignAttacks))}
+	fire := func(m dataset.Model, op, device string, ctx sensor.Snapshot) (blocked bool, err error) {
+		h.Env().Apply(ctx)
+		in, err := registry.Build(op, device, instr.OriginUnknown, nil)
+		if err != nil {
+			return false, err
+		}
+		dec, err := framework.Authorize(in)
+		if err != nil {
+			return false, err
+		}
+		if dec.Allowed {
+			// The instruction executes — the attack (or legit command)
+			// reaches the device.
+			if err := h.Execute(in); err != nil {
+				return false, err
+			}
+		}
+		return !dec.Allowed, nil
+	}
+
+	for round := 0; round < rounds; round++ {
+		for _, a := range campaignAttacks {
+			ctx, err := dataset.AttackScene(a.Model, rng)
+			if err != nil {
+				return CampaignResult{}, err
+			}
+			blocked, err := fire(a.Model, a.Op, a.Device, ctx)
+			if err != nil {
+				return CampaignResult{}, err
+			}
+			c := res.PerType[a.Type]
+			c.Attempts++
+			if blocked {
+				c.Blocked++
+			}
+			res.PerType[a.Type] = c
+
+			// A legitimate use of the same instruction, from a legal scene.
+			legalCtx, err := dataset.LegalScene(a.Model, rng)
+			if err != nil {
+				return CampaignResult{}, err
+			}
+			blocked, err = fire(a.Model, a.Op, a.Device, legalCtx)
+			if err != nil {
+				return CampaignResult{}, err
+			}
+			res.LegitAttempts++
+			if blocked {
+				res.LegitBlocked++
+			}
+		}
+	}
+	return res, nil
+}
+
+// RenderCampaign formats the campaign outcome.
+func (s *Suite) RenderCampaign(rounds int) (string, error) {
+	r, err := s.Campaign(rounds)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Attack campaign — %d rounds across six attack classes\n", rounds)
+	types := make([]string, 0, len(r.PerType))
+	for t := range r.PerType {
+		types = append(types, string(t))
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		c := r.PerType[AttackType(t)]
+		fmt.Fprintf(&b, "  %-24s blocked %3d/%3d (%.0f%%)\n", t, c.Blocked, c.Attempts,
+			100*float64(c.Blocked)/float64(c.Attempts))
+	}
+	fmt.Fprintf(&b, "  overall interception %.1f%%, legitimate commands wrongly blocked %.1f%%\n",
+		100*r.BlockRate(), 100*r.FalseBlockRate())
+	return b.String(), nil
+}

@@ -1,0 +1,112 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"iotsid/internal/dataset"
+	"iotsid/internal/mlearn/tree"
+)
+
+// Fig5Point is one point of the popularity curve: a strategy rank and its
+// user count.
+type Fig5Point struct {
+	Rank  int
+	Users int
+}
+
+// Fig5 reproduces the per-strategy user-count distribution (sampled at
+// informative ranks).
+func (s *Suite) Fig5() []Fig5Point {
+	counts := dataset.UserCounts(s.Corpus)
+	ranks := []int{1, 2, 3, 5, 10, 20, 50, 100, 200, 400, 804}
+	out := make([]Fig5Point, 0, len(ranks))
+	for _, r := range ranks {
+		if r <= len(counts) {
+			out = append(out, Fig5Point{Rank: r, Users: counts[r-1]})
+		}
+	}
+	return out
+}
+
+// RenderFig5 formats Fig 5.
+func (s *Suite) RenderFig5() string {
+	var b strings.Builder
+	b.WriteString("Fig 5 — user usage of different strategies (rank → users)\n")
+	for _, p := range s.Fig5() {
+		fmt.Fprintf(&b, "  rank %4d: %6d users\n", p.Rank, p.Users)
+	}
+	return b.String()
+}
+
+// Fig6 returns the window model's feature weights — the paper's
+// representative feature-weight map.
+func (s *Suite) Fig6() ([]tree.Weight, error) {
+	e, ok := s.Memory.Entry(dataset.ModelWindow)
+	if !ok {
+		return nil, fmt.Errorf("eval: window model not trained")
+	}
+	return e.Weights, nil
+}
+
+// RenderFig6 formats Fig 6.
+func (s *Suite) RenderFig6() string {
+	weights, err := s.Fig6()
+	if err != nil {
+		return "Fig 6 unavailable: " + err.Error()
+	}
+	var b strings.Builder
+	b.WriteString("Fig 6 — window related attribute feature weight map\n")
+	b.WriteString("  (paper order: smoke > gas > voice > lock > temp > aqi > weather > motion > hour)\n")
+	for _, w := range weights {
+		bar := strings.Repeat("#", int(w.Weight*60+0.5))
+		fmt.Fprintf(&b, "  %-18s %6.4f %s\n", w.Attr, w.Weight, bar)
+	}
+	return b.String()
+}
+
+// Fig7Row is one camera-warning category of Fig 7.
+type Fig7Row struct {
+	Trigger    dataset.WarnTrigger
+	Strategies int
+	SharePct   float64
+}
+
+// Fig7 reproduces the camera warning statistics over the 319
+// warning-related strategies.
+func (s *Suite) Fig7() []Fig7Row {
+	stats := dataset.WarnStats(s.Corpus)
+	total := 0
+	for _, n := range stats {
+		total += n
+	}
+	order := []dataset.WarnTrigger{
+		dataset.WarnDoorWindowOpened, dataset.WarnSmokeFire,
+		dataset.WarnWaterLeak, dataset.WarnGas, dataset.WarnMotion,
+	}
+	out := make([]Fig7Row, 0, len(order))
+	for _, w := range order {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(stats[w]) / float64(total)
+		}
+		out = append(out, Fig7Row{Trigger: w, Strategies: stats[w], SharePct: share})
+	}
+	return out
+}
+
+// RenderFig7 formats Fig 7.
+func (s *Suite) RenderFig7() string {
+	var b strings.Builder
+	rows := s.Fig7()
+	total := 0
+	for _, r := range rows {
+		total += r.Strategies
+	}
+	fmt.Fprintf(&b, "Fig 7 — camera warning statistics (%d strategies, paper: 319)\n", total)
+	for _, r := range rows {
+		bar := strings.Repeat("#", r.Strategies/4)
+		fmt.Fprintf(&b, "  %-22s %4d (%5.1f%%) %s\n", r.Trigger, r.Strategies, r.SharePct, bar)
+	}
+	return b.String()
+}

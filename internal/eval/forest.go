@@ -1,0 +1,85 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"iotsid/internal/dataset"
+	"iotsid/internal/mlearn"
+	"iotsid/internal/mlearn/forest"
+	"iotsid/internal/mlearn/tree"
+)
+
+// ForestRow compares the paper's single decision tree against a random
+// forest on one device model — the model-robustness extension experiment.
+type ForestRow struct {
+	Model     dataset.Model
+	TreeAcc   float64
+	ForestAcc float64
+	TreeAUC   float64
+	ForestAUC float64
+}
+
+// ForestComparison trains both models per device under the paper's
+// protocol and reports test accuracy and ROC AUC.
+func (s *Suite) ForestComparison() ([]ForestRow, error) {
+	out := make([]ForestRow, 0, len(dataset.Models()))
+	for _, m := range dataset.Models() {
+		d, err := s.DatasetFor(m)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(s.Config.TrainSeed))
+		train, test, err := d.SplitStratified(0.7, rng)
+		if err != nil {
+			return nil, err
+		}
+		balanced, err := mlearn.OversampleRandom(train, rng)
+		if err != nil {
+			return nil, err
+		}
+
+		single := tree.New(tree.Config{MinSamplesLeaf: 5})
+		if err := single.Fit(balanced); err != nil {
+			return nil, fmt.Errorf("tree %s: %w", m, err)
+		}
+		ensemble := forest.New(forest.Config{Trees: 25, Seed: s.Config.TrainSeed,
+			Tree: tree.Config{MinSamplesLeaf: 3}})
+		if err := ensemble.Fit(balanced); err != nil {
+			return nil, fmt.Errorf("forest %s: %w", m, err)
+		}
+
+		row := ForestRow{Model: m}
+		row.TreeAcc = mlearn.Evaluate(single, test).Accuracy()
+		row.ForestAcc = mlearn.Evaluate(ensemble, test).Accuracy()
+		if _, auc, err := mlearn.ROC(mlearn.ProbaScorer(single.PredictProba), test); err == nil {
+			row.TreeAUC = auc
+		} else {
+			return nil, fmt.Errorf("tree ROC %s: %w", m, err)
+		}
+		if _, auc, err := mlearn.ROC(mlearn.ProbaScorer(ensemble.PredictProba), test); err == nil {
+			row.ForestAUC = auc
+		} else {
+			return nil, fmt.Errorf("forest ROC %s: %w", m, err)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderForestComparison formats the extension experiment.
+func (s *Suite) RenderForestComparison() (string, error) {
+	rows, err := s.ForestComparison()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Extension — single tree vs random forest (test accuracy / ROC AUC)\n")
+	fmt.Fprintf(&b, "  %-20s %10s %10s %10s %10s\n", "model", "tree acc", "forest acc", "tree AUC", "forest AUC")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-20s %10.4f %10.4f %10.4f %10.4f\n",
+			r.Model, r.TreeAcc, r.ForestAcc, r.TreeAUC, r.ForestAUC)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,79 @@
+// Package eval is the experiment harness: one runner per table and figure
+// of the paper's evaluation, each producing the same rows/series the paper
+// reports, plus the ablations DESIGN.md calls out. Every runner is
+// deterministic under the suite's fixed seeds.
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"iotsid/internal/core"
+	"iotsid/internal/dataset"
+	"iotsid/internal/survey"
+)
+
+// Config seeds the whole evaluation pipeline.
+type Config struct {
+	Seed        int64
+	SurveyN     int // questionnaire population; default 340 (the paper's)
+	CorpusSeed  int64
+	DatasetSeed int64
+	TrainSeed   int64
+}
+
+// DefaultConfig is the configuration every reported number uses.
+func DefaultConfig() Config {
+	return Config{Seed: 2021, SurveyN: 340, CorpusSeed: 1, DatasetSeed: 42, TrainSeed: 9}
+}
+
+func (c Config) withDefaults() Config {
+	if c.SurveyN == 0 {
+		c.SurveyN = 340
+	}
+	if c.CorpusSeed == 0 {
+		c.CorpusSeed = 1
+	}
+	if c.DatasetSeed == 0 {
+		c.DatasetSeed = 42
+	}
+	if c.TrainSeed == 0 {
+		c.TrainSeed = 9
+	}
+	return c
+}
+
+// Suite holds everything the experiments share: the questionnaire results,
+// the strategy corpus, the built datasets and the trained feature memory.
+type Suite struct {
+	Config  Config
+	Survey  survey.Results
+	Corpus  []dataset.Strategy
+	Memory  *core.FeatureMemory
+	builder dataset.BuildConfig
+}
+
+// NewSuite runs the shared pipeline once: simulate the questionnaire,
+// generate the corpus, build per-model datasets, train the feature memory.
+func NewSuite(cfg Config) (*Suite, error) {
+	cfg = cfg.withDefaults()
+	pop, err := survey.Simulate(survey.DefaultProfile(), cfg.SurveyN, survey.ModeQuota,
+		rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, fmt.Errorf("eval: survey: %w", err)
+	}
+	res, err := survey.Aggregate(pop)
+	if err != nil {
+		return nil, fmt.Errorf("eval: aggregate: %w", err)
+	}
+	corpus, err := dataset.Corpus(dataset.CorpusConfig{Seed: cfg.CorpusSeed})
+	if err != nil {
+		return nil, fmt.Errorf("eval: corpus: %w", err)
+	}
+	bcfg := dataset.BuildConfig{Seed: cfg.DatasetSeed}
+	memory, err := core.Train(corpus, bcfg, core.TrainConfig{Seed: cfg.TrainSeed})
+	if err != nil {
+		return nil, fmt.Errorf("eval: train: %w", err)
+	}
+	return &Suite{Config: cfg, Survey: res, Corpus: corpus, Memory: memory, builder: bcfg}, nil
+}

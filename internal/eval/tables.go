@@ -1,0 +1,280 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"iotsid/internal/core"
+	"iotsid/internal/dataset"
+	"iotsid/internal/instr"
+	"iotsid/internal/mlearn"
+)
+
+// TableIRow is one device-category row of Table I.
+type TableIRow struct {
+	Index    int
+	Category instr.Category
+	Title    string
+	Examples string
+}
+
+// TableI reproduces the device taxonomy.
+func TableI() []TableIRow {
+	examples := map[instr.Category]string{
+		instr.CatAlarm:           "smoke and fire alarms, flood sensor alarms, combustible gas detection alarms",
+		instr.CatKitchen:         "smart rice cooker, smart dishwasher, smart oven, refrigerator",
+		instr.CatEntertainment:   "TVs, stereos",
+		instr.CatAirConditioning: "air conditioner, thermostat",
+		instr.CatCurtain:         "curtains, blinds",
+		instr.CatLighting:        "lamp",
+		instr.CatWindowDoorLock:  "smart door locks, doors and windows",
+		instr.CatVacuum:          "smart vacuum cleaner, smart lawn mower",
+		instr.CatCamera:          "security camera",
+	}
+	out := make([]TableIRow, 0, 9)
+	for i, c := range instr.Categories() {
+		out = append(out, TableIRow{Index: i + 1, Category: c, Title: c.Title(), Examples: examples[c]})
+	}
+	return out
+}
+
+// RenderTableI formats Table I.
+func RenderTableI() string {
+	var b strings.Builder
+	b.WriteString("Table I — the main equipment and classification of IoT smart home\n")
+	for _, r := range TableI() {
+		fmt.Fprintf(&b, "  %d. %-28s (%s)\n", r.Index, r.Title, r.Examples)
+	}
+	return b.String()
+}
+
+// TableII reproduces the questionnaire form (per-category threat questions,
+// Table II's shape).
+func TableII(c instr.Category) []string {
+	return []string{
+		fmt.Sprintf("[Equipment type %d] %s", int(c), c.Title()),
+		"Q1: The CONTROL instructions on this type of equipment are: (high threat / low threat / non-threatening)",
+		"Q2: The STATUS-ACQUISITION instructions on this type of equipment are: (high threat / low threat / non-threatening)",
+	}
+}
+
+// TableIIIRow is one row of Table III: the control-instruction threat split
+// for one category, plus whether it crosses the sensitive threshold.
+type TableIIIRow struct {
+	Category  instr.Category
+	Title     string
+	HighPct   float64
+	LowPct    float64
+	NonePct   float64
+	Sensitive bool
+}
+
+// TableIII reproduces the questionnaire aggregation.
+func (s *Suite) TableIII() []TableIIIRow {
+	out := make([]TableIIIRow, 0, 9)
+	for _, c := range instr.Categories() {
+		sh := s.Survey.Control[c]
+		out = append(out, TableIIIRow{
+			Category: c, Title: c.Title(),
+			HighPct: sh.High, LowPct: sh.Low, NonePct: sh.None,
+			Sensitive: s.Survey.IsSensitive(c),
+		})
+	}
+	return out
+}
+
+// RenderTableIII formats Table III.
+func (s *Suite) RenderTableIII() string {
+	var b strings.Builder
+	b.WriteString("Table III — threat situation of control instructions (340 users)\n")
+	fmt.Fprintf(&b, "  %-28s %8s %8s %8s  sensitive\n", "Equipment category", "High", "Low", "None")
+	for _, r := range s.TableIII() {
+		mark := ""
+		if r.Sensitive {
+			mark = "yes"
+		}
+		fmt.Fprintf(&b, "  %-28s %7.2f%% %7.2f%% %7.2f%%  %s\n", r.Title, r.HighPct, r.LowPct, r.NonePct, mark)
+	}
+	return b.String()
+}
+
+// Fig4Stats are the two headline questionnaire aggregates of Fig 4.
+type Fig4Stats struct {
+	ControlWorsePct float64 // paper: 85.29 %
+	CoveredPct      float64 // paper: 91.18 %
+	// StatusHighPct is the mean share of high-threat votes for status
+	// instructions across categories — the contrast Fig 4 draws.
+	ControlHighMeanPct float64
+	StatusHighMeanPct  float64
+}
+
+// Fig4 reproduces the threat investigation statistics.
+func (s *Suite) Fig4() Fig4Stats {
+	var ctrlSum, statSum float64
+	for _, c := range instr.Categories() {
+		ctrlSum += s.Survey.Control[c].High
+		statSum += s.Survey.Status[c].High
+	}
+	n := float64(len(instr.Categories()))
+	return Fig4Stats{
+		ControlWorsePct:    s.Survey.ControlWorsePct,
+		CoveredPct:         s.Survey.CoveredPct,
+		ControlHighMeanPct: ctrlSum / n,
+		StatusHighMeanPct:  statSum / n,
+	}
+}
+
+// RenderFig4 formats Fig 4.
+func (s *Suite) RenderFig4() string {
+	f := s.Fig4()
+	var b strings.Builder
+	b.WriteString("Fig 4 — threat investigation statistics\n")
+	fmt.Fprintf(&b, "  users rating control > status threat: %.2f%% (paper: 85.29%%)\n", f.ControlWorsePct)
+	fmt.Fprintf(&b, "  users fully covered by Table I list:  %.2f%% (paper: 91.18%%)\n", f.CoveredPct)
+	fmt.Fprintf(&b, "  mean high-threat share, control: %.2f%% vs status: %.2f%%\n",
+		f.ControlHighMeanPct, f.StatusHighMeanPct)
+	return b.String()
+}
+
+// TableIV returns sample automation strategies (the corpus' Table IV-style
+// entries): the n most popular.
+func (s *Suite) TableIV(n int) []dataset.Strategy {
+	sorted := make([]dataset.Strategy, len(s.Corpus))
+	copy(sorted, s.Corpus)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j-1].Users < sorted[j].Users; j-- {
+			sorted[j-1], sorted[j] = sorted[j], sorted[j-1]
+		}
+	}
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	return sorted[:n]
+}
+
+// RenderTableIV formats Table IV.
+func (s *Suite) RenderTableIV() string {
+	var b strings.Builder
+	b.WriteString("Table IV — customized automation strategies (most popular)\n")
+	for _, st := range s.TableIV(5) {
+		fmt.Fprintf(&b, "  [%6d users] %s\n", st.Users, st.RuleText)
+	}
+	return b.String()
+}
+
+// TableVCheck verifies the five metric equations of Table V on a concrete
+// confusion matrix and returns the computed values.
+type TableVCheck struct {
+	Matrix    mlearn.Confusion
+	Accuracy  float64
+	Recall    float64
+	Precision float64
+	FPR       float64
+	FNR       float64
+}
+
+// TableV demonstrates equations (1)–(5).
+func TableV() TableVCheck {
+	m := mlearn.Confusion{TP: 80, TN: 12, FP: 1, FN: 7}
+	return TableVCheck{
+		Matrix:    m,
+		Accuracy:  m.Accuracy(),
+		Recall:    m.Recall(),
+		Precision: m.Precision(),
+		FPR:       m.FPR(),
+		FNR:       m.FNR(),
+	}
+}
+
+// TableVIRow is one device-model row of Table VI.
+type TableVIRow struct {
+	Model    dataset.Model
+	Title    string
+	TrainAcc float64
+	TestAcc  float64
+	Recall   float64
+	Prec     float64
+	FPR      float64
+	FNR      float64
+	CVMean   float64
+}
+
+// paperTableVI holds the paper's reported Table VI values for side-by-side
+// rendering.
+var paperTableVI = map[dataset.Model]TableVIRow{
+	dataset.ModelWindow:  {TrainAcc: 0.9901, TestAcc: 0.9385, Recall: 0.93694, Prec: 0.9905, FPR: 0.0526, FNR: 0.0631},
+	dataset.ModelAircon:  {TrainAcc: 1.0, TestAcc: 0.9481, Recall: 0.9333, Prec: 1.0, FPR: 0.0, FNR: 0.0667},
+	dataset.ModelLight:   {TrainAcc: 0.9075, TestAcc: 0.8923, Recall: 0.9375, Prec: 1.0, FPR: 0.0, FNR: 0.0625},
+	dataset.ModelCurtain: {TrainAcc: 0.9796, TestAcc: 0.9545, Recall: 0.9412, Prec: 1.0, FPR: 0.0, FNR: 0.0588},
+	dataset.ModelTV:      {TrainAcc: 1.0, TestAcc: 0.9473, Recall: 0.9444, Prec: 1.0, FPR: 0.0, FNR: 0.0556},
+	dataset.ModelKitchen: {TrainAcc: 1.0, TestAcc: 0.9643, Recall: 0.9630, Prec: 1.0, FPR: 0.0, FNR: 0.0370},
+}
+
+// PaperTableVI returns the paper's reported row for a model.
+func PaperTableVI(m dataset.Model) TableVIRow { return paperTableVI[m] }
+
+// TableVI reproduces the headline evaluation from the trained memory.
+func (s *Suite) TableVI() []TableVIRow {
+	out := make([]TableVIRow, 0, 6)
+	for _, m := range dataset.Models() {
+		e, ok := s.Memory.Entry(m)
+		if !ok {
+			continue
+		}
+		r := e.Report
+		out = append(out, TableVIRow{
+			Model: m, Title: m.Title(),
+			TrainAcc: r.TrainAccuracy, TestAcc: r.TestAccuracy,
+			Recall: r.Recall, Prec: r.Precision, FPR: r.FPR, FNR: r.FNR,
+			CVMean: r.CVMeanAcc,
+		})
+	}
+	return out
+}
+
+// RenderTableVI formats Table VI with the paper's numbers alongside.
+func (s *Suite) RenderTableVI() string {
+	var b strings.Builder
+	b.WriteString("Table VI — smart home device model effect (measured | paper)\n")
+	fmt.Fprintf(&b, "  %-20s %-15s %-15s %-15s %-15s %-15s %-15s\n",
+		"Equipment model", "train acc", "test acc", "recall", "precision", "false alarm", "false negative")
+	for _, r := range s.TableVI() {
+		p := paperTableVI[r.Model]
+		cell := func(got, want float64) string { return fmt.Sprintf("%.4f|%.4f", got, want) }
+		fmt.Fprintf(&b, "  %-20s %-15s %-15s %-15s %-15s %-15s %-15s\n",
+			r.Title, cell(r.TrainAcc, p.TrainAcc), cell(r.TestAcc, p.TestAcc),
+			cell(r.Recall, p.Recall), cell(r.Prec, p.Prec), cell(r.FPR, p.FPR), cell(r.FNR, p.FNR))
+	}
+	return b.String()
+}
+
+// DatasetFor rebuilds one model's dataset under the suite's seeds (for
+// ablations and benchmarks).
+func (s *Suite) DatasetFor(m dataset.Model) (*mlearn.Dataset, error) {
+	idx := 0
+	for i, mm := range dataset.Models() {
+		if mm == m {
+			idx = i
+		}
+	}
+	cfg := s.builder
+	cfg.Seed = s.builder.Seed + int64(idx)*7919
+	return dataset.Build(m, s.Corpus, cfg)
+}
+
+// TrainReport re-trains one model and returns its report (ablation entry
+// point).
+func (s *Suite) TrainReport(m dataset.Model, tcfg core.TrainConfig) (core.Report, error) {
+	d, err := s.DatasetFor(m)
+	if err != nil {
+		return core.Report{}, err
+	}
+	if tcfg.Seed == 0 {
+		tcfg.Seed = s.Config.TrainSeed
+	}
+	e, err := core.TrainModel(m, d, tcfg)
+	if err != nil {
+		return core.Report{}, err
+	}
+	return e.Report, nil
+}

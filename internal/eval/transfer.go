@@ -1,0 +1,78 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"iotsid/internal/dataset"
+	"iotsid/internal/mlearn"
+)
+
+// TransferRow reports how one trained model performs on data generated for
+// an entirely different home (fresh generator seed): the §VI deployment
+// question — does a model trained on one installation's strategies
+// generalise to another's?
+type TransferRow struct {
+	Model    dataset.Model
+	Seed     int64
+	Accuracy float64
+	FNR      float64
+	FPR      float64
+}
+
+// Transfer evaluates the suite's trained memory against freshly generated
+// homes, one per seed.
+func (s *Suite) Transfer(seeds []int64) ([]TransferRow, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("eval: no transfer seeds")
+	}
+	var out []TransferRow
+	for _, m := range dataset.Models() {
+		entry, ok := s.Memory.Entry(m)
+		if !ok {
+			return nil, fmt.Errorf("eval: model %s not trained", m)
+		}
+		for _, seed := range seeds {
+			d, err := dataset.Build(m, s.Corpus, dataset.BuildConfig{Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			ev := mlearn.Evaluate(entry.Tree, d)
+			out = append(out, TransferRow{
+				Model: m, Seed: seed,
+				Accuracy: ev.Accuracy(), FNR: ev.FNR(), FPR: ev.FPR(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderTransfer formats the transfer experiment.
+func (s *Suite) RenderTransfer(seeds []int64) (string, error) {
+	rows, err := s.Transfer(seeds)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Transfer — trained models evaluated on %d fresh homes\n", len(seeds))
+	byModel := make(map[dataset.Model][]TransferRow)
+	for _, r := range rows {
+		byModel[r.Model] = append(byModel[r.Model], r)
+	}
+	for _, m := range dataset.Models() {
+		var min, max, sum float64
+		min = 1
+		for _, r := range byModel[m] {
+			sum += r.Accuracy
+			if r.Accuracy < min {
+				min = r.Accuracy
+			}
+			if r.Accuracy > max {
+				max = r.Accuracy
+			}
+		}
+		n := float64(len(byModel[m]))
+		fmt.Fprintf(&b, "  %-20s accuracy mean %.4f (min %.4f, max %.4f)\n", m, sum/n, min, max)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,565 @@
+package home
+
+import (
+	"fmt"
+
+	"iotsid/internal/instr"
+)
+
+// Device is an actuating smart-home appliance. Execute applies a control or
+// status instruction; State exposes the device's raw vendor-style state map
+// for the protocol substrates to serve.
+type Device interface {
+	ID() string
+	Category() instr.Category
+	Execute(in instr.Instruction) error
+	State() map[string]any
+}
+
+// OpError reports an opcode a device does not implement.
+type OpError struct {
+	DeviceID string
+	Op       string
+}
+
+// Error implements error.
+func (e *OpError) Error() string {
+	return fmt.Sprintf("home: device %q does not implement op %q", e.DeviceID, e.Op)
+}
+
+type baseDevice struct {
+	id  string
+	cat instr.Category
+	env *Environment
+}
+
+func (d *baseDevice) ID() string               { return d.id }
+func (d *baseDevice) Category() instr.Category { return d.cat }
+
+// WindowActuator opens and closes a motorised window.
+type WindowActuator struct{ baseDevice }
+
+// NewWindowActuator builds a window actuator bound to the environment.
+func NewWindowActuator(id string, env *Environment) *WindowActuator {
+	return &WindowActuator{baseDevice{id: id, cat: instr.CatWindowDoorLock, env: env}}
+}
+
+// Execute applies window.open / window.close / window.get_state.
+func (d *WindowActuator) Execute(in instr.Instruction) error {
+	d.env.mu.Lock()
+	defer d.env.mu.Unlock()
+	switch in.Op {
+	case "window.open":
+		d.env.windowOpen = true
+	case "window.close":
+		d.env.windowOpen = false
+	case "window.get_state":
+		// Status read; no mutation.
+	default:
+		return &OpError{DeviceID: d.id, Op: in.Op}
+	}
+	return nil
+}
+
+// State reports the window contact.
+func (d *WindowActuator) State() map[string]any {
+	d.env.mu.Lock()
+	defer d.env.mu.Unlock()
+	status := "close"
+	if d.env.windowOpen {
+		status = "open"
+	}
+	return map[string]any{"status": status}
+}
+
+// DoorLock is a smart lock plus door actuator.
+type DoorLock struct{ baseDevice }
+
+// NewDoorLock builds a smart lock bound to the environment.
+func NewDoorLock(id string, env *Environment) *DoorLock {
+	return &DoorLock{baseDevice{id: id, cat: instr.CatWindowDoorLock, env: env}}
+}
+
+// Execute applies lock/door control and status ops.
+func (d *DoorLock) Execute(in instr.Instruction) error {
+	d.env.mu.Lock()
+	defer d.env.mu.Unlock()
+	switch in.Op {
+	case "lock.lock":
+		d.env.doorLocked = true
+	case "lock.unlock":
+		d.env.doorLocked = false
+	case "door.open":
+		d.env.doorOpen = true
+		d.env.doorLocked = false
+	case "door.close":
+		d.env.doorOpen = false
+	case "lock.get_state", "door.get_state":
+	default:
+		return &OpError{DeviceID: d.id, Op: in.Op}
+	}
+	return nil
+}
+
+// State reports lock and door contact.
+func (d *DoorLock) State() map[string]any {
+	d.env.mu.Lock()
+	defer d.env.mu.Unlock()
+	lock := float64(0)
+	if d.env.doorLocked {
+		lock = 1
+	}
+	door := "close"
+	if d.env.doorOpen {
+		door = "open"
+	}
+	return map[string]any{"lock_state": lock, "door_status": door}
+}
+
+// Light is a dimmable smart lamp.
+type Light struct {
+	baseDevice
+	on         bool
+	brightness int // 0..100
+}
+
+// NewLight builds a lamp bound to the environment.
+func NewLight(id string, env *Environment) *Light {
+	return &Light{baseDevice: baseDevice{id: id, cat: instr.CatLighting, env: env}, brightness: 100}
+}
+
+// Execute applies light control and status ops.
+func (d *Light) Execute(in instr.Instruction) error {
+	d.env.mu.Lock()
+	defer d.env.mu.Unlock()
+	switch in.Op {
+	case "light.on":
+		d.setOn(true)
+	case "light.off":
+		d.setOn(false)
+	case "light.toggle":
+		d.setOn(!d.on)
+	case "light.set_brightness":
+		b, ok := numArg(in.Args, "brightness")
+		if !ok || b < 0 || b > 100 {
+			return fmt.Errorf("home: light %q: invalid brightness arg", d.id)
+		}
+		d.brightness = int(b)
+	case "light.set_color":
+		if _, ok := in.Args["color"]; !ok {
+			return fmt.Errorf("home: light %q: missing color arg", d.id)
+		}
+	case "light.get_state":
+	default:
+		return &OpError{DeviceID: d.id, Op: in.Op}
+	}
+	return nil
+}
+
+func (d *Light) setOn(on bool) {
+	if on == d.on {
+		return
+	}
+	d.on = on
+	if on {
+		d.env.lightsOn++
+		d.env.devicePower += 9
+	} else {
+		d.env.lightsOn--
+		d.env.devicePower -= 9
+	}
+}
+
+// State reports power and brightness.
+func (d *Light) State() map[string]any {
+	d.env.mu.Lock()
+	defer d.env.mu.Unlock()
+	power := "off"
+	if d.on {
+		power = "on"
+	}
+	return map[string]any{"power": power, "brightness": float64(d.brightness)}
+}
+
+// AirConditioner drives the HVAC.
+type AirConditioner struct{ baseDevice }
+
+// NewAirConditioner builds an AC bound to the environment.
+func NewAirConditioner(id string, env *Environment) *AirConditioner {
+	return &AirConditioner{baseDevice{id: id, cat: instr.CatAirConditioning, env: env}}
+}
+
+// Execute applies AC/thermostat control and status ops.
+func (d *AirConditioner) Execute(in instr.Instruction) error {
+	d.env.mu.Lock()
+	defer d.env.mu.Unlock()
+	switch in.Op {
+	case "aircon.on":
+		if d.env.hvac == HVACOff {
+			d.env.hvac = HVACCool
+			d.env.devicePower += 900
+		}
+	case "aircon.off":
+		if d.env.hvac != HVACOff {
+			d.env.hvac = HVACOff
+			d.env.devicePower -= 900
+		}
+	case "aircon.set_cool":
+		if d.env.hvac == HVACOff {
+			d.env.devicePower += 900
+		}
+		d.env.hvac = HVACCool
+	case "aircon.set_heat":
+		if d.env.hvac == HVACOff {
+			d.env.devicePower += 900
+		}
+		d.env.hvac = HVACHeat
+	case "aircon.set_temp", "thermostat.set_target":
+		t, ok := numArg(in.Args, "target")
+		if !ok || t < 10 || t > 32 {
+			return fmt.Errorf("home: aircon %q: invalid target arg", d.id)
+		}
+		d.env.hvacTarget = t
+	case "aircon.get_state", "thermostat.get_temp":
+	default:
+		return &OpError{DeviceID: d.id, Op: in.Op}
+	}
+	return nil
+}
+
+// State reports HVAC mode and target.
+func (d *AirConditioner) State() map[string]any {
+	d.env.mu.Lock()
+	defer d.env.mu.Unlock()
+	mode := "off"
+	switch d.env.hvac {
+	case HVACCool:
+		mode = "cool"
+	case HVACHeat:
+		mode = "heat"
+	}
+	return map[string]any{"mode": mode, "target": d.env.hvacTarget, "indoor_temp": round1(d.env.tempIn)}
+}
+
+// Curtain is a motorised curtain.
+type Curtain struct{ baseDevice }
+
+// NewCurtain builds a curtain bound to the environment.
+func NewCurtain(id string, env *Environment) *Curtain {
+	return &Curtain{baseDevice{id: id, cat: instr.CatCurtain, env: env}}
+}
+
+// Execute applies curtain control and status ops.
+func (d *Curtain) Execute(in instr.Instruction) error {
+	d.env.mu.Lock()
+	defer d.env.mu.Unlock()
+	switch in.Op {
+	case "curtain.open":
+		d.env.curtainPos = 1
+	case "curtain.close":
+		d.env.curtainPos = 0
+	case "curtain.set_position":
+		p, ok := numArg(in.Args, "position")
+		if !ok || p < 0 || p > 100 {
+			return fmt.Errorf("home: curtain %q: invalid position arg", d.id)
+		}
+		d.env.curtainPos = p / 100
+	case "blind.tilt":
+	case "curtain.get_position":
+	default:
+		return &OpError{DeviceID: d.id, Op: in.Op}
+	}
+	return nil
+}
+
+// State reports curtain position in percent.
+func (d *Curtain) State() map[string]any {
+	d.env.mu.Lock()
+	defer d.env.mu.Unlock()
+	return map[string]any{"position": round1(d.env.curtainPos * 100)}
+}
+
+// TV is the entertainment device.
+type TV struct {
+	baseDevice
+	volume  int
+	channel int
+}
+
+// NewTV builds a TV bound to the environment.
+func NewTV(id string, env *Environment) *TV {
+	return &TV{baseDevice: baseDevice{id: id, cat: instr.CatEntertainment, env: env}, volume: 30, channel: 1}
+}
+
+// Execute applies TV/stereo control and status ops.
+func (d *TV) Execute(in instr.Instruction) error {
+	d.env.mu.Lock()
+	defer d.env.mu.Unlock()
+	switch in.Op {
+	case "tv.on", "stereo.play":
+		if !d.env.tvOn {
+			d.env.tvOn = true
+			d.env.devicePower += 120
+		}
+	case "tv.off", "stereo.pause":
+		if d.env.tvOn {
+			d.env.tvOn = false
+			d.env.devicePower -= 120
+		}
+	case "tv.set_volume", "stereo.set_volume":
+		v, ok := numArg(in.Args, "volume")
+		if !ok || v < 0 || v > 100 {
+			return fmt.Errorf("home: tv %q: invalid volume arg", d.id)
+		}
+		d.volume = int(v)
+	case "tv.set_channel":
+		c, ok := numArg(in.Args, "channel")
+		if !ok || c < 1 {
+			return fmt.Errorf("home: tv %q: invalid channel arg", d.id)
+		}
+		d.channel = int(c)
+	case "tv.get_state", "stereo.get_state":
+	default:
+		return &OpError{DeviceID: d.id, Op: in.Op}
+	}
+	return nil
+}
+
+// State reports power, volume and channel.
+func (d *TV) State() map[string]any {
+	d.env.mu.Lock()
+	defer d.env.mu.Unlock()
+	power := "off"
+	if d.env.tvOn {
+		power = "on"
+	}
+	return map[string]any{"power": power, "volume": float64(d.volume), "channel": float64(d.channel)}
+}
+
+// Cooker is the kitchen appliance cluster (rice cooker / oven / dishwasher).
+type Cooker struct {
+	baseDevice
+	mode string
+}
+
+// NewCooker builds a kitchen appliance bound to the environment.
+func NewCooker(id string, env *Environment) *Cooker {
+	return &Cooker{baseDevice: baseDevice{id: id, cat: instr.CatKitchen, env: env}, mode: "idle"}
+}
+
+// Execute applies kitchen control and status ops.
+func (d *Cooker) Execute(in instr.Instruction) error {
+	d.env.mu.Lock()
+	defer d.env.mu.Unlock()
+	switch in.Op {
+	case "cooker.start", "oven.preheat", "dishwasher.start":
+		if !d.env.cooking {
+			d.env.cooking = true
+			d.env.devicePower += 1500
+		}
+		d.mode = "running"
+	case "cooker.stop", "oven.off", "dishwasher.stop":
+		if d.env.cooking {
+			d.env.cooking = false
+			d.env.devicePower -= 1500
+		}
+		d.mode = "idle"
+	case "cooker.set_mode":
+		m, ok := in.Args["mode"].(string)
+		if !ok || m == "" {
+			return fmt.Errorf("home: cooker %q: missing mode arg", d.id)
+		}
+		d.mode = m
+	case "fridge.set_temp":
+		t, ok := numArg(in.Args, "target")
+		if !ok || t < -25 || t > 10 {
+			return fmt.Errorf("home: cooker %q: invalid fridge target", d.id)
+		}
+	case "cooker.get_state", "oven.get_temp", "fridge.get_temp":
+	default:
+		return &OpError{DeviceID: d.id, Op: in.Op}
+	}
+	return nil
+}
+
+// State reports mode and running flag.
+func (d *Cooker) State() map[string]any {
+	d.env.mu.Lock()
+	defer d.env.mu.Unlock()
+	running := float64(0)
+	if d.env.cooking {
+		running = 1
+	}
+	return map[string]any{"mode": d.mode, "running": running}
+}
+
+// Vacuum is the sweeping robot.
+type Vacuum struct{ baseDevice }
+
+// NewVacuum builds a vacuum bound to the environment.
+func NewVacuum(id string, env *Environment) *Vacuum {
+	return &Vacuum{baseDevice{id: id, cat: instr.CatVacuum, env: env}}
+}
+
+// Execute applies vacuum/mower control and status ops.
+func (d *Vacuum) Execute(in instr.Instruction) error {
+	d.env.mu.Lock()
+	defer d.env.mu.Unlock()
+	switch in.Op {
+	case "vacuum.start", "mower.start":
+		if !d.env.vacuumOn {
+			d.env.vacuumOn = true
+			d.env.devicePower += 60
+		}
+	case "vacuum.stop", "vacuum.dock", "mower.stop":
+		if d.env.vacuumOn {
+			d.env.vacuumOn = false
+			d.env.devicePower -= 60
+		}
+	case "vacuum.get_state":
+	default:
+		return &OpError{DeviceID: d.id, Op: in.Op}
+	}
+	return nil
+}
+
+// State reports running flag.
+func (d *Vacuum) State() map[string]any {
+	d.env.mu.Lock()
+	defer d.env.mu.Unlock()
+	state := "docked"
+	if d.env.vacuumOn {
+		state = "cleaning"
+	}
+	return map[string]any{"state": state}
+}
+
+// Camera is the security camera; it keeps an alert log for the warning
+// linkage experiment (Fig 7).
+type Camera struct {
+	baseDevice
+	recording bool
+	alerts    []string
+}
+
+// NewCamera builds a camera bound to the environment.
+func NewCamera(id string, env *Environment) *Camera {
+	return &Camera{baseDevice: baseDevice{id: id, cat: instr.CatCamera, env: env}}
+}
+
+// Execute applies camera control and status ops.
+func (d *Camera) Execute(in instr.Instruction) error {
+	d.env.mu.Lock()
+	defer d.env.mu.Unlock()
+	switch in.Op {
+	case "camera.on":
+		d.env.cameraOn = true
+	case "camera.off":
+		d.env.cameraOn = false
+	case "camera.record":
+		d.recording = true
+	case "camera.rotate":
+	case "camera.alert_user":
+		msg, _ := in.Args["message"].(string)
+		if msg == "" {
+			msg = "warning"
+		}
+		d.alerts = append(d.alerts, msg)
+	case "camera.get_state", "camera.get_stream":
+	default:
+		return &OpError{DeviceID: d.id, Op: in.Op}
+	}
+	return nil
+}
+
+// Alerts returns a copy of the pushed warnings.
+func (d *Camera) Alerts() []string {
+	d.env.mu.Lock()
+	defer d.env.mu.Unlock()
+	out := make([]string, len(d.alerts))
+	copy(out, d.alerts)
+	return out
+}
+
+// State reports monitoring/recording flags and alert count.
+func (d *Camera) State() map[string]any {
+	d.env.mu.Lock()
+	defer d.env.mu.Unlock()
+	power := "off"
+	if d.env.cameraOn {
+		power = "on"
+	}
+	rec := float64(0)
+	if d.recording {
+		rec = 1
+	}
+	return map[string]any{"power": power, "recording": rec, "alerts": float64(len(d.alerts))}
+}
+
+// AlarmHub arms the home and drives the siren.
+type AlarmHub struct{ baseDevice }
+
+// NewAlarmHub builds an alarm hub bound to the environment.
+func NewAlarmHub(id string, env *Environment) *AlarmHub {
+	return &AlarmHub{baseDevice{id: id, cat: instr.CatAlarm, env: env}}
+}
+
+// Execute applies alarm control and status ops.
+func (d *AlarmHub) Execute(in instr.Instruction) error {
+	d.env.mu.Lock()
+	defer d.env.mu.Unlock()
+	switch in.Op {
+	case "alarm.arm":
+		d.env.alarmArmed = true
+	case "alarm.disarm":
+		d.env.alarmArmed = false
+		d.env.sirenActive = false
+	case "alarm.siren_on":
+		d.env.sirenActive = true
+	case "alarm.siren_off":
+		d.env.sirenActive = false
+	case "alarm.test":
+	case "alarm.get_state", "alarm.get_smoke", "alarm.get_gas", "alarm.get_water":
+	default:
+		return &OpError{DeviceID: d.id, Op: in.Op}
+	}
+	return nil
+}
+
+// State reports arm/siren plus the hazard sensors the hub owns.
+func (d *AlarmHub) State() map[string]any {
+	d.env.mu.Lock()
+	defer d.env.mu.Unlock()
+	return map[string]any{
+		"armed":  boolTo01(d.env.alarmArmed),
+		"siren":  boolTo01(d.env.sirenActive),
+		"smoke":  boolTo01(d.env.smoke),
+		"gas":    boolTo01(d.env.gas),
+		"water":  boolTo01(d.env.waterLeak),
+		"motion": boolTo01(d.env.motion),
+	}
+}
+
+func boolTo01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func numArg(args map[string]any, key string) (float64, bool) {
+	v, ok := args[key]
+	if !ok {
+		return 0, false
+	}
+	switch t := v.(type) {
+	case float64:
+		return t, true
+	case int:
+		return float64(t), true
+	case int64:
+		return float64(t), true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,116 @@
+package instr
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Firmware instruction-table codec. The paper recovers the gateway's
+// instruction set by reverse-engineering its firmware: "all instructions
+// are stored at the address 0x102F80 specified in the firmware (a function
+// + an instruction)" (§IV-A). This file reproduces that artefact: a
+// synthetic firmware image with the instruction table at that address, and
+// the extractor that walks it — so the builtin registry is literally
+// parsed out of a firmware blob, as in the paper.
+
+// FirmwareTableOffset is the file offset of the instruction table.
+const FirmwareTableOffset = 0x102F80
+
+// firmwareMagic marks the start of the instruction table.
+var firmwareMagic = []byte{0x49, 0x4F, 0x54, 0x53} // "IOTS"
+
+// Firmware table entry layout (little endian):
+//
+//	u32 function pointer (vendor code address; opaque)
+//	u8  category
+//	u8  kind
+//	u16 opcode length
+//	...  opcode bytes
+//
+// The table ends with a zero function pointer.
+const entryHeaderSize = 8
+
+// BuildFirmware synthesises a firmware image containing the instruction
+// table at FirmwareTableOffset. Bytes before the table are deterministic
+// filler standing in for vendor code.
+func BuildFirmware(specs []Spec) ([]byte, error) {
+	var table bytes.Buffer
+	table.Write(firmwareMagic)
+	fn := uint32(0x0800_1000) // synthetic vendor code addresses
+	for _, s := range specs {
+		if s.Op == "" {
+			return nil, fmt.Errorf("instr: firmware spec with empty opcode")
+		}
+		if len(s.Op) > 0xFFFF {
+			return nil, fmt.Errorf("instr: opcode %q too long", s.Op[:16])
+		}
+		var hdr [entryHeaderSize]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], fn)
+		hdr[4] = byte(s.Category)
+		hdr[5] = byte(s.Kind)
+		binary.LittleEndian.PutUint16(hdr[6:8], uint16(len(s.Op)))
+		table.Write(hdr[:])
+		table.WriteString(s.Op)
+		fn += 0x40
+	}
+	var term [entryHeaderSize]byte // zero function pointer terminates
+	table.Write(term[:])
+
+	img := make([]byte, FirmwareTableOffset+table.Len())
+	// Deterministic filler so the image looks like code, not zeros.
+	for i := 0; i < FirmwareTableOffset; i++ {
+		img[i] = byte((i*31 + 7) & 0xFF)
+	}
+	copy(img[FirmwareTableOffset:], table.Bytes())
+	return img, nil
+}
+
+// ExtractFirmware walks the instruction table at FirmwareTableOffset and
+// returns the specs it holds — the paper's reverse-analysis step.
+// Descriptions are not stored in firmware and come back empty.
+func ExtractFirmware(img []byte) ([]Spec, error) {
+	if len(img) < FirmwareTableOffset+len(firmwareMagic) {
+		return nil, fmt.Errorf("instr: firmware image too small: %d bytes", len(img))
+	}
+	p := FirmwareTableOffset
+	if !bytes.Equal(img[p:p+len(firmwareMagic)], firmwareMagic) {
+		return nil, fmt.Errorf("instr: no instruction table magic at %#x", FirmwareTableOffset)
+	}
+	p += len(firmwareMagic)
+	var out []Spec
+	for {
+		if p+entryHeaderSize > len(img) {
+			return nil, fmt.Errorf("instr: truncated table entry at %#x", p)
+		}
+		fn := binary.LittleEndian.Uint32(img[p : p+4])
+		if fn == 0 {
+			return out, nil // terminator
+		}
+		cat := Category(img[p+4])
+		kind := Kind(img[p+5])
+		opLen := int(binary.LittleEndian.Uint16(img[p+6 : p+8]))
+		p += entryHeaderSize
+		if p+opLen > len(img) {
+			return nil, fmt.Errorf("instr: truncated opcode at %#x", p)
+		}
+		op := string(img[p : p+opLen])
+		p += opLen
+		if !cat.Valid() {
+			return nil, fmt.Errorf("instr: entry %q has invalid category %d", op, cat)
+		}
+		if kind != KindControl && kind != KindStatus {
+			return nil, fmt.Errorf("instr: entry %q has invalid kind %d", op, kind)
+		}
+		out = append(out, Spec{Op: op, Category: cat, Kind: kind})
+	}
+}
+
+// RegistryFromFirmware extracts the table and builds a registry from it.
+func RegistryFromFirmware(img []byte) (*Registry, error) {
+	specs, err := ExtractFirmware(img)
+	if err != nil {
+		return nil, err
+	}
+	return NewRegistry(specs)
+}

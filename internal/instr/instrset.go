@@ -1,0 +1,108 @@
+package instr
+
+// BuiltinSpecs returns the reproduction of the instruction set extracted
+// from the Xiaomi gateway firmware (one function + one instruction per table
+// entry). Opcodes follow the vendor's `<domain>.<verb>` wire convention.
+// The set spans all nine Table I categories with both control and status
+// instructions per category.
+func BuiltinSpecs() []Spec {
+	return []Spec{
+		// 1. Alarms (smoke / fire, flood, combustible gas).
+		{Op: "alarm.arm", Category: CatAlarm, Kind: KindControl, Description: "arm the alarm hub"},
+		{Op: "alarm.disarm", Category: CatAlarm, Kind: KindControl, Description: "disarm the alarm hub"},
+		{Op: "alarm.siren_on", Category: CatAlarm, Kind: KindControl, Description: "sound the siren"},
+		{Op: "alarm.siren_off", Category: CatAlarm, Kind: KindControl, Description: "silence the siren"},
+		{Op: "alarm.test", Category: CatAlarm, Kind: KindControl, Description: "run a self-test"},
+		{Op: "alarm.get_state", Category: CatAlarm, Kind: KindStatus, Description: "read arm state"},
+		{Op: "alarm.get_smoke", Category: CatAlarm, Kind: KindStatus, Description: "read smoke detector"},
+		{Op: "alarm.get_gas", Category: CatAlarm, Kind: KindStatus, Description: "read gas detector"},
+		{Op: "alarm.get_water", Category: CatAlarm, Kind: KindStatus, Description: "read flood sensor"},
+
+		// 2. Kitchen appliances.
+		{Op: "cooker.start", Category: CatKitchen, Kind: KindControl, Description: "start the rice cooker"},
+		{Op: "cooker.stop", Category: CatKitchen, Kind: KindControl, Description: "stop the rice cooker"},
+		{Op: "cooker.set_mode", Category: CatKitchen, Kind: KindControl, Description: "select cooking program"},
+		{Op: "oven.preheat", Category: CatKitchen, Kind: KindControl, Description: "preheat the oven"},
+		{Op: "oven.off", Category: CatKitchen, Kind: KindControl, Description: "switch the oven off"},
+		{Op: "dishwasher.start", Category: CatKitchen, Kind: KindControl, Description: "start a wash cycle"},
+		{Op: "dishwasher.stop", Category: CatKitchen, Kind: KindControl, Description: "abort the wash cycle"},
+		{Op: "fridge.set_temp", Category: CatKitchen, Kind: KindControl, Description: "set fridge temperature"},
+		{Op: "cooker.get_state", Category: CatKitchen, Kind: KindStatus, Description: "read cooker state"},
+		{Op: "oven.get_temp", Category: CatKitchen, Kind: KindStatus, Description: "read oven temperature"},
+		{Op: "fridge.get_temp", Category: CatKitchen, Kind: KindStatus, Description: "read fridge temperature"},
+
+		// 3. Entertainment (TV, stereo).
+		{Op: "tv.on", Category: CatEntertainment, Kind: KindControl, Description: "switch the TV on"},
+		{Op: "tv.off", Category: CatEntertainment, Kind: KindControl, Description: "switch the TV off"},
+		{Op: "tv.set_channel", Category: CatEntertainment, Kind: KindControl, Description: "change channel"},
+		{Op: "tv.set_volume", Category: CatEntertainment, Kind: KindControl, Description: "set TV volume"},
+		{Op: "stereo.play", Category: CatEntertainment, Kind: KindControl, Description: "start playback"},
+		{Op: "stereo.pause", Category: CatEntertainment, Kind: KindControl, Description: "pause playback"},
+		{Op: "stereo.set_volume", Category: CatEntertainment, Kind: KindControl, Description: "set stereo volume"},
+		{Op: "tv.get_state", Category: CatEntertainment, Kind: KindStatus, Description: "read TV power state"},
+		{Op: "stereo.get_state", Category: CatEntertainment, Kind: KindStatus, Description: "read playback state"},
+
+		// 4. Air conditioner / thermostat.
+		{Op: "aircon.on", Category: CatAirConditioning, Kind: KindControl, Description: "switch the air conditioner on"},
+		{Op: "aircon.off", Category: CatAirConditioning, Kind: KindControl, Description: "switch the air conditioner off"},
+		{Op: "aircon.set_cool", Category: CatAirConditioning, Kind: KindControl, Description: "select cooling mode"},
+		{Op: "aircon.set_heat", Category: CatAirConditioning, Kind: KindControl, Description: "select heating mode"},
+		{Op: "aircon.set_temp", Category: CatAirConditioning, Kind: KindControl, Description: "set target temperature"},
+		{Op: "thermostat.set_target", Category: CatAirConditioning, Kind: KindControl, Description: "set thermostat target"},
+		{Op: "aircon.get_state", Category: CatAirConditioning, Kind: KindStatus, Description: "read AC state"},
+		{Op: "thermostat.get_temp", Category: CatAirConditioning, Kind: KindStatus, Description: "read thermostat temperature"},
+
+		// 5. Curtains, blinds.
+		{Op: "curtain.open", Category: CatCurtain, Kind: KindControl, Description: "open the curtains"},
+		{Op: "curtain.close", Category: CatCurtain, Kind: KindControl, Description: "close the curtains"},
+		{Op: "curtain.set_position", Category: CatCurtain, Kind: KindControl, Description: "move curtains to a position"},
+		{Op: "blind.tilt", Category: CatCurtain, Kind: KindControl, Description: "tilt the blinds"},
+		{Op: "curtain.get_position", Category: CatCurtain, Kind: KindStatus, Description: "read curtain position"},
+
+		// 6. Lamps.
+		{Op: "light.on", Category: CatLighting, Kind: KindControl, Description: "switch the light on"},
+		{Op: "light.off", Category: CatLighting, Kind: KindControl, Description: "switch the light off"},
+		{Op: "light.set_brightness", Category: CatLighting, Kind: KindControl, Description: "set brightness"},
+		{Op: "light.set_color", Category: CatLighting, Kind: KindControl, Description: "set colour"},
+		{Op: "light.toggle", Category: CatLighting, Kind: KindControl, Description: "toggle the light"},
+		{Op: "light.get_state", Category: CatLighting, Kind: KindStatus, Description: "read light state"},
+
+		// 7. Smart door locks, doors and windows.
+		{Op: "window.open", Category: CatWindowDoorLock, Kind: KindControl, Description: "open the window actuator"},
+		{Op: "window.close", Category: CatWindowDoorLock, Kind: KindControl, Description: "close the window actuator"},
+		{Op: "door.open", Category: CatWindowDoorLock, Kind: KindControl, Description: "open the door actuator"},
+		{Op: "door.close", Category: CatWindowDoorLock, Kind: KindControl, Description: "close the door actuator"},
+		{Op: "lock.lock", Category: CatWindowDoorLock, Kind: KindControl, Description: "engage the smart lock"},
+		{Op: "lock.unlock", Category: CatWindowDoorLock, Kind: KindControl, Description: "release the smart lock"},
+		{Op: "window.get_state", Category: CatWindowDoorLock, Kind: KindStatus, Description: "read window contact"},
+		{Op: "door.get_state", Category: CatWindowDoorLock, Kind: KindStatus, Description: "read door contact"},
+		{Op: "lock.get_state", Category: CatWindowDoorLock, Kind: KindStatus, Description: "read lock state"},
+
+		// 8. Vacuum cleaner, lawn mower.
+		{Op: "vacuum.start", Category: CatVacuum, Kind: KindControl, Description: "start cleaning"},
+		{Op: "vacuum.stop", Category: CatVacuum, Kind: KindControl, Description: "stop cleaning"},
+		{Op: "vacuum.dock", Category: CatVacuum, Kind: KindControl, Description: "return to dock"},
+		{Op: "mower.start", Category: CatVacuum, Kind: KindControl, Description: "start mowing"},
+		{Op: "mower.stop", Category: CatVacuum, Kind: KindControl, Description: "stop mowing"},
+		{Op: "vacuum.get_state", Category: CatVacuum, Kind: KindStatus, Description: "read vacuum state"},
+
+		// 9. Security camera.
+		{Op: "camera.on", Category: CatCamera, Kind: KindControl, Description: "enable monitoring"},
+		{Op: "camera.off", Category: CatCamera, Kind: KindControl, Description: "disable monitoring"},
+		{Op: "camera.rotate", Category: CatCamera, Kind: KindControl, Description: "rotate the camera head"},
+		{Op: "camera.record", Category: CatCamera, Kind: KindControl, Description: "start recording"},
+		{Op: "camera.alert_user", Category: CatCamera, Kind: KindControl, Description: "push a warning to the user"},
+		{Op: "camera.get_state", Category: CatCamera, Kind: KindStatus, Description: "read camera state"},
+		{Op: "camera.get_stream", Category: CatCamera, Kind: KindStatus, Description: "fetch the stream handle"},
+	}
+}
+
+// BuiltinRegistry returns a registry over BuiltinSpecs. The builtin set is
+// internally consistent, so construction cannot fail.
+func BuiltinRegistry() *Registry {
+	r, err := NewRegistry(BuiltinSpecs())
+	if err != nil {
+		panic("instr: builtin instruction set invalid: " + err.Error())
+	}
+	return r
+}

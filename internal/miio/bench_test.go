@@ -1,0 +1,48 @@
+package miio
+
+import "testing"
+
+func BenchmarkEncode(b *testing.B) {
+	p := Packet{DeviceID: 1, Stamp: 2, Payload: []byte(`{"id":1,"method":"get_prop","params":["alarm","temperature","aqi"]}`)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(p, testToken); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	p := Packet{DeviceID: 1, Stamp: 2, Payload: []byte(`{"id":1,"method":"get_prop","params":["alarm","temperature","aqi"]}`)}
+	raw, err := Encode(p, testToken)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(raw, testToken); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRoundTripOverUDP(b *testing.B) {
+	g, err := NewGateway(GatewayConfig{DeviceID: 1, Token: testToken, Handler: echoHandler{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	c, err := Dial(g.Addr().String(), testToken)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Call("ping", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package miio
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ClientOption customises a client.
+type ClientOption func(*Client)
+
+// WithTimeout sets the per-attempt round-trip deadline (default 2s).
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithRetries sets how many times a call is retried after a timeout
+// (default 2 — UDP datagrams are fair game for loss).
+func WithRetries(n int) ClientOption {
+	return func(c *Client) { c.retries = n }
+}
+
+// Client speaks the encrypted protocol to one gateway. It performs the
+// hello handshake on dial (learning the gateway's device ID and stamp, as
+// the vendor app does) and then issues encrypted method calls. Safe for
+// concurrent use; calls are serialised on the socket.
+type Client struct {
+	token   Token
+	timeout time.Duration
+	retries int
+
+	mu       sync.Mutex
+	conn     *net.UDPConn
+	deviceID uint32
+	stamp    uint32
+	stampAt  time.Time
+	nextID   int64
+	closed   bool
+}
+
+// Dial connects, handshakes, and returns a ready client.
+func Dial(addr string, token Token, opts ...ClientOption) (*Client, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("miio: resolve %q: %w", addr, err)
+	}
+	conn, err := net.DialUDP("udp", nil, udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("miio: dial: %w", err)
+	}
+	c := &Client{token: token, timeout: 2 * time.Second, retries: 2, conn: conn}
+	for _, o := range opts {
+		o(c)
+	}
+	if err := c.handshake(); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// DeviceID returns the gateway's device ID learned during the handshake.
+func (c *Client) DeviceID() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.deviceID
+}
+
+// Close releases the socket.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+func (c *Client) handshake() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hello := EncodeHello()
+	buf := make([]byte, MaxPacketSize)
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if _, err := c.conn.Write(hello); err != nil {
+			return fmt.Errorf("miio: hello write: %w", err)
+		}
+		if err := c.conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+			return fmt.Errorf("miio: deadline: %w", err)
+		}
+		n, err := c.conn.Read(buf)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		pkt, err := Decode(buf[:n], c.token)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.deviceID = pkt.DeviceID
+		c.stamp = pkt.Stamp
+		c.stampAt = time.Now()
+		return nil
+	}
+	return fmt.Errorf("miio: handshake: %w", lastErr)
+}
+
+// Call issues one encrypted method call and decodes the result into a raw
+// JSON message. RPC-level errors surface as *RPCError.
+func (c *Client) Call(method string, params any) (json.RawMessage, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("miio: client closed")
+	}
+	c.nextID++
+	id := c.nextID
+	var rawParams json.RawMessage
+	if params != nil {
+		data, err := json.Marshal(params)
+		if err != nil {
+			return nil, fmt.Errorf("miio: marshal params: %w", err)
+		}
+		rawParams = data
+	}
+	payload, err := json.Marshal(Request{ID: id, Method: method, Params: rawParams})
+	if err != nil {
+		return nil, fmt.Errorf("miio: marshal request: %w", err)
+	}
+	// Advance the device stamp estimate, as the vendor client does.
+	stamp := c.stamp + uint32(time.Since(c.stampAt)/time.Second)
+	raw, err := Encode(Packet{DeviceID: c.deviceID, Stamp: stamp, Payload: payload}, c.token)
+	if err != nil {
+		return nil, err
+	}
+
+	buf := make([]byte, MaxPacketSize)
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if _, err := c.conn.Write(raw); err != nil {
+			return nil, fmt.Errorf("miio: write: %w", err)
+		}
+		if err := c.conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+			return nil, fmt.Errorf("miio: deadline: %w", err)
+		}
+		for {
+			n, err := c.conn.Read(buf)
+			if err != nil {
+				lastErr = err
+				break // retry the send
+			}
+			pkt, err := Decode(buf[:n], c.token)
+			if err != nil {
+				lastErr = err
+				continue // garbage datagram; keep reading until deadline
+			}
+			var resp Response
+			if err := json.Unmarshal(pkt.Payload, &resp); err != nil {
+				lastErr = fmt.Errorf("miio: bad response payload: %w", err)
+				continue
+			}
+			if resp.ID != id {
+				continue // stale response from a previous retry
+			}
+			if resp.Error != nil {
+				return nil, resp.Error
+			}
+			return resp.Result, nil
+		}
+	}
+	return nil, fmt.Errorf("miio: call %s: %w", method, lastErr)
+}

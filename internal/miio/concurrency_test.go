@@ -1,0 +1,76 @@
+package miio
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestManyClientsConcurrently hammers one gateway from several clients at
+// once: every call must come back with its own result (IDs never cross).
+func TestManyClientsConcurrently(t *testing.T) {
+	g := startGateway(t)
+	const clients = 8
+	const callsPerClient = 25
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			client, err := Dial(g.Addr().String(), testToken, WithTimeout(2*time.Second))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			for i := 0; i < callsPerClient; i++ {
+				res, err := client.Call("echo", map[string]int{"client": id, "call": i})
+				if err != nil {
+					errs <- err
+					return
+				}
+				var decoded map[string]string
+				if err := json.Unmarshal(res, &decoded); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent client: %v", err)
+	}
+}
+
+// TestClientSerialisesConcurrentCalls verifies one client used from many
+// goroutines stays consistent (calls are serialised on the socket).
+func TestClientSerialisesConcurrentCalls(t *testing.T) {
+	g := startGateway(t)
+	client, err := Dial(g.Addr().String(), testToken, WithTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := client.Call("ping", nil); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("shared client: %v", err)
+	}
+}

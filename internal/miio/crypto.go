@@ -1,0 +1,73 @@
+package miio
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/md5"
+	"fmt"
+)
+
+// deriveKeyIV implements the token-derived cipher parameters recovered from
+// the vendor library: key = MD5(token), iv = MD5(key ‖ token).
+func deriveKeyIV(token Token) (key, iv []byte) {
+	k := md5.Sum(token[:])
+	ivIn := make([]byte, 0, md5.Size+TokenSize)
+	ivIn = append(ivIn, k[:]...)
+	ivIn = append(ivIn, token[:]...)
+	v := md5.Sum(ivIn)
+	return k[:], v[:]
+}
+
+// encrypt seals a plaintext payload with AES-128-CBC + PKCS#7 padding.
+func encrypt(plaintext []byte, token Token) ([]byte, error) {
+	key, iv := deriveKeyIV(token)
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("miio: cipher: %w", err)
+	}
+	padded := pkcs7Pad(plaintext, block.BlockSize())
+	out := make([]byte, len(padded))
+	cipher.NewCBCEncrypter(block, iv).CryptBlocks(out, padded)
+	return out, nil
+}
+
+// decrypt opens an AES-128-CBC ciphertext and strips the PKCS#7 padding.
+func decrypt(ciphertext []byte, token Token) ([]byte, error) {
+	key, iv := deriveKeyIV(token)
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("miio: cipher: %w", err)
+	}
+	if len(ciphertext) == 0 || len(ciphertext)%block.BlockSize() != 0 {
+		return nil, fmt.Errorf("miio: ciphertext length %d not a block multiple", len(ciphertext))
+	}
+	out := make([]byte, len(ciphertext))
+	cipher.NewCBCDecrypter(block, iv).CryptBlocks(out, ciphertext)
+	return pkcs7Unpad(out, block.BlockSize())
+}
+
+func pkcs7Pad(data []byte, blockSize int) []byte {
+	pad := blockSize - len(data)%blockSize
+	out := make([]byte, len(data)+pad)
+	copy(out, data)
+	for i := len(data); i < len(out); i++ {
+		out[i] = byte(pad)
+	}
+	return out
+}
+
+func pkcs7Unpad(data []byte, blockSize int) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("miio: empty padded payload")
+	}
+	pad := int(data[len(data)-1])
+	if pad == 0 || pad > blockSize || pad > len(data) {
+		return nil, fmt.Errorf("miio: invalid padding %d", pad)
+	}
+	for _, b := range data[len(data)-pad:] {
+		if int(b) != pad {
+			return nil, fmt.Errorf("miio: corrupt padding")
+		}
+	}
+	return data[:len(data)-pad], nil
+}

@@ -1,0 +1,173 @@
+package miio
+
+import (
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+)
+
+func startDevMode(t *testing.T, ttl time.Duration) *DevMode {
+	t.Helper()
+	d, err := NewDevMode(DevModeConfig{TTL: ttl})
+	if err != nil {
+		t.Fatalf("NewDevMode: %v", err)
+	}
+	t.Cleanup(func() { _ = d.Close() })
+	return d
+}
+
+func waitReport(t *testing.T, l *DevModeListener) Report {
+	t.Helper()
+	select {
+	case r, ok := <-l.Reports():
+		if !ok {
+			t.Fatal("report channel closed")
+		}
+		return r
+	case <-time.After(2 * time.Second):
+		t.Fatal("no report within 2s")
+	}
+	return Report{}
+}
+
+func TestDevModeSubscribeAndPush(t *testing.T) {
+	d := startDevMode(t, time.Minute)
+	l, err := SubscribeDevMode(d.Addr().String(), 8)
+	if err != nil {
+		t.Fatalf("SubscribeDevMode: %v", err)
+	}
+	defer l.Close()
+	if got := d.Subscribers(); got != 1 {
+		t.Fatalf("subscribers = %d", got)
+	}
+	if err := d.Push("lumi.sensor_smoke", "158d0001", map[string]any{"alarm": "1"}); err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	r := waitReport(t, l)
+	if r.Model != "lumi.sensor_smoke" || r.SID != "158d0001" {
+		t.Errorf("report = %+v", r)
+	}
+	var data map[string]string
+	if err := json.Unmarshal(r.Data, &data); err != nil || data["alarm"] != "1" {
+		t.Errorf("data = %s", r.Data)
+	}
+}
+
+func TestDevModeMultipleSubscribers(t *testing.T) {
+	d := startDevMode(t, time.Minute)
+	var listeners []*DevModeListener
+	for i := 0; i < 3; i++ {
+		l, err := SubscribeDevMode(d.Addr().String(), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		listeners = append(listeners, l)
+	}
+	if got := d.Subscribers(); got != 3 {
+		t.Fatalf("subscribers = %d", got)
+	}
+	if err := d.Push("lumi.gateway", "gw", map[string]int{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range listeners {
+		r := waitReport(t, l)
+		if r.SID != "gw" {
+			t.Errorf("listener %d report = %+v", i, r)
+		}
+	}
+}
+
+func TestDevModeUnsubscribe(t *testing.T) {
+	d := startDevMode(t, time.Minute)
+	l, err := SubscribeDevMode(d.Addr().String(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	// Give the unsubscribe datagram a moment to land.
+	deadline := time.Now().Add(2 * time.Second)
+	for d.Subscribers() != 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := d.Subscribers(); got != 0 {
+		t.Errorf("subscribers after unsubscribe = %d", got)
+	}
+}
+
+func TestDevModeSubscriptionExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	d, err := NewDevMode(DevModeConfig{TTL: time.Second, Now: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	l, err := SubscribeDevMode(d.Addr().String(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if d.Subscribers() != 1 {
+		t.Fatal("no subscriber")
+	}
+	// Advance past the TTL: the subscriber is reaped on the next push.
+	now = now.Add(time.Hour)
+	if d.Subscribers() != 0 {
+		t.Error("expired subscription still counted")
+	}
+	if err := d.Push("m", "s", nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r, ok := <-l.Reports():
+		if ok {
+			t.Errorf("expired subscriber still got report %+v", r)
+		}
+	case <-time.After(300 * time.Millisecond):
+		// expected: nothing arrives
+	}
+}
+
+func TestDevModeIgnoresGarbage(t *testing.T) {
+	d := startDevMode(t, time.Minute)
+	conn, err := net.Dial("udp", d.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for _, junk := range []string{"", "not json", `{"cmd":"fireworks"}`} {
+		if _, err := conn.Write([]byte(junk)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Channel still works after garbage.
+	l, err := SubscribeDevMode(d.Addr().String(), 8)
+	if err != nil {
+		t.Fatalf("subscribe after garbage: %v", err)
+	}
+	defer l.Close()
+	if err := d.Push("m", "s", map[string]int{"ok": 1}); err != nil {
+		t.Fatal(err)
+	}
+	waitReport(t, l)
+}
+
+func TestSubscribeDevModeNoServer(t *testing.T) {
+	if _, err := SubscribeDevMode("127.0.0.1:1", 8); err == nil {
+		t.Error("want ack timeout")
+	}
+}
+
+func TestDevModePushUnmarshalable(t *testing.T) {
+	d := startDevMode(t, time.Minute)
+	if err := d.Push("m", "s", func() {}); err == nil {
+		t.Error("want marshal error")
+	}
+}

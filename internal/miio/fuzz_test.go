@@ -1,0 +1,64 @@
+package miio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary datagrams at the packet decoder: it must
+// reject or decode, never panic, and anything it accepts must re-encode to
+// a decodable packet.
+func FuzzDecode(f *testing.F) {
+	hello := EncodeHello()
+	f.Add(hello)
+	f.Add(EncodeHelloReply(0xDEAD, 42))
+	if sealed, err := Encode(Packet{DeviceID: 7, Stamp: 9, Payload: []byte(`{"id":1}`)}, testToken); err == nil {
+		f.Add(sealed)
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x21, 0x31}, 40))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		pkt, err := Decode(raw, testToken)
+		if err != nil {
+			return
+		}
+		if len(pkt.Payload) == 0 {
+			return // hello-style packet
+		}
+		resealed, err := Encode(pkt, testToken)
+		if err != nil {
+			t.Fatalf("accepted packet does not re-encode: %v", err)
+		}
+		back, err := Decode(resealed, testToken)
+		if err != nil {
+			t.Fatalf("re-encoded packet does not decode: %v", err)
+		}
+		if !bytes.Equal(back.Payload, pkt.Payload) {
+			t.Fatal("payload changed across re-encode")
+		}
+	})
+}
+
+// FuzzPKCS7 checks pad/unpad as exact inverses and unpad's robustness to
+// arbitrary input.
+func FuzzPKCS7(f *testing.F) {
+	f.Add([]byte("hello"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{16}, 16))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		padded := pkcs7Pad(data, 16)
+		if len(padded)%16 != 0 {
+			t.Fatal("padding not block-aligned")
+		}
+		back, err := pkcs7Unpad(padded, 16)
+		if err != nil {
+			t.Fatalf("unpad of freshly padded data: %v", err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatal("pad/unpad not inverse")
+		}
+		// Unpad of the raw input must not panic (errors are fine).
+		_, _ = pkcs7Unpad(data, 16)
+	})
+}

@@ -1,0 +1,154 @@
+package miio
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// GatewayConfig configures a simulated gateway device.
+type GatewayConfig struct {
+	// Addr is the UDP listen address; ":0" picks a free port.
+	Addr string
+	// DeviceID identifies the gateway on the wire.
+	DeviceID uint32
+	// Token is the shared secret; clients must hold the same token.
+	Token Token
+	// Handler serves decrypted method calls.
+	Handler Handler
+	// Now supplies the stamp clock; defaults to time.Now.
+	Now func() time.Time
+}
+
+// Gateway is a simulated Xiaomi-style gateway: it answers hello handshakes
+// and encrypted method calls over UDP. It stands in for the physical device
+// fleet of the paper's testbed; the wire format and crypto are the real
+// protocol's.
+type Gateway struct {
+	cfg   GatewayConfig
+	conn  *net.UDPConn
+	epoch time.Time
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewGateway binds the socket and starts serving.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	if cfg.Handler == nil {
+		return nil, fmt.Errorf("miio: gateway needs a handler")
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	addr, err := net.ResolveUDPAddr("udp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("miio: resolve %q: %w", cfg.Addr, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("miio: listen: %w", err)
+	}
+	g := &Gateway{
+		cfg:   cfg,
+		conn:  conn,
+		epoch: cfg.Now(),
+		done:  make(chan struct{}),
+	}
+	g.wg.Add(1)
+	go g.serve()
+	return g, nil
+}
+
+// Addr returns the bound UDP address.
+func (g *Gateway) Addr() net.Addr { return g.conn.LocalAddr() }
+
+// Close stops the gateway and waits for the serve loop to exit.
+func (g *Gateway) Close() error {
+	close(g.done)
+	err := g.conn.Close()
+	g.wg.Wait()
+	return err
+}
+
+// stamp is the device uptime clock carried in packet headers.
+func (g *Gateway) stamp() uint32 {
+	return uint32(g.cfg.Now().Sub(g.epoch) / time.Second)
+}
+
+func (g *Gateway) serve() {
+	defer g.wg.Done()
+	buf := make([]byte, MaxPacketSize)
+	for {
+		n, remote, err := g.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-g.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue // transient read error: keep serving
+		}
+		raw := make([]byte, n)
+		copy(raw, buf[:n])
+		g.handleDatagram(raw, remote)
+	}
+}
+
+func (g *Gateway) handleDatagram(raw []byte, remote *net.UDPAddr) {
+	if IsHello(raw) {
+		reply := EncodeHelloReply(g.cfg.DeviceID, g.stamp())
+		_, _ = g.conn.WriteToUDP(reply, remote)
+		return
+	}
+	pkt, err := Decode(raw, g.cfg.Token)
+	if err != nil {
+		// Undecryptable datagrams (wrong token, corruption) are dropped,
+		// exactly like the physical device.
+		return
+	}
+	var req Request
+	if err := json.Unmarshal(pkt.Payload, &req); err != nil {
+		g.reply(remote, Response{Error: &RPCError{Code: -32700, Message: "parse error"}})
+		return
+	}
+	resp := Response{ID: req.ID}
+	result, err := g.cfg.Handler.Handle(req.Method, req.Params)
+	if err != nil {
+		var rpcErr *RPCError
+		if errors.As(err, &rpcErr) {
+			resp.Error = rpcErr
+		} else {
+			resp.Error = &RPCError{Code: -1, Message: err.Error()}
+		}
+	} else {
+		data, err := json.Marshal(result)
+		if err != nil {
+			resp.Error = &RPCError{Code: -2, Message: "unmarshalable result"}
+		} else {
+			resp.Result = data
+		}
+	}
+	g.reply(remote, resp)
+}
+
+func (g *Gateway) reply(remote *net.UDPAddr, resp Response) {
+	payload, err := json.Marshal(resp)
+	if err != nil {
+		return
+	}
+	raw, err := Encode(Packet{DeviceID: g.cfg.DeviceID, Stamp: g.stamp(), Payload: payload}, g.cfg.Token)
+	if err != nil {
+		return
+	}
+	_, _ = g.conn.WriteToUDP(raw, remote)
+}

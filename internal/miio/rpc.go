@@ -1,0 +1,47 @@
+package miio
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Request is the JSON-RPC-style call carried inside an encrypted payload,
+// e.g. {"id":1,"method":"get_prop","params":["temperature","smoke"]}.
+type Request struct {
+	ID     int64           `json:"id"`
+	Method string          `json:"method"`
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// Response answers one request.
+type Response struct {
+	ID     int64           `json:"id"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  *RPCError       `json:"error,omitempty"`
+}
+
+// RPCError is the in-band error object.
+type RPCError struct {
+	Code    int    `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements error.
+func (e *RPCError) Error() string {
+	return fmt.Sprintf("miio rpc error %d: %s", e.Code, e.Message)
+}
+
+// Handler serves decrypted method calls; the simulated gateway dispatches
+// into the home through one.
+type Handler interface {
+	// Handle executes a method and returns a JSON-marshalable result.
+	Handle(method string, params json.RawMessage) (any, error)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(method string, params json.RawMessage) (any, error)
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(method string, params json.RawMessage) (any, error) {
+	return f(method, params)
+}

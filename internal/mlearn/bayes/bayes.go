@@ -1,0 +1,122 @@
+// Package bayes implements the Naive Bayes baseline (§IV-C): Gaussian
+// likelihoods for numeric attributes, Laplace-smoothed frequency tables for
+// categorical attributes, and log-space scoring for numeric stability.
+package bayes
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"iotsid/internal/mlearn"
+)
+
+// NB is a mixed Gaussian/categorical Naive Bayes classifier.
+type NB struct {
+	schema  mlearn.Schema
+	classes []int
+	prior   map[int]float64
+	// Per class, per numeric attribute: mean and variance.
+	mean, vari map[int][]float64
+	// Per class, per categorical attribute: Laplace-smoothed log
+	// probabilities per category index.
+	catLog map[int][][]float64
+}
+
+var _ mlearn.Classifier = (*NB)(nil)
+
+// New builds an untrained classifier.
+func New() *NB { return &NB{} }
+
+// Fit estimates priors and per-class likelihood parameters.
+func (c *NB) Fit(d *mlearn.Dataset) error {
+	if d.Len() == 0 {
+		return fmt.Errorf("bayes: empty dataset")
+	}
+	c.schema = d.Schema
+	c.classes = d.Classes()
+	c.prior = make(map[int]float64, len(c.classes))
+	c.mean = make(map[int][]float64, len(c.classes))
+	c.vari = make(map[int][]float64, len(c.classes))
+	c.catLog = make(map[int][][]float64, len(c.classes))
+
+	byClass := make(map[int][]int)
+	for i, y := range d.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	for _, y := range c.classes {
+		rows := byClass[y]
+		c.prior[y] = math.Log(float64(len(rows)) / float64(d.Len()))
+		mean := make([]float64, d.Schema.Len())
+		vari := make([]float64, d.Schema.Len())
+		catLog := make([][]float64, d.Schema.Len())
+		for j, a := range d.Schema.Attrs {
+			if a.Kind == mlearn.Numeric {
+				var sum float64
+				for _, i := range rows {
+					sum += d.X[i][j]
+				}
+				m := sum / float64(len(rows))
+				var ss float64
+				for _, i := range rows {
+					ss += (d.X[i][j] - m) * (d.X[i][j] - m)
+				}
+				v := ss / float64(len(rows))
+				if v < 1e-9 {
+					v = 1e-9 // degenerate column: keep the Gaussian proper
+				}
+				mean[j], vari[j] = m, v
+				continue
+			}
+			counts := make([]float64, len(a.Categories))
+			for _, i := range rows {
+				counts[int(d.X[i][j])]++
+			}
+			logs := make([]float64, len(counts))
+			denom := float64(len(rows)) + float64(len(counts)) // Laplace
+			for k, cnt := range counts {
+				logs[k] = math.Log((cnt + 1) / denom)
+			}
+			catLog[j] = logs
+		}
+		c.mean[y] = mean
+		c.vari[y] = vari
+		c.catLog[y] = catLog
+	}
+	return nil
+}
+
+// Predict scores every class in log space and returns the argmax (ties
+// break toward the smaller label). An unfitted classifier returns 0.
+func (c *NB) Predict(x []float64) int {
+	if len(c.classes) == 0 {
+		return 0
+	}
+	best := c.classes[0]
+	bestScore := math.Inf(-1)
+	classes := append([]int(nil), c.classes...)
+	sort.Ints(classes)
+	for _, y := range classes {
+		score := c.prior[y]
+		for j, a := range c.schema.Attrs {
+			if a.Kind == mlearn.Numeric {
+				m, v := c.mean[y][j], c.vari[y][j]
+				diff := x[j] - m
+				score += -0.5*math.Log(2*math.Pi*v) - diff*diff/(2*v)
+				continue
+			}
+			idx := int(x[j])
+			logs := c.catLog[y][j]
+			if idx < 0 || idx >= len(logs) {
+				// Unseen category index: worst-case smoothed probability.
+				score += math.Log(1 / (float64(len(logs)) + 1))
+				continue
+			}
+			score += logs[idx]
+		}
+		if score > bestScore {
+			best, bestScore = y, score
+		}
+	}
+	return best
+}

@@ -1,0 +1,140 @@
+package bayes
+
+import (
+	"math/rand"
+	"testing"
+
+	"iotsid/internal/mlearn"
+)
+
+func schema(t *testing.T) mlearn.Schema {
+	t.Helper()
+	s, err := mlearn.NewSchema([]mlearn.Attribute{
+		{Name: "temp", Kind: mlearn.Numeric},
+		{Name: "weather", Kind: mlearn.Categorical, Categories: []string{"sunny", "rain", "snow"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func gaussians(t *testing.T, n int, seed int64) *mlearn.Dataset {
+	t.Helper()
+	d := mlearn.NewDataset(schema(t))
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			// Positive: warm, mostly sunny.
+			w := 0
+			if rng.Float64() < 0.2 {
+				w = 1
+			}
+			if err := d.Add([]float64{24 + rng.NormFloat64()*2, float64(w)}, 1); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			// Negative: cold, mostly rain/snow.
+			w := 1 + rng.Intn(2)
+			if rng.Float64() < 0.2 {
+				w = 0
+			}
+			if err := d.Add([]float64{8 + rng.NormFloat64()*2, float64(w)}, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return d
+}
+
+func TestNBSeparatesGaussians(t *testing.T) {
+	train := gaussians(t, 400, 1)
+	test := gaussians(t, 200, 2)
+	c := New()
+	if err := c.Fit(train); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	m := mlearn.Evaluate(c, test)
+	if m.Accuracy() < 0.97 {
+		t.Errorf("accuracy = %v", m.Accuracy())
+	}
+}
+
+func TestNBUsesCategoricalEvidence(t *testing.T) {
+	// Make temperature uninformative; only weather separates.
+	d := mlearn.NewDataset(schema(t))
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		temp := 15 + rng.NormFloat64()
+		if i%2 == 0 {
+			if err := d.Add([]float64{temp, 0}, 1); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := d.Add([]float64{temp, 1}, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	c := New()
+	if err := c.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Predict([]float64{15, 0}); got != 1 {
+		t.Errorf("sunny = %d, want 1", got)
+	}
+	if got := c.Predict([]float64{15, 1}); got != 0 {
+		t.Errorf("rain = %d, want 0", got)
+	}
+	// Unseen category index degrades gracefully instead of panicking.
+	_ = c.Predict([]float64{15, 9})
+	_ = c.Predict([]float64{15, -1})
+}
+
+func TestNBPriorDominatesWithoutEvidence(t *testing.T) {
+	// 90/10 prior, identical likelihoods: prediction follows the prior.
+	d := mlearn.NewDataset(schema(t))
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		y := 1
+		if i%10 == 0 {
+			y = 0
+		}
+		if err := d.Add([]float64{15 + rng.NormFloat64(), float64(rng.Intn(3))}, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := New()
+	if err := c.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Predict([]float64{15, 1}); got != 1 {
+		t.Errorf("prior-dominated prediction = %d, want majority class 1", got)
+	}
+}
+
+func TestNBConstantColumnStable(t *testing.T) {
+	d := mlearn.NewDataset(schema(t))
+	for i := 0; i < 20; i++ {
+		y := i % 2
+		if err := d.Add([]float64{42, float64(y)}, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := New()
+	if err := c.Fit(d); err != nil {
+		t.Fatalf("Fit with constant column: %v", err)
+	}
+	if got := c.Predict([]float64{42, 1}); got != 1 {
+		t.Errorf("prediction = %d", got)
+	}
+}
+
+func TestNBErrorsAndUnfitted(t *testing.T) {
+	if err := New().Fit(mlearn.NewDataset(schema(t))); err == nil {
+		t.Error("want empty error")
+	}
+	if got := New().Predict([]float64{1, 0}); got != 0 {
+		t.Errorf("unfitted Predict = %d", got)
+	}
+}

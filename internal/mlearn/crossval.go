@@ -1,0 +1,66 @@
+package mlearn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Factory builds a fresh untrained classifier; cross-validation needs one
+// per fold.
+type Factory func() Classifier
+
+// CVResult is the outcome of a k-fold cross-validation.
+type CVResult struct {
+	FoldAccuracies []float64
+	Pooled         Confusion
+}
+
+// MeanAccuracy averages the per-fold accuracies.
+func (r CVResult) MeanAccuracy() float64 {
+	if len(r.FoldAccuracies) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, a := range r.FoldAccuracies {
+		sum += a
+	}
+	return sum / float64(len(r.FoldAccuracies))
+}
+
+// StdAccuracy is the population standard deviation of fold accuracies.
+func (r CVResult) StdAccuracy() float64 {
+	n := len(r.FoldAccuracies)
+	if n == 0 {
+		return 0
+	}
+	mean := r.MeanAccuracy()
+	var ss float64
+	for _, a := range r.FoldAccuracies {
+		ss += (a - mean) * (a - mean)
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// CrossValidate runs stratified k-fold cross-validation, training a fresh
+// classifier per fold and pooling the test confusion matrices.
+func CrossValidate(f Factory, d *Dataset, k int, rng *rand.Rand) (CVResult, error) {
+	if f == nil {
+		return CVResult{}, fmt.Errorf("mlearn: nil factory")
+	}
+	folds, err := d.KFoldStratified(k, rng)
+	if err != nil {
+		return CVResult{}, err
+	}
+	var res CVResult
+	for i, fold := range folds {
+		c := f()
+		if err := c.Fit(fold[0]); err != nil {
+			return CVResult{}, fmt.Errorf("fold %d fit: %w", i, err)
+		}
+		m := Evaluate(c, fold[1])
+		res.FoldAccuracies = append(res.FoldAccuracies, m.Accuracy())
+		res.Pooled = res.Pooled.Add(m)
+	}
+	return res, nil
+}

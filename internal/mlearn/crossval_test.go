@@ -1,0 +1,76 @@
+package mlearn
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// thresholdClassifier learns nothing; it labels warm rows positive, which is
+// exactly the structure of imbalanced().
+type thresholdClassifier struct{ fitCalls *int }
+
+func (c thresholdClassifier) Fit(*Dataset) error {
+	if c.fitCalls != nil {
+		*c.fitCalls++
+	}
+	return nil
+}
+
+func (c thresholdClassifier) Predict(x []float64) int {
+	if x[0] > 15 {
+		return 1
+	}
+	return 0
+}
+
+type failingClassifier struct{}
+
+func (failingClassifier) Fit(*Dataset) error    { return errors.New("boom") }
+func (failingClassifier) Predict([]float64) int { return 0 }
+
+func TestCrossValidate(t *testing.T) {
+	d := imbalanced(t, 60, 40, 8)
+	var fits int
+	res, err := CrossValidate(func() Classifier { return thresholdClassifier{fitCalls: &fits} },
+		d, 5, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("CrossValidate: %v", err)
+	}
+	if fits != 5 {
+		t.Errorf("fit called %d times, want 5", fits)
+	}
+	if len(res.FoldAccuracies) != 5 {
+		t.Fatalf("fold accuracies = %v", res.FoldAccuracies)
+	}
+	if res.MeanAccuracy() != 1 {
+		t.Errorf("MeanAccuracy = %v, want 1 on separable data", res.MeanAccuracy())
+	}
+	if res.StdAccuracy() != 0 {
+		t.Errorf("StdAccuracy = %v", res.StdAccuracy())
+	}
+	if res.Pooled.Total() != d.Len() {
+		t.Errorf("pooled total = %d, want %d", res.Pooled.Total(), d.Len())
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	d := imbalanced(t, 10, 10, 1)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := CrossValidate(nil, d, 5, rng); err == nil {
+		t.Error("want nil factory error")
+	}
+	if _, err := CrossValidate(func() Classifier { return failingClassifier{} }, d, 5, rng); err == nil {
+		t.Error("want fit error")
+	}
+	if _, err := CrossValidate(func() Classifier { return thresholdClassifier{} }, d, 1, rng); err == nil {
+		t.Error("want k error")
+	}
+}
+
+func TestCVResultEmpty(t *testing.T) {
+	var r CVResult
+	if r.MeanAccuracy() != 0 || r.StdAccuracy() != 0 {
+		t.Error("empty CVResult metrics should be 0")
+	}
+}

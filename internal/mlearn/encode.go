@@ -1,0 +1,106 @@
+package mlearn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Standardizer z-scores numeric attributes (categorical cells pass
+// through). KNN and the SVM fit one on training data and apply it to every
+// query so that large-range features (lux, watts) do not drown the rest.
+type Standardizer struct {
+	Mean []float64 `json:"mean"`
+	Std  []float64 `json:"std"`
+	s    Schema
+}
+
+// FitStandardizer estimates per-attribute mean and standard deviation.
+func FitStandardizer(d *Dataset) (*Standardizer, error) {
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("mlearn: empty dataset")
+	}
+	n := d.Schema.Len()
+	st := &Standardizer{Mean: make([]float64, n), Std: make([]float64, n), s: d.Schema}
+	for j, attr := range d.Schema.Attrs {
+		if attr.Kind != Numeric {
+			st.Std[j] = 1
+			continue
+		}
+		var sum float64
+		for _, row := range d.X {
+			sum += row[j]
+		}
+		mean := sum / float64(d.Len())
+		var ss float64
+		for _, row := range d.X {
+			ss += (row[j] - mean) * (row[j] - mean)
+		}
+		std := math.Sqrt(ss / float64(d.Len()))
+		if std == 0 {
+			std = 1
+		}
+		st.Mean[j] = mean
+		st.Std[j] = std
+	}
+	return st, nil
+}
+
+// Transform z-scores one example (copy; the input is not mutated).
+func (st *Standardizer) Transform(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j := range x {
+		if j < len(st.Mean) && st.s.Attrs[j].Kind == Numeric {
+			out[j] = (x[j] - st.Mean[j]) / st.Std[j]
+		} else {
+			out[j] = x[j]
+		}
+	}
+	return out
+}
+
+// OneHot expands categorical attributes into indicator columns and z-scores
+// numeric ones; linear models (the SVM baseline) train on the encoded view.
+type OneHot struct {
+	schema Schema
+	std    *Standardizer
+	width  int
+}
+
+// FitOneHot prepares the encoding for a dataset.
+func FitOneHot(d *Dataset) (*OneHot, error) {
+	std, err := FitStandardizer(d)
+	if err != nil {
+		return nil, err
+	}
+	width := 0
+	for _, a := range d.Schema.Attrs {
+		if a.Kind == Numeric {
+			width++
+		} else {
+			width += len(a.Categories)
+		}
+	}
+	return &OneHot{schema: d.Schema, std: std, width: width}, nil
+}
+
+// Width returns the encoded vector length.
+func (o *OneHot) Width() int { return o.width }
+
+// Encode expands one example.
+func (o *OneHot) Encode(x []float64) []float64 {
+	z := o.std.Transform(x)
+	out := make([]float64, 0, o.width)
+	for j, a := range o.schema.Attrs {
+		if a.Kind == Numeric {
+			out = append(out, z[j])
+			continue
+		}
+		oneHot := make([]float64, len(a.Categories))
+		idx := int(x[j])
+		if idx >= 0 && idx < len(oneHot) {
+			oneHot[idx] = 1
+		}
+		out = append(out, oneHot...)
+	}
+	return out
+}

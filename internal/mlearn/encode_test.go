@@ -1,0 +1,95 @@
+package mlearn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStandardizer(t *testing.T) {
+	d := NewDataset(testSchema(t))
+	for _, row := range [][]float64{{10, 0, 1}, {20, 1, 0}, {30, 0, 1}} {
+		if err := d.Add(row, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := FitStandardizer(d)
+	if err != nil {
+		t.Fatalf("FitStandardizer: %v", err)
+	}
+	z := st.Transform([]float64{20, 1, 0})
+	if math.Abs(z[0]) > 1e-12 {
+		t.Errorf("mean row should z-score to 0, got %v", z[0])
+	}
+	// Categorical cells pass through untouched.
+	if z[1] != 1 || z[2] != 0 {
+		t.Errorf("categorical cells mutated: %v", z)
+	}
+	// Transform copies.
+	in := []float64{10, 0, 1}
+	_ = st.Transform(in)
+	if in[0] != 10 {
+		t.Error("Transform mutated input")
+	}
+	// z-scored training column has unit variance.
+	var ss float64
+	for _, row := range d.X {
+		zr := st.Transform(row)
+		ss += zr[0] * zr[0]
+	}
+	if math.Abs(ss/3-1) > 1e-9 {
+		t.Errorf("variance after z-score = %v", ss/3)
+	}
+}
+
+func TestStandardizerConstantColumn(t *testing.T) {
+	d := NewDataset(testSchema(t))
+	for i := 0; i < 3; i++ {
+		if err := d.Add([]float64{7, 0, 0}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := FitStandardizer(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := st.Transform([]float64{7, 0, 0})
+	if z[0] != 0 {
+		t.Errorf("constant column should z-score to 0, got %v", z[0])
+	}
+}
+
+func TestStandardizerEmpty(t *testing.T) {
+	if _, err := FitStandardizer(NewDataset(testSchema(t))); err == nil {
+		t.Error("want empty error")
+	}
+}
+
+func TestOneHotEncode(t *testing.T) {
+	d := NewDataset(testSchema(t))
+	for _, row := range [][]float64{{10, 0, 1}, {20, 1, 0}} {
+		if err := d.Add(row, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	enc, err := FitOneHot(d)
+	if err != nil {
+		t.Fatalf("FitOneHot: %v", err)
+	}
+	// 1 numeric + 2 categories + 2 categories = 5 columns.
+	if enc.Width() != 5 {
+		t.Fatalf("Width = %d", enc.Width())
+	}
+	v := enc.Encode([]float64{10, 1, 0})
+	if len(v) != 5 {
+		t.Fatalf("encoded len = %d", len(v))
+	}
+	// weather=rain -> [0,1]; motion=no -> [1,0].
+	if v[1] != 0 || v[2] != 1 || v[3] != 1 || v[4] != 0 {
+		t.Errorf("one-hot block = %v", v[1:])
+	}
+	// Out-of-range category index encodes as all-zeros, not a panic.
+	v = enc.Encode([]float64{10, 9, 0})
+	if v[1] != 0 || v[2] != 0 {
+		t.Errorf("out-of-range category = %v", v[1:3])
+	}
+}

@@ -1,0 +1,144 @@
+// Package forest implements a random-forest ensemble over the CART trees of
+// the reproduction — the natural robustness extension of the paper's
+// single-tree feature memory (§VI discusses optimising the model further).
+// Each tree trains on a bootstrap resample with a random feature subspace;
+// prediction is majority vote, probability the mean of leaf distributions.
+package forest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"iotsid/internal/mlearn"
+	"iotsid/internal/mlearn/tree"
+)
+
+// Config tunes the ensemble.
+type Config struct {
+	// Trees is the ensemble size; default 25.
+	Trees int
+	// MaxFeatures is the number of attributes each tree may split on;
+	// default ceil(sqrt(#attributes)) and never below 2.
+	MaxFeatures int
+	// Seed drives bootstrap and subspace sampling.
+	Seed int64
+	// Tree is the per-tree growth configuration (FeatureMask is owned by
+	// the forest and overwritten).
+	Tree tree.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Trees <= 0 {
+		c.Trees = 25
+	}
+	return c
+}
+
+// Forest is a trained ensemble.
+type Forest struct {
+	cfg   Config
+	trees []*tree.Tree
+}
+
+var _ mlearn.Classifier = (*Forest)(nil)
+
+// New builds an untrained forest.
+func New(cfg Config) *Forest { return &Forest{cfg: cfg.withDefaults()} }
+
+// Fit trains the ensemble.
+func (f *Forest) Fit(d *mlearn.Dataset) error {
+	if d.Len() == 0 {
+		return fmt.Errorf("forest: empty dataset")
+	}
+	rng := rand.New(rand.NewSource(f.cfg.Seed))
+	nAttrs := d.Schema.Len()
+	maxFeatures := f.cfg.MaxFeatures
+	if maxFeatures <= 0 {
+		maxFeatures = isqrtCeil(nAttrs)
+	}
+	if maxFeatures < 2 {
+		maxFeatures = 2
+	}
+	if maxFeatures > nAttrs {
+		maxFeatures = nAttrs
+	}
+	f.trees = make([]*tree.Tree, 0, f.cfg.Trees)
+	for i := 0; i < f.cfg.Trees; i++ {
+		// Bootstrap resample.
+		idx := make([]int, d.Len())
+		for j := range idx {
+			idx[j] = rng.Intn(d.Len())
+		}
+		sample := d.Subset(idx)
+		// Random feature subspace.
+		mask := make([]bool, nAttrs)
+		for _, a := range rng.Perm(nAttrs)[:maxFeatures] {
+			mask[a] = true
+		}
+		cfg := f.cfg.Tree
+		cfg.FeatureMask = mask
+		t := tree.New(cfg)
+		if err := t.Fit(sample); err != nil {
+			return fmt.Errorf("forest: tree %d: %w", i, err)
+		}
+		f.trees = append(f.trees, t)
+	}
+	return nil
+}
+
+// Predict returns the majority vote (ties break toward the smaller class).
+// An unfitted forest returns 0.
+func (f *Forest) Predict(x []float64) int {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	votes := make(map[int]int)
+	for _, t := range f.trees {
+		votes[t.Predict(x)]++
+	}
+	best, bestN := 0, -1
+	for c := 0; c <= maxKey(votes); c++ {
+		if n, ok := votes[c]; ok && n > bestN {
+			best, bestN = c, n
+		}
+	}
+	return best
+}
+
+// PredictProba averages the member trees' leaf distributions.
+func (f *Forest) PredictProba(x []float64) map[int]float64 {
+	if len(f.trees) == 0 {
+		return nil
+	}
+	out := make(map[int]float64)
+	for _, t := range f.trees {
+		for c, p := range t.PredictProba(x) {
+			out[c] += p
+		}
+	}
+	for c := range out {
+		out[c] /= float64(len(f.trees))
+	}
+	return out
+}
+
+// Size returns the number of trained trees.
+func (f *Forest) Size() int { return len(f.trees) }
+
+func isqrtCeil(n int) int {
+	for i := 1; ; i++ {
+		if i*i >= n {
+			return i
+		}
+	}
+}
+
+func maxKey(m map[int]int) int {
+	max := 0
+	for k := range m {
+		if k > max {
+			max = k
+		}
+	}
+	return max
+}

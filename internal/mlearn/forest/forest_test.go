@@ -1,0 +1,135 @@
+package forest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"iotsid/internal/mlearn"
+	"iotsid/internal/mlearn/tree"
+)
+
+func schema(t *testing.T) mlearn.Schema {
+	t.Helper()
+	s, err := mlearn.NewSchema([]mlearn.Attribute{
+		{Name: "temp", Kind: mlearn.Numeric},
+		{Name: "weather", Kind: mlearn.Categorical, Categories: []string{"sunny", "rain", "snow"}},
+		{Name: "hour", Kind: mlearn.Numeric},
+		{Name: "noise", Kind: mlearn.Numeric},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// noisy builds a dataset with signal on temp/weather plus label noise.
+func noisy(t *testing.T, n int, seed int64, flip float64) *mlearn.Dataset {
+	t.Helper()
+	d := mlearn.NewDataset(schema(t))
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		temp := rng.Float64() * 40
+		weather := float64(rng.Intn(3))
+		y := 0
+		if temp > 20 && weather != 1 {
+			y = 1
+		}
+		if rng.Float64() < flip {
+			y = 1 - y
+		}
+		if err := d.Add([]float64{temp, weather, rng.Float64() * 24, rng.Float64() * 60}, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestForestLearnsAndGeneralises(t *testing.T) {
+	train := noisy(t, 600, 1, 0.1)
+	test := noisy(t, 400, 2, 0)
+	f := New(Config{Trees: 31, Seed: 3, MaxFeatures: 3, Tree: tree.Config{MinSamplesLeaf: 3}})
+	if err := f.Fit(train); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if f.Size() != 31 {
+		t.Errorf("Size = %d", f.Size())
+	}
+	m := mlearn.Evaluate(f, test)
+	if m.Accuracy() < 0.9 {
+		t.Errorf("forest accuracy = %v", m.Accuracy())
+	}
+	// The ensemble should beat or match a lone unpruned tree on noisy
+	// training data.
+	lone := tree.New(tree.Config{MinSamplesLeaf: 1})
+	if err := lone.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	loneAcc := mlearn.Evaluate(lone, test).Accuracy()
+	if m.Accuracy()+0.02 < loneAcc {
+		t.Errorf("forest %v well below single tree %v", m.Accuracy(), loneAcc)
+	}
+}
+
+func TestForestPredictProba(t *testing.T) {
+	train := noisy(t, 400, 4, 0.05)
+	f := New(Config{Trees: 15, Seed: 5, MaxFeatures: 3})
+	if err := f.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	probs := f.PredictProba([]float64{35, 0, 12, 30})
+	var sum float64
+	for _, p := range probs {
+		if p < 0 || p > 1 {
+			t.Errorf("probability %v out of range", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %v", sum)
+	}
+	// Deep-positive example gets high positive probability.
+	if probs[1] < 0.7 {
+		t.Errorf("P(1) = %v for a clear positive", probs[1])
+	}
+}
+
+func TestForestDeterministicAndEdgeCases(t *testing.T) {
+	train := noisy(t, 200, 6, 0.05)
+	a, b := New(Config{Trees: 9, Seed: 7}), New(Config{Trees: 9, Seed: 7})
+	if err := a.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	probe := noisy(t, 100, 8, 0)
+	for i, x := range probe.X {
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+	// Unfitted behaviour.
+	var empty Forest
+	if empty.Predict([]float64{1, 0, 0, 0}) != 0 {
+		t.Error("unfitted Predict != 0")
+	}
+	if empty.PredictProba([]float64{1, 0, 0, 0}) != nil {
+		t.Error("unfitted PredictProba != nil")
+	}
+	// Empty dataset errors.
+	if err := New(Config{}).Fit(mlearn.NewDataset(schema(t))); err == nil {
+		t.Error("want empty error")
+	}
+}
+
+func TestForestMaxFeaturesClamped(t *testing.T) {
+	train := noisy(t, 200, 9, 0)
+	f := New(Config{Trees: 5, Seed: 1, MaxFeatures: 99})
+	if err := f.Fit(train); err != nil {
+		t.Fatalf("Fit with oversized MaxFeatures: %v", err)
+	}
+	if acc := mlearn.Evaluate(f, train).Accuracy(); acc < 0.9 {
+		t.Errorf("accuracy = %v", acc)
+	}
+}

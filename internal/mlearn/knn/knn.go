@@ -1,0 +1,92 @@
+// Package knn implements the k-nearest-neighbour baseline the paper
+// examined before choosing the decision tree (§IV-C: "We study the
+// classification algorithms in machine learning, such as KNN, support
+// vector machine, Naive Bayes, and decision tree"). Numeric attributes are
+// z-scored; distance is euclidean over numeric attributes plus a unit
+// hamming penalty per differing categorical attribute.
+package knn
+
+import (
+	"fmt"
+	"sort"
+
+	"iotsid/internal/mlearn"
+)
+
+// KNN is a lazy k-nearest-neighbour classifier.
+type KNN struct {
+	k     int
+	data  *mlearn.Dataset
+	std   *mlearn.Standardizer
+	zrows [][]float64
+}
+
+var _ mlearn.Classifier = (*KNN)(nil)
+
+// New builds a classifier with the given neighbourhood size.
+func New(k int) *KNN { return &KNN{k: k} }
+
+// Fit memorises the (standardised) training set.
+func (c *KNN) Fit(d *mlearn.Dataset) error {
+	if c.k < 1 {
+		return fmt.Errorf("knn: k must be ≥1, got %d", c.k)
+	}
+	if d.Len() == 0 {
+		return fmt.Errorf("knn: empty dataset")
+	}
+	std, err := mlearn.FitStandardizer(d)
+	if err != nil {
+		return err
+	}
+	c.data = d.Clone()
+	c.std = std
+	c.zrows = make([][]float64, d.Len())
+	for i, row := range c.data.X {
+		c.zrows[i] = std.Transform(row)
+	}
+	return nil
+}
+
+// Predict votes among the k nearest training examples. Ties break toward
+// the smaller class label; an unfitted classifier returns 0.
+func (c *KNN) Predict(x []float64) int {
+	if c.data == nil {
+		return 0
+	}
+	z := c.std.Transform(x)
+	type cand struct {
+		dist float64
+		y    int
+		i    int
+	}
+	cands := make([]cand, len(c.zrows))
+	for i, row := range c.zrows {
+		cands[i] = cand{dist: mlearn.MixedDistance(c.data.Schema, z, row), y: c.data.Y[i], i: i}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].dist != cands[b].dist {
+			return cands[a].dist < cands[b].dist
+		}
+		return cands[a].i < cands[b].i
+	})
+	k := c.k
+	if k > len(cands) {
+		k = len(cands)
+	}
+	votes := make(map[int]int)
+	for i := 0; i < k; i++ {
+		votes[cands[i].y]++
+	}
+	best, bestN := 0, -1
+	classes := make([]int, 0, len(votes))
+	for y := range votes {
+		classes = append(classes, y)
+	}
+	sort.Ints(classes)
+	for _, y := range classes {
+		if votes[y] > bestN {
+			best, bestN = y, votes[y]
+		}
+	}
+	return best
+}

@@ -1,0 +1,130 @@
+package knn
+
+import (
+	"math/rand"
+	"testing"
+
+	"iotsid/internal/mlearn"
+)
+
+func schema(t *testing.T) mlearn.Schema {
+	t.Helper()
+	s, err := mlearn.NewSchema([]mlearn.Attribute{
+		{Name: "temp", Kind: mlearn.Numeric},
+		{Name: "lux", Kind: mlearn.Numeric},
+		{Name: "weather", Kind: mlearn.Categorical, Categories: []string{"sunny", "rain"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// clusters builds two well-separated clusters; lux has a huge scale to
+// exercise standardisation.
+func clusters(t *testing.T, n int, seed int64) *mlearn.Dataset {
+	t.Helper()
+	d := mlearn.NewDataset(schema(t))
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			if err := d.Add([]float64{25 + rng.Float64()*3, 8000 + rng.Float64()*500, 0}, 1); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := d.Add([]float64{5 + rng.Float64()*3, 100 + rng.Float64()*500, 1}, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return d
+}
+
+func TestKNNSeparatesClusters(t *testing.T) {
+	train := clusters(t, 100, 1)
+	test := clusters(t, 60, 2)
+	for _, k := range []int{1, 3, 7} {
+		c := New(k)
+		if err := c.Fit(train); err != nil {
+			t.Fatalf("Fit(k=%d): %v", k, err)
+		}
+		m := mlearn.Evaluate(c, test)
+		if m.Accuracy() != 1 {
+			t.Errorf("k=%d accuracy = %v", k, m.Accuracy())
+		}
+	}
+}
+
+func TestKNNStandardisationMatters(t *testing.T) {
+	// Without z-scoring, lux (range ~8000) would drown temp; the clusters
+	// are still separable on lux alone here, so instead verify behaviour
+	// on a probe whose lux is ambiguous but temp decisive.
+	train := clusters(t, 100, 3)
+	c := New(3)
+	if err := c.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	// Warm, sunny probe with borderline lux: must be class 1.
+	if got := c.Predict([]float64{26, 4000, 0}); got != 1 {
+		t.Errorf("warm probe = %d, want 1", got)
+	}
+	if got := c.Predict([]float64{6, 4000, 1}); got != 0 {
+		t.Errorf("cold probe = %d, want 0", got)
+	}
+}
+
+func TestKNNErrorsAndEdgeCases(t *testing.T) {
+	if err := New(0).Fit(clusters(t, 10, 1)); err == nil {
+		t.Error("want k error")
+	}
+	if err := New(1).Fit(mlearn.NewDataset(schema(t))); err == nil {
+		t.Error("want empty error")
+	}
+	if got := New(3).Predict([]float64{1, 2, 0}); got != 0 {
+		t.Errorf("unfitted Predict = %d", got)
+	}
+	// k larger than the training set still works.
+	d := clusters(t, 4, 4)
+	c := New(99)
+	if err := c.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Predict([]float64{25, 8000, 0})
+}
+
+func TestKNNDoesNotAliasTrainingData(t *testing.T) {
+	d := clusters(t, 10, 5)
+	c := New(1)
+	if err := c.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Predict([]float64{25, 8200, 0})
+	// Corrupt the caller's dataset; the classifier must be unaffected.
+	for i := range d.X {
+		d.X[i][0] = -1000
+		d.Y[i] = 0
+	}
+	after := c.Predict([]float64{25, 8200, 0})
+	if before != after {
+		t.Error("classifier aliased caller-owned training data")
+	}
+}
+
+func TestKNNMajorityTieBreak(t *testing.T) {
+	// Two equidistant neighbours with different labels at k=2: the smaller
+	// class label wins deterministically.
+	d := mlearn.NewDataset(schema(t))
+	if err := d.Add([]float64{10, 100, 0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add([]float64{30, 100, 0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	c := New(2)
+	if err := c.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Predict([]float64{20, 100, 0}); got != 0 {
+		t.Errorf("tie break = %d, want 0", got)
+	}
+}

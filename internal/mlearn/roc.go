@@ -1,0 +1,79 @@
+package mlearn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ROCPoint is one operating point of a receiver operating characteristic.
+type ROCPoint struct {
+	Threshold float64 `json:"threshold"`
+	FPR       float64 `json:"fpr"`
+	TPR       float64 `json:"tpr"`
+}
+
+// Scorer produces a positive-class score for one example; classifiers with
+// PredictProba adapt to it via ProbaScorer.
+type Scorer func(x []float64) float64
+
+// ProbaScorer adapts a probability-producing classifier into a Scorer for
+// the positive class (label 1).
+func ProbaScorer(proba func(x []float64) map[int]float64) Scorer {
+	return func(x []float64) float64 {
+		return proba(x)[1]
+	}
+}
+
+// ROC sweeps every distinct score threshold over a labelled dataset and
+// returns the operating points (sorted by ascending FPR) plus the area
+// under the curve by trapezoidal rule.
+func ROC(score Scorer, d *Dataset) ([]ROCPoint, float64, error) {
+	if d.Len() == 0 {
+		return nil, 0, fmt.Errorf("mlearn: empty dataset")
+	}
+	var pos, neg int
+	type scored struct {
+		s float64
+		y int
+	}
+	rows := make([]scored, d.Len())
+	for i, x := range d.X {
+		rows[i] = scored{s: score(x), y: d.Y[i]}
+		if d.Y[i] == 1 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, 0, fmt.Errorf("mlearn: ROC needs both classes (pos=%d, neg=%d)", pos, neg)
+	}
+	// Descending score: lowering the threshold admits rows in this order.
+	sort.Slice(rows, func(i, j int) bool { return rows[i].s > rows[j].s })
+
+	points := []ROCPoint{{Threshold: rows[0].s + 1, FPR: 0, TPR: 0}}
+	tp, fp := 0, 0
+	for i := 0; i < len(rows); {
+		// Admit every row tied at this score together.
+		s := rows[i].s
+		for i < len(rows) && rows[i].s == s {
+			if rows[i].y == 1 {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		points = append(points, ROCPoint{
+			Threshold: s,
+			FPR:       float64(fp) / float64(neg),
+			TPR:       float64(tp) / float64(pos),
+		})
+	}
+	// Trapezoidal AUC.
+	var auc float64
+	for i := 1; i < len(points); i++ {
+		auc += (points[i].FPR - points[i-1].FPR) * (points[i].TPR + points[i-1].TPR) / 2
+	}
+	return points, auc, nil
+}

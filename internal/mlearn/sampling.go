@@ -1,0 +1,165 @@
+package mlearn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// OversampleRandom balances the dataset by duplicating minority-class
+// examples uniformly at random until every class matches the majority class
+// count. This is the paper's chosen fix for its heavily positive-skewed
+// automation-strategy corpus (§IV-C-2).
+func OversampleRandom(d *Dataset, rng *rand.Rand) (*Dataset, error) {
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("mlearn: empty dataset")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("mlearn: nil rng")
+	}
+	counts := d.ClassCounts()
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	out := d.Clone()
+	byClass := make(map[int][]int)
+	for i, y := range d.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	classes := d.Classes()
+	for _, c := range classes {
+		idx := byClass[c]
+		for n := len(idx); n < max; n++ {
+			src := idx[rng.Intn(len(idx))]
+			row := make([]float64, len(d.X[src]))
+			copy(row, d.X[src])
+			out.X = append(out.X, row)
+			out.Y = append(out.Y, c)
+		}
+	}
+	return out, nil
+}
+
+// OversampleSMOTE balances the dataset with SMOTE: each synthetic minority
+// example interpolates a random minority example toward one of its k nearest
+// minority neighbours. Numeric attributes interpolate linearly; categorical
+// attributes copy from one endpoint at random.
+func OversampleSMOTE(d *Dataset, k int, rng *rand.Rand) (*Dataset, error) {
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("mlearn: empty dataset")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("mlearn: nil rng")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("mlearn: SMOTE k must be ≥1, got %d", k)
+	}
+	counts := d.ClassCounts()
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	out := d.Clone()
+	byClass := make(map[int][]int)
+	for i, y := range d.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	for _, c := range d.Classes() {
+		idx := byClass[c]
+		need := max - len(idx)
+		if need <= 0 {
+			continue
+		}
+		if len(idx) == 1 {
+			// A single example has no neighbours: fall back to duplication.
+			for n := 0; n < need; n++ {
+				row := make([]float64, len(d.X[idx[0]]))
+				copy(row, d.X[idx[0]])
+				out.X = append(out.X, row)
+				out.Y = append(out.Y, c)
+			}
+			continue
+		}
+		kk := k
+		if kk > len(idx)-1 {
+			kk = len(idx) - 1
+		}
+		neighbours := nearestWithinClass(d, idx, kk)
+		for n := 0; n < need; n++ {
+			a := rng.Intn(len(idx))
+			b := neighbours[a][rng.Intn(kk)]
+			row := synthesize(d, d.X[idx[a]], d.X[b], rng)
+			out.X = append(out.X, row)
+			out.Y = append(out.Y, c)
+		}
+	}
+	return out, nil
+}
+
+// nearestWithinClass computes, for each member of idx, the indices (into the
+// full dataset) of its k nearest same-class neighbours under the mixed
+// euclidean/hamming distance.
+func nearestWithinClass(d *Dataset, idx []int, k int) [][]int {
+	out := make([][]int, len(idx))
+	for i, a := range idx {
+		type cand struct {
+			j    int
+			dist float64
+		}
+		cands := make([]cand, 0, len(idx)-1)
+		for _, b := range idx {
+			if a == b {
+				continue
+			}
+			cands = append(cands, cand{j: b, dist: MixedDistance(d.Schema, d.X[a], d.X[b])})
+		}
+		sort.Slice(cands, func(x, y int) bool {
+			if cands[x].dist != cands[y].dist {
+				return cands[x].dist < cands[y].dist
+			}
+			return cands[x].j < cands[y].j
+		})
+		nn := make([]int, 0, k)
+		for j := 0; j < k && j < len(cands); j++ {
+			nn = append(nn, cands[j].j)
+		}
+		out[i] = nn
+	}
+	return out
+}
+
+func synthesize(d *Dataset, a, b []float64, rng *rand.Rand) []float64 {
+	row := make([]float64, len(a))
+	gap := rng.Float64()
+	for i, attr := range d.Schema.Attrs {
+		if attr.Kind == Numeric {
+			row[i] = a[i] + gap*(b[i]-a[i])
+		} else if rng.Intn(2) == 0 {
+			row[i] = a[i]
+		} else {
+			row[i] = b[i]
+		}
+	}
+	return row
+}
+
+// MixedDistance is the euclidean distance over numeric attributes plus a
+// unit hamming penalty per differing categorical attribute.
+func MixedDistance(s Schema, a, b []float64) float64 {
+	var sum float64
+	for i, attr := range s.Attrs {
+		if attr.Kind == Numeric {
+			diff := a[i] - b[i]
+			sum += diff * diff
+		} else if a[i] != b[i] {
+			sum++
+		}
+	}
+	return math.Sqrt(sum)
+}

@@ -1,0 +1,111 @@
+package mlearn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOversampleRandomBalances(t *testing.T) {
+	d := imbalanced(t, 90, 10, 1)
+	out, err := OversampleRandom(d, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("OversampleRandom: %v", err)
+	}
+	counts := out.ClassCounts()
+	if counts[0] != 90 || counts[1] != 90 {
+		t.Errorf("counts = %v, want 90/90", counts)
+	}
+	// Original dataset untouched.
+	if d.Len() != 100 {
+		t.Errorf("source mutated: len = %d", d.Len())
+	}
+	// Synthesised rows are valid duplicates of minority rows (cold/rain).
+	for i := 100; i < out.Len(); i++ {
+		if out.Y[i] != 0 {
+			t.Fatalf("appended row %d has label %d", i, out.Y[i])
+		}
+		if out.X[i][0] > 15 {
+			t.Fatalf("appended row %d not a minority copy: %v", i, out.X[i])
+		}
+	}
+}
+
+func TestOversampleRandomErrors(t *testing.T) {
+	d := imbalanced(t, 5, 5, 1)
+	if _, err := OversampleRandom(d, nil); err == nil {
+		t.Error("want nil rng error")
+	}
+	if _, err := OversampleRandom(NewDataset(testSchema(t)), rand.New(rand.NewSource(1))); err == nil {
+		t.Error("want empty error")
+	}
+}
+
+func TestOversampleSMOTEBalancesAndInterpolates(t *testing.T) {
+	d := imbalanced(t, 80, 20, 2)
+	out, err := OversampleSMOTE(d, 3, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("OversampleSMOTE: %v", err)
+	}
+	counts := out.ClassCounts()
+	if counts[0] != 80 || counts[1] != 80 {
+		t.Errorf("counts = %v", counts)
+	}
+	// Synthetic minority rows stay inside the minority's numeric envelope
+	// (interpolation cannot extrapolate) and keep valid category indices.
+	for i := d.Len(); i < out.Len(); i++ {
+		x := out.X[i]
+		if x[0] < 5 || x[0] > 11 {
+			t.Errorf("synthetic temp %v outside minority range [5,11]", x[0])
+		}
+		for j, a := range out.Schema.Attrs {
+			if a.Kind == Categorical {
+				idx := int(x[j])
+				if float64(idx) != x[j] || idx < 0 || idx >= len(a.Categories) {
+					t.Errorf("synthetic categorical cell %d invalid: %v", j, x[j])
+				}
+			}
+		}
+	}
+}
+
+func TestOversampleSMOTESingleMinorityFallsBack(t *testing.T) {
+	d := imbalanced(t, 5, 1, 3)
+	out, err := OversampleSMOTE(d, 3, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("OversampleSMOTE: %v", err)
+	}
+	if got := out.ClassCounts()[0]; got != 5 {
+		t.Errorf("minority count = %d", got)
+	}
+}
+
+func TestOversampleSMOTEErrors(t *testing.T) {
+	d := imbalanced(t, 5, 5, 1)
+	if _, err := OversampleSMOTE(d, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("want k error")
+	}
+	if _, err := OversampleSMOTE(d, 1, nil); err == nil {
+		t.Error("want nil rng error")
+	}
+	if _, err := OversampleSMOTE(NewDataset(testSchema(t)), 1, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("want empty error")
+	}
+}
+
+func TestOversampleAlreadyBalancedIsNoOp(t *testing.T) {
+	d := imbalanced(t, 10, 10, 4)
+	out, err := OversampleRandom(d, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != d.Len() {
+		t.Errorf("balanced dataset grew: %d -> %d", d.Len(), out.Len())
+	}
+	out, err = OversampleSMOTE(d, 2, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != d.Len() {
+		t.Errorf("balanced dataset grew under SMOTE: %d -> %d", d.Len(), out.Len())
+	}
+}

@@ -1,0 +1,130 @@
+// Package svm implements the linear support-vector-machine baseline
+// (§IV-C) with the Pegasos primal sub-gradient solver. Categorical
+// attributes are one-hot encoded and numeric attributes z-scored before
+// training. The classifier is binary: label 1 is the positive class,
+// everything else maps to -1.
+package svm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"iotsid/internal/mlearn"
+)
+
+// Config tunes the Pegasos solver.
+type Config struct {
+	Lambda float64 // regularisation strength; default 1e-4
+	Epochs int     // passes over the data; default 20
+	Seed   int64   // SGD sampling seed
+}
+
+func (c Config) withDefaults() Config {
+	if c.Lambda <= 0 {
+		c.Lambda = 1e-4
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 20
+	}
+	return c
+}
+
+// SVM is a trained linear max-margin classifier.
+type SVM struct {
+	cfg Config
+	enc *mlearn.OneHot
+	w   []float64
+	b   float64
+}
+
+var _ mlearn.Classifier = (*SVM)(nil)
+
+// New builds an untrained SVM.
+func New(cfg Config) *SVM { return &SVM{cfg: cfg.withDefaults()} }
+
+// Fit runs Pegasos SGD over the one-hot encoded dataset.
+func (s *SVM) Fit(d *mlearn.Dataset) error {
+	if d.Len() == 0 {
+		return fmt.Errorf("svm: empty dataset")
+	}
+	for _, y := range d.Classes() {
+		if y != 0 && y != 1 {
+			return fmt.Errorf("svm: binary classifier requires labels {0,1}, saw %d", y)
+		}
+	}
+	enc, err := mlearn.FitOneHot(d)
+	if err != nil {
+		return err
+	}
+	s.enc = enc
+	rows := make([][]float64, d.Len())
+	ys := make([]float64, d.Len())
+	for i, x := range d.X {
+		rows[i] = enc.Encode(x)
+		if d.Y[i] == 1 {
+			ys[i] = 1
+		} else {
+			ys[i] = -1
+		}
+	}
+	w := make([]float64, enc.Width())
+	var b float64
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+	lambda := s.cfg.Lambda
+	t := 0
+	steps := s.cfg.Epochs * d.Len()
+	for step := 0; step < steps; step++ {
+		t++
+		i := rng.Intn(len(rows))
+		eta := 1 / (lambda * float64(t))
+		margin := ys[i] * (dot(w, rows[i]) + b)
+		// w <- (1 - eta*lambda) w [+ eta*y*x if margin violated]
+		scale := 1 - eta*lambda
+		for j := range w {
+			w[j] *= scale
+		}
+		if margin < 1 {
+			for j := range w {
+				w[j] += eta * ys[i] * rows[i][j]
+			}
+			b += eta * ys[i]
+		}
+		// Pegasos projection onto the 1/sqrt(lambda) ball.
+		norm := math.Sqrt(dot(w, w))
+		if bound := 1 / math.Sqrt(lambda); norm > bound {
+			f := bound / norm
+			for j := range w {
+				w[j] *= f
+			}
+		}
+	}
+	s.w = w
+	s.b = b
+	return nil
+}
+
+// Predict returns 1 for a non-negative margin, 0 otherwise. An unfitted
+// classifier returns 0.
+func (s *SVM) Predict(x []float64) int {
+	if s.w == nil {
+		return 0
+	}
+	if s.Margin(x) >= 0 {
+		return 1
+	}
+	return 0
+}
+
+// Margin returns the signed distance proxy w·x+b for one example.
+func (s *SVM) Margin(x []float64) float64 {
+	return dot(s.w, s.enc.Encode(x)) + s.b
+}
+
+func dot(a, b []float64) float64 {
+	var sum float64
+	for i := range a {
+		sum += a[i] * b[i]
+	}
+	return sum
+}

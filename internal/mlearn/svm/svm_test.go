@@ -1,0 +1,108 @@
+package svm
+
+import (
+	"math/rand"
+	"testing"
+
+	"iotsid/internal/mlearn"
+)
+
+func schema(t *testing.T) mlearn.Schema {
+	t.Helper()
+	s, err := mlearn.NewSchema([]mlearn.Attribute{
+		{Name: "temp", Kind: mlearn.Numeric},
+		{Name: "lux", Kind: mlearn.Numeric},
+		{Name: "weather", Kind: mlearn.Categorical, Categories: []string{"sunny", "rain"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func linearly(t *testing.T, n int, seed int64) *mlearn.Dataset {
+	t.Helper()
+	d := mlearn.NewDataset(schema(t))
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			if err := d.Add([]float64{22 + rng.Float64()*8, 5000 + rng.Float64()*3000, 0}, 1); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := d.Add([]float64{2 + rng.Float64()*8, rng.Float64() * 2000, 1}, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return d
+}
+
+func TestSVMSeparatesLinearData(t *testing.T) {
+	train := linearly(t, 300, 1)
+	test := linearly(t, 150, 2)
+	c := New(Config{Seed: 7})
+	if err := c.Fit(train); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	m := mlearn.Evaluate(c, test)
+	if m.Accuracy() < 0.98 {
+		t.Errorf("accuracy = %v", m.Accuracy())
+	}
+}
+
+func TestSVMMarginSign(t *testing.T) {
+	c := New(Config{Seed: 1})
+	if err := c.Fit(linearly(t, 200, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if m := c.Margin([]float64{28, 7000, 0}); m <= 0 {
+		t.Errorf("positive-class margin = %v", m)
+	}
+	if m := c.Margin([]float64{3, 100, 1}); m >= 0 {
+		t.Errorf("negative-class margin = %v", m)
+	}
+}
+
+func TestSVMRejectsNonBinaryLabels(t *testing.T) {
+	d := mlearn.NewDataset(schema(t))
+	if err := d.Add([]float64{1, 1, 0}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := New(Config{}).Fit(d); err == nil {
+		t.Error("want label error")
+	}
+}
+
+func TestSVMEmptyAndUnfitted(t *testing.T) {
+	if err := New(Config{}).Fit(mlearn.NewDataset(schema(t))); err == nil {
+		t.Error("want empty error")
+	}
+	if got := New(Config{}).Predict([]float64{1, 1, 0}); got != 0 {
+		t.Errorf("unfitted Predict = %d", got)
+	}
+}
+
+func TestSVMDeterministicGivenSeed(t *testing.T) {
+	train := linearly(t, 200, 4)
+	probe := linearly(t, 50, 5)
+	a, b := New(Config{Seed: 9}), New(Config{Seed: 9})
+	if err := a.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range probe.X {
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatalf("divergence at %d", i)
+		}
+	}
+}
+
+func TestSVMConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Lambda <= 0 || cfg.Epochs <= 0 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+}

@@ -1,0 +1,53 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the fitted tree in Graphviz dot format — the interpretability
+// companion to the Fig 6 feature weights: the exact rule the feature memory
+// enforces, human-readable.
+func (t *Tree) DOT(name string) (string, error) {
+	if t.root == nil {
+		return "", fmt.Errorf("tree: not fitted")
+	}
+	if name == "" {
+		name = "tree"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  node [shape=box, fontname=\"monospace\"];\n")
+	id := 0
+	t.writeDOT(&b, t.root, &id)
+	b.WriteString("}\n")
+	return b.String(), nil
+}
+
+// writeDOT emits the subtree rooted at n and returns its node id.
+func (t *Tree) writeDOT(b *strings.Builder, n *node, id *int) int {
+	me := *id
+	*id++
+	if n.Leaf {
+		label := fmt.Sprintf("class %d\\nsamples %d", n.Class, n.Samples)
+		fill := "#fde9e9"
+		if n.Class == 1 {
+			fill = "#e9f5e9"
+		}
+		fmt.Fprintf(b, "  n%d [label=\"%s\", style=filled, fillcolor=%q];\n", me, label, fill)
+		return me
+	}
+	attr := t.schema.Attrs[n.Attr]
+	var cond string
+	if n.Numeric {
+		cond = fmt.Sprintf("%s <= %.3g", attr.Name, n.Threshold)
+	} else {
+		cond = fmt.Sprintf("%s == %s", attr.Name, attr.Categories[n.Category])
+	}
+	fmt.Fprintf(b, "  n%d [label=\"%s\\nsamples %d, impurity %.3f\"];\n", me, cond, n.Samples, n.Impurity)
+	left := t.writeDOT(b, n.Left, id)
+	right := t.writeDOT(b, n.Right, id)
+	fmt.Fprintf(b, "  n%d -> n%d [label=\"yes\"];\n", me, left)
+	fmt.Fprintf(b, "  n%d -> n%d [label=\"no\"];\n", me, right)
+	return me
+}

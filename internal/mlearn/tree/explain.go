@@ -1,0 +1,70 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PathStep is one comparison taken while routing an example to its leaf.
+type PathStep struct {
+	Attr      string  `json:"attr"`
+	Condition string  `json:"condition"`
+	Taken     bool    `json:"taken"` // whether the condition held
+	Samples   int     `json:"samples"`
+	Impurity  float64 `json:"impurity"`
+}
+
+// Explain returns the decision path for one example: every split condition
+// the example was tested against, whether it held, and the predicted class
+// with the leaf's training support. This is the human-readable counterpart
+// of the Fig 6 feature weights — *why* the determiner accepted or rejected
+// a context.
+func (t *Tree) Explain(x []float64) ([]PathStep, int, error) {
+	if t.root == nil {
+		return nil, 0, fmt.Errorf("tree: not fitted")
+	}
+	var steps []PathStep
+	n := t.root
+	for !n.Leaf {
+		attr := t.schema.Attrs[n.Attr]
+		var cond string
+		if n.Numeric {
+			cond = fmt.Sprintf("%s <= %.4g", attr.Name, n.Threshold)
+		} else {
+			cond = fmt.Sprintf("%s == %s", attr.Name, attr.Categories[n.Category])
+		}
+		taken := goesLeft(x, n.Attr, n.Numeric, n.Threshold, n.Category)
+		steps = append(steps, PathStep{
+			Attr:      attr.Name,
+			Condition: cond,
+			Taken:     taken,
+			Samples:   n.Samples,
+			Impurity:  n.Impurity,
+		})
+		if taken {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return steps, n.Class, nil
+}
+
+// ExplainString renders the decision path compactly, e.g.
+// "smoke == false ✓ → voice_command == false ✗ → class 1".
+func (t *Tree) ExplainString(x []float64) (string, error) {
+	steps, class, err := t.Explain(x)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, s := range steps {
+		mark := "✗"
+		if s.Taken {
+			mark = "✓"
+		}
+		fmt.Fprintf(&b, "%s %s → ", s.Condition, mark)
+	}
+	fmt.Fprintf(&b, "class %d", class)
+	return b.String(), nil
+}

@@ -1,0 +1,65 @@
+package tree
+
+import (
+	"fmt"
+
+	"iotsid/internal/mlearn"
+)
+
+// Prune applies reduced-error pruning against a held-out validation set:
+// bottom-up, every internal subtree whose majority-class leaf would make no
+// more validation errors than the subtree itself is collapsed. Pruning
+// combats the over-fitting the paper's cross-validation is meant to detect
+// ("the accuracy of the training set is greater than the accuracy of the
+// test set, indicating that cross-validation has successfully avoided ...
+// over-fitting").
+func (t *Tree) Prune(val *mlearn.Dataset) error {
+	if t.root == nil {
+		return fmt.Errorf("tree: not fitted")
+	}
+	if val.Len() == 0 {
+		return fmt.Errorf("tree: empty validation set")
+	}
+	if val.Schema.Len() != t.schema.Len() {
+		return fmt.Errorf("tree: validation schema width %d, tree schema width %d",
+			val.Schema.Len(), t.schema.Len())
+	}
+	idx := make([]int, val.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	pruneNode(t.root, val, idx)
+	return nil
+}
+
+// pruneNode returns the validation error count of the (possibly pruned)
+// subtree rooted at n over the given validation rows.
+func pruneNode(n *node, val *mlearn.Dataset, idx []int) int {
+	leafErr := 0
+	for _, i := range idx {
+		if val.Y[i] != n.Class {
+			leafErr++
+		}
+	}
+	if n.Leaf {
+		return leafErr
+	}
+	var left, right []int
+	for _, i := range idx {
+		if goesLeft(val.X[i], n.Attr, n.Numeric, n.Threshold, n.Category) {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	subErr := pruneNode(n.Left, val, left) + pruneNode(n.Right, val, right)
+	if leafErr <= subErr {
+		n.Leaf = true
+		n.Left, n.Right = nil, nil
+		n.Numeric = false
+		n.Attr, n.Category = 0, 0
+		n.Threshold = 0
+		return leafErr
+	}
+	return subErr
+}

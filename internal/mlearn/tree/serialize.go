@@ -1,0 +1,82 @@
+package tree
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"iotsid/internal/mlearn"
+)
+
+// treeJSON is the on-disk form of a trained tree — this is what the
+// feature memory persists per device model.
+type treeJSON struct {
+	Config      Config        `json:"config"`
+	Schema      mlearn.Schema `json:"schema"`
+	Root        *node         `json:"root"`
+	Importances []float64     `json:"importances"`
+	NTrain      int           `json:"n_train"`
+}
+
+// MarshalJSON serialises a fitted tree.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	if t.root == nil {
+		return nil, fmt.Errorf("tree: cannot serialise unfitted tree")
+	}
+	return json.Marshal(treeJSON{
+		Config:      t.cfg,
+		Schema:      t.schema,
+		Root:        t.root,
+		Importances: t.importances,
+		NTrain:      t.nTrain,
+	})
+}
+
+// UnmarshalJSON restores a serialised tree.
+func (t *Tree) UnmarshalJSON(data []byte) error {
+	var raw treeJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	if raw.Root == nil {
+		return fmt.Errorf("tree: serialised tree has no root")
+	}
+	if len(raw.Importances) != raw.Schema.Len() {
+		return fmt.Errorf("tree: importances width %d, schema width %d",
+			len(raw.Importances), raw.Schema.Len())
+	}
+	if err := validateNode(raw.Root, raw.Schema); err != nil {
+		return err
+	}
+	t.cfg = raw.Config.withDefaults()
+	t.schema = raw.Schema
+	t.root = raw.Root
+	t.importances = raw.Importances
+	t.nTrain = raw.NTrain
+	return nil
+}
+
+func validateNode(n *node, s mlearn.Schema) error {
+	if n.Leaf {
+		if n.Left != nil || n.Right != nil {
+			return fmt.Errorf("tree: leaf with children")
+		}
+		return nil
+	}
+	if n.Left == nil || n.Right == nil {
+		return fmt.Errorf("tree: internal node missing children")
+	}
+	if n.Attr < 0 || n.Attr >= s.Len() {
+		return fmt.Errorf("tree: split attribute %d outside schema", n.Attr)
+	}
+	attr := s.Attrs[n.Attr]
+	if n.Numeric != (attr.Kind == mlearn.Numeric) {
+		return fmt.Errorf("tree: split type mismatch on attribute %q", attr.Name)
+	}
+	if !n.Numeric && (n.Category < 0 || n.Category >= len(attr.Categories)) {
+		return fmt.Errorf("tree: split category %d outside domain of %q", n.Category, attr.Name)
+	}
+	if err := validateNode(n.Left, s); err != nil {
+		return err
+	}
+	return validateNode(n.Right, s)
+}

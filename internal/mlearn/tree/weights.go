@@ -1,0 +1,41 @@
+package tree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Weight is one entry of the feature weight map of Fig 6.
+type Weight struct {
+	Attr   string  `json:"attr"`
+	Weight float64 `json:"weight"`
+}
+
+// FeatureWeights returns the normalised per-attribute importance weights —
+// the impurity decrease each attribute contributed while growing the tree,
+// scaled to sum to 1. Attributes that never split carry weight 0. Sorted by
+// descending weight (ties by name) to match the paper's Fig 6 presentation.
+func (t *Tree) FeatureWeights() ([]Weight, error) {
+	if t.root == nil {
+		return nil, fmt.Errorf("tree: not fitted")
+	}
+	var total float64
+	for _, v := range t.importances {
+		total += v
+	}
+	out := make([]Weight, 0, len(t.importances))
+	for i, v := range t.importances {
+		w := 0.0
+		if total > 0 {
+			w = v / total
+		}
+		out = append(out, Weight{Attr: t.schema.Attrs[i].Name, Weight: w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Attr < out[j].Attr
+	})
+	return out, nil
+}

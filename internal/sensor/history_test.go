@@ -1,0 +1,143 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func histSnap(at time.Time, temp float64, smoke bool) Snapshot {
+	s := NewSnapshot(at)
+	s.Set(FeatTempIndoor, Number(temp))
+	s.Set(FeatSmoke, Bool(smoke))
+	return s
+}
+
+func TestHistoryPushAndLatest(t *testing.T) {
+	h := NewHistory(8)
+	if _, ok := h.Latest(); ok {
+		t.Error("empty history has a latest")
+	}
+	for i := 0; i < 5; i++ {
+		if err := h.Push(histSnap(testTime.Add(time.Duration(i)*time.Minute), 20+float64(i), false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Len() != 5 {
+		t.Fatalf("len = %d", h.Len())
+	}
+	latest, ok := h.Latest()
+	if !ok || !latest.At.Equal(testTime.Add(4*time.Minute)) {
+		t.Errorf("latest = %v", latest.At)
+	}
+	// Out-of-order rejection.
+	if err := h.Push(histSnap(testTime, 19, false)); err == nil {
+		t.Error("want out-of-order error")
+	}
+	// Equal timestamp is accepted (same tick, fresher values).
+	if err := h.Push(histSnap(testTime.Add(4*time.Minute), 30, false)); err != nil {
+		t.Errorf("same-time push: %v", err)
+	}
+}
+
+func TestHistoryRingEviction(t *testing.T) {
+	h := NewHistory(4)
+	for i := 0; i < 10; i++ {
+		if err := h.Push(histSnap(testTime.Add(time.Duration(i)*time.Minute), float64(i), false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Len() != 4 {
+		t.Fatalf("len = %d", h.Len())
+	}
+	window := h.Window(time.Hour)
+	if len(window) != 4 {
+		t.Fatalf("window = %d", len(window))
+	}
+	if n, _ := window[0].Number(FeatTempIndoor); n != 6 {
+		t.Errorf("oldest retained = %v, want 6", n)
+	}
+}
+
+func TestHistoryWindowCutoff(t *testing.T) {
+	h := NewHistory(16)
+	for i := 0; i < 10; i++ {
+		if err := h.Push(histSnap(testTime.Add(time.Duration(i)*time.Minute), float64(i), false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Newest is at +9m; a 3m window covers +6..+9.
+	window := h.Window(3 * time.Minute)
+	if len(window) != 4 {
+		t.Fatalf("window = %d", len(window))
+	}
+	for i := 1; i < len(window); i++ {
+		if window[i].At.Before(window[i-1].At) {
+			t.Error("window not oldest-first")
+		}
+	}
+	if h2 := NewHistory(4); h2.Window(time.Minute) != nil {
+		t.Error("empty window should be nil")
+	}
+}
+
+func TestAggregateNumeric(t *testing.T) {
+	h := NewHistory(16)
+	temps := []float64{20, 22, 21, 25}
+	for i, x := range temps {
+		if err := h.Push(histSnap(testTime.Add(time.Duration(i)*time.Minute), x, false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	agg, ok := h.AggregateNumeric(FeatTempIndoor, time.Hour)
+	if !ok {
+		t.Fatal("no aggregate")
+	}
+	if agg.Count != 4 || agg.Min != 20 || agg.Max != 25 || agg.Delta != 5 {
+		t.Errorf("agg = %+v", agg)
+	}
+	if math.Abs(agg.Mean-22) > 1e-12 {
+		t.Errorf("mean = %v", agg.Mean)
+	}
+	// Feature absent from every snapshot.
+	if _, ok := h.AggregateNumeric(FeatHumidity, time.Hour); ok {
+		t.Error("aggregate over absent feature should fail")
+	}
+}
+
+func TestTrueFractionAndChangedAt(t *testing.T) {
+	h := NewHistory(16)
+	pattern := []bool{false, false, true, true, false}
+	for i, b := range pattern {
+		if err := h.Push(histSnap(testTime.Add(time.Duration(i)*time.Minute), 20, b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frac, ok := h.TrueFraction(FeatSmoke, time.Hour)
+	if !ok || math.Abs(frac-0.4) > 1e-12 {
+		t.Errorf("frac = %v, %v", frac, ok)
+	}
+	if _, ok := h.TrueFraction(FeatMotion, time.Hour); ok {
+		t.Error("fraction over absent feature should fail")
+	}
+	changes := h.ChangedAt(FeatSmoke, time.Hour)
+	if len(changes) != 2 {
+		t.Fatalf("changes = %v", changes)
+	}
+	if !changes[0].Equal(testTime.Add(2*time.Minute)) || !changes[1].Equal(testTime.Add(4*time.Minute)) {
+		t.Errorf("change times = %v", changes)
+	}
+}
+
+func TestHistoryCapacityClamp(t *testing.T) {
+	h := NewHistory(0)
+	if err := h.Push(histSnap(testTime, 20, false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Push(histSnap(testTime.Add(time.Minute), 21, false)); err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 2 {
+		t.Errorf("len = %d, want clamped capacity 2", h.Len())
+	}
+}

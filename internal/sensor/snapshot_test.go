@@ -1,0 +1,167 @@
+package sensor
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+var testTime = time.Date(2021, 3, 14, 15, 9, 26, 0, time.UTC)
+
+func sampleSnapshot() Snapshot {
+	s := NewSnapshot(testTime)
+	s.Set(FeatSmoke, Bool(false))
+	s.Set(FeatTempIndoor, Number(22.5))
+	s.Set(FeatWeather, Label(WeatherRain))
+	s.Set(FeatDoorLock, Label(LockLocked))
+	return s
+}
+
+func TestSnapshotAccessors(t *testing.T) {
+	s := sampleSnapshot()
+	if s.Bool(FeatSmoke) {
+		t.Error("smoke should be false")
+	}
+	if s.Bool(FeatMotion) {
+		t.Error("absent boolean should default false")
+	}
+	if n, ok := s.Number(FeatTempIndoor); !ok || n != 22.5 {
+		t.Errorf("temp = %v,%v", n, ok)
+	}
+	if _, ok := s.Number(FeatHumidity); ok {
+		t.Error("absent number should not be ok")
+	}
+	if got := s.LabelOr(FeatWeather, "sunny"); got != WeatherRain {
+		t.Errorf("weather = %q", got)
+	}
+	if got := s.LabelOr(FeatHour, "def"); got != "def" {
+		t.Errorf("LabelOr on number = %q", got)
+	}
+	if got := s.LabelOr(Feature("nope"), "def"); got != "def" {
+		t.Errorf("LabelOr on absent = %q", got)
+	}
+}
+
+func TestSnapshotCloneIsolation(t *testing.T) {
+	s := sampleSnapshot()
+	c := s.Clone()
+	c.Set(FeatSmoke, Bool(true))
+	if s.Bool(FeatSmoke) {
+		t.Error("mutating clone leaked into original")
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	s := sampleSnapshot()
+	o := NewSnapshot(testTime.Add(time.Minute))
+	o.Set(FeatSmoke, Bool(true))
+	o.Set(FeatMotion, Bool(true))
+
+	m := s.Merge(o)
+	if !m.Bool(FeatSmoke) {
+		t.Error("overlay value should win")
+	}
+	if !m.Bool(FeatMotion) {
+		t.Error("overlay-only value missing")
+	}
+	if n, ok := m.Number(FeatTempIndoor); !ok || n != 22.5 {
+		t.Error("base value lost in merge")
+	}
+	if !m.At.Equal(testTime.Add(time.Minute)) {
+		t.Errorf("merge timestamp = %v", m.At)
+	}
+	if s.Bool(FeatSmoke) {
+		t.Error("merge mutated receiver")
+	}
+}
+
+func TestSnapshotFeaturesSorted(t *testing.T) {
+	s := sampleSnapshot()
+	feats := s.Features()
+	if len(feats) != 4 {
+		t.Fatalf("len = %d", len(feats))
+	}
+	for i := 1; i < len(feats); i++ {
+		if feats[i-1] >= feats[i] {
+			t.Errorf("features not sorted: %v", feats)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	s := sampleSnapshot()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !back.At.Equal(s.At) {
+		t.Errorf("At = %v, want %v", back.At, s.At)
+	}
+	if len(back.Values) != len(s.Values) {
+		t.Fatalf("values len = %d, want %d", len(back.Values), len(s.Values))
+	}
+	for f, v := range s.Values {
+		if got := back.Values[f]; !got.Equal(v) {
+			t.Errorf("feature %q = %v, want %v", f, got, v)
+		}
+	}
+}
+
+func TestFromReadingsKeepsNewest(t *testing.T) {
+	readings := []Reading{
+		{SensorID: "a", Kind: KindTemperature, Feature: FeatTempIndoor, Value: Number(20), At: testTime},
+		{SensorID: "a", Kind: KindTemperature, Feature: FeatTempIndoor, Value: Number(25), At: testTime.Add(time.Minute)},
+		{SensorID: "a", Kind: KindTemperature, Feature: FeatTempIndoor, Value: Number(19), At: testTime.Add(-time.Minute)},
+		{SensorID: "b", Kind: KindSmoke, Feature: FeatSmoke, Value: Bool(true), At: testTime},
+	}
+	s := FromReadings(readings)
+	if n, _ := s.Number(FeatTempIndoor); n != 25 {
+		t.Errorf("temp = %v, want newest 25", n)
+	}
+	if !s.Bool(FeatSmoke) {
+		t.Error("smoke reading lost")
+	}
+	if !s.At.Equal(testTime.Add(time.Minute)) {
+		t.Errorf("At = %v", s.At)
+	}
+}
+
+func TestSnapshotValidate(t *testing.T) {
+	t.Run("valid", func(t *testing.T) {
+		if err := sampleSnapshot().Validate(); err != nil {
+			t.Errorf("Validate() = %v", err)
+		}
+	})
+	t.Run("unknown feature", func(t *testing.T) {
+		s := NewSnapshot(testTime)
+		s.Set(Feature("bogus"), Bool(true))
+		if s.Validate() == nil {
+			t.Error("want error for unknown feature")
+		}
+	})
+	t.Run("wrong type", func(t *testing.T) {
+		s := NewSnapshot(testTime)
+		s.Set(FeatSmoke, Number(1))
+		if s.Validate() == nil {
+			t.Error("want error for wrong type")
+		}
+	})
+	t.Run("label outside domain", func(t *testing.T) {
+		s := NewSnapshot(testTime)
+		s.Set(FeatWeather, Label("hail"))
+		if s.Validate() == nil {
+			t.Error("want error for out-of-domain label")
+		}
+	})
+	t.Run("absent value", func(t *testing.T) {
+		s := NewSnapshot(testTime)
+		s.Set(FeatSmoke, Value{})
+		if s.Validate() == nil {
+			t.Error("want error for absent value")
+		}
+	})
+}

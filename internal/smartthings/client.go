@@ -1,0 +1,118 @@
+package smartthings
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// APIError is an error response from the bridge.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("smartthings: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// Client talks to the bridge with a long-lived access token, exactly as the
+// paper's collector queries its Home Assistant deployment.
+type Client struct {
+	baseURL string
+	token   string
+	http    *http.Client
+}
+
+// NewClient builds a client for the bridge at baseURL.
+func NewClient(baseURL, token string) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("smartthings: invalid base URL %q", baseURL)
+	}
+	if token == "" {
+		return nil, fmt.Errorf("smartthings: empty access token")
+	}
+	return &Client{
+		baseURL: u.Scheme + "://" + u.Host,
+		token:   token,
+		http:    &http.Client{Timeout: 5 * time.Second},
+	}, nil
+}
+
+// Ping checks the API is up and the token valid.
+func (c *Client) Ping() error {
+	var out map[string]string
+	return c.do(http.MethodGet, "/api/", nil, &out)
+}
+
+// States fetches every entity state.
+func (c *Client) States() ([]Entity, error) {
+	var out []Entity
+	if err := c.do(http.MethodGet, "/api/states", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// State fetches one entity state.
+func (c *Client) State(entityID string) (Entity, error) {
+	var out Entity
+	if err := c.do(http.MethodGet, "/api/states/"+url.PathEscape(entityID), nil, &out); err != nil {
+		return Entity{}, err
+	}
+	return out, nil
+}
+
+// CallService invokes `domain.service` with a data payload and returns the
+// entities it changed.
+func (c *Client) CallService(domain, service string, data map[string]any) ([]Entity, error) {
+	var out []Entity
+	path := "/api/services/" + url.PathEscape(domain) + "/" + url.PathEscape(service)
+	if err := c.do(http.MethodPost, path, data, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (c *Client) do(method, path string, body any, out any) error {
+	var reader io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("smartthings: marshal body: %w", err)
+		}
+		reader = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.baseURL+path, reader)
+	if err != nil {
+		return fmt.Errorf("smartthings: build request: %w", err)
+	}
+	req.Header.Set("Authorization", "Bearer "+c.token)
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("smartthings: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var apiErr apiError
+		msg := resp.Status
+		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err == nil && apiErr.Message != "" {
+			msg = apiErr.Message
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("smartthings: decode response: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+// Package smartthings implements the Home-Assistant-style REST bridge the
+// paper uses to collect Samsung SmartThings sensor data (§IV-B-2: a lab
+// Home Assistant deployment exposing state APIs guarded by a long-lived
+// access token). The server mirrors the relevant API surface — entity
+// states under /api/states and service calls under /api/services — and is
+// backed by the home simulator; the client is what the IDS collector uses.
+package smartthings
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Entity is one Home-Assistant-style entity state document.
+type Entity struct {
+	EntityID    string         `json:"entity_id"`
+	State       string         `json:"state"`
+	Attributes  map[string]any `json:"attributes,omitempty"`
+	LastUpdated time.Time      `json:"last_updated"`
+}
+
+// Backend supplies entity states and executes service calls; the bridge
+// itself is stateless.
+type Backend interface {
+	// States lists every entity.
+	States() ([]Entity, error)
+	// State fetches one entity; ok=false when unknown.
+	State(entityID string) (Entity, bool, error)
+	// CallService executes `domain.service` with a payload, returning the
+	// entities it changed.
+	CallService(domain, service string, data map[string]any) ([]Entity, error)
+}
+
+// ServerConfig configures the bridge.
+type ServerConfig struct {
+	// Addr is the TCP listen address; ":0" picks a free port.
+	Addr string
+	// Token is the long-lived access token clients must present.
+	Token string
+	// Backend serves the data.
+	Backend Backend
+}
+
+// Server is the running bridge.
+type Server struct {
+	cfg  ServerConfig
+	ln   net.Listener
+	http *http.Server
+	wg   sync.WaitGroup
+}
+
+// NewServer binds and starts serving.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Backend == nil {
+		return nil, fmt.Errorf("smartthings: server needs a backend")
+	}
+	if cfg.Token == "" {
+		return nil, fmt.Errorf("smartthings: server needs an access token")
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("smartthings: listen: %w", err)
+	}
+	s := &Server{cfg: cfg, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/", s.handleAPI)
+	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		_ = s.http.Serve(ln)
+	}()
+	return s, nil
+}
+
+// URL returns the base URL of the bridge.
+func (s *Server) URL() string {
+	return "http://" + s.ln.Addr().String()
+}
+
+// Close stops the server and waits for the serve loop.
+func (s *Server) Close() error {
+	err := s.http.Close()
+	s.wg.Wait()
+	return err
+}
+
+type apiError struct {
+	Message string `json:"message"`
+}
+
+func (s *Server) handleAPI(w http.ResponseWriter, r *http.Request) {
+	if !s.authorized(r) {
+		writeJSON(w, http.StatusUnauthorized, apiError{Message: "401: Unauthorized"})
+		return
+	}
+	path := strings.TrimPrefix(r.URL.Path, "/api")
+	switch {
+	case path == "/" || path == "":
+		if r.Method != http.MethodGet {
+			writeJSON(w, http.StatusMethodNotAllowed, apiError{Message: "method not allowed"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"message": "API running."})
+	case path == "/states":
+		if r.Method != http.MethodGet {
+			writeJSON(w, http.StatusMethodNotAllowed, apiError{Message: "method not allowed"})
+			return
+		}
+		states, err := s.cfg.Backend.States()
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, apiError{Message: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, states)
+	case strings.HasPrefix(path, "/states/"):
+		if r.Method != http.MethodGet {
+			writeJSON(w, http.StatusMethodNotAllowed, apiError{Message: "method not allowed"})
+			return
+		}
+		id := strings.TrimPrefix(path, "/states/")
+		entity, ok, err := s.cfg.Backend.State(id)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, apiError{Message: err.Error()})
+			return
+		}
+		if !ok {
+			writeJSON(w, http.StatusNotFound, apiError{Message: "Entity not found."})
+			return
+		}
+		writeJSON(w, http.StatusOK, entity)
+	case strings.HasPrefix(path, "/services/"):
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, apiError{Message: "method not allowed"})
+			return
+		}
+		parts := strings.Split(strings.TrimPrefix(path, "/services/"), "/")
+		if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+			writeJSON(w, http.StatusNotFound, apiError{Message: "service path must be /api/services/<domain>/<service>"})
+			return
+		}
+		var data map[string]any
+		if r.Body != nil {
+			if err := json.NewDecoder(r.Body).Decode(&data); err != nil && err.Error() != "EOF" {
+				writeJSON(w, http.StatusBadRequest, apiError{Message: "invalid JSON body"})
+				return
+			}
+		}
+		changed, err := s.cfg.Backend.CallService(parts[0], parts[1], data)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Message: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, changed)
+	default:
+		writeJSON(w, http.StatusNotFound, apiError{Message: "not found"})
+	}
+}
+
+func (s *Server) authorized(r *http.Request) bool {
+	auth := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if !strings.HasPrefix(auth, prefix) {
+		return false
+	}
+	return strings.TrimPrefix(auth, prefix) == s.cfg.Token
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,250 @@
+package smartthings
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// memBackend is a simple in-memory entity store.
+type memBackend struct {
+	mu       sync.Mutex
+	entities map[string]Entity
+	failAll  bool
+}
+
+func newMemBackend() *memBackend {
+	now := time.Date(2021, 4, 1, 12, 0, 0, 0, time.UTC)
+	return &memBackend{entities: map[string]Entity{
+		"binary_sensor.smoke": {EntityID: "binary_sensor.smoke", State: "off", LastUpdated: now},
+		"sensor.temperature":  {EntityID: "sensor.temperature", State: "21.5", Attributes: map[string]any{"unit_of_measurement": "°C"}, LastUpdated: now},
+		"light.living_room":   {EntityID: "light.living_room", State: "off", LastUpdated: now},
+	}}
+}
+
+func (b *memBackend) States() ([]Entity, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failAll {
+		return nil, errors.New("backend down")
+	}
+	out := make([]Entity, 0, len(b.entities))
+	for _, e := range b.entities {
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+func (b *memBackend) State(id string) (Entity, bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failAll {
+		return Entity{}, false, errors.New("backend down")
+	}
+	e, ok := b.entities[id]
+	return e, ok, nil
+}
+
+func (b *memBackend) CallService(domain, service string, data map[string]any) ([]Entity, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	id, _ := data["entity_id"].(string)
+	e, ok := b.entities[id]
+	if !ok {
+		return nil, fmt.Errorf("unknown entity %q", id)
+	}
+	switch domain + "." + service {
+	case "light.turn_on":
+		e.State = "on"
+	case "light.turn_off":
+		e.State = "off"
+	default:
+		return nil, fmt.Errorf("unknown service %s.%s", domain, service)
+	}
+	b.entities[id] = e
+	return []Entity{e}, nil
+}
+
+const testTokenStr = "llat-test-token"
+
+func startServer(t *testing.T) (*Server, *memBackend) {
+	t.Helper()
+	backend := newMemBackend()
+	srv, err := NewServer(ServerConfig{Token: testTokenStr, Backend: backend})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, backend
+}
+
+func newClient(t *testing.T, srv *Server, token string) *Client {
+	t.Helper()
+	c, err := NewClient(srv.URL(), token)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	return c
+}
+
+func TestPingAndStates(t *testing.T) {
+	srv, _ := startServer(t)
+	c := newClient(t, srv, testTokenStr)
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+	states, err := c.States()
+	if err != nil {
+		t.Fatalf("States: %v", err)
+	}
+	if len(states) != 3 {
+		t.Errorf("states = %d", len(states))
+	}
+}
+
+func TestStateByID(t *testing.T) {
+	srv, _ := startServer(t)
+	c := newClient(t, srv, testTokenStr)
+	e, err := c.State("sensor.temperature")
+	if err != nil {
+		t.Fatalf("State: %v", err)
+	}
+	if e.State != "21.5" || e.Attributes["unit_of_measurement"] != "°C" {
+		t.Errorf("entity = %+v", e)
+	}
+	_, err = c.State("sensor.nope")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Errorf("want 404, got %v", err)
+	}
+}
+
+func TestCallService(t *testing.T) {
+	srv, backend := startServer(t)
+	c := newClient(t, srv, testTokenStr)
+	changed, err := c.CallService("light", "turn_on", map[string]any{"entity_id": "light.living_room"})
+	if err != nil {
+		t.Fatalf("CallService: %v", err)
+	}
+	if len(changed) != 1 || changed[0].State != "on" {
+		t.Errorf("changed = %+v", changed)
+	}
+	e, _, _ := backend.State("light.living_room")
+	if e.State != "on" {
+		t.Error("service call did not reach the backend")
+	}
+	// Unknown service surfaces as a 400.
+	_, err = c.CallService("light", "explode", map[string]any{"entity_id": "light.living_room"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Errorf("want 400, got %v", err)
+	}
+}
+
+func TestAuthRequired(t *testing.T) {
+	srv, _ := startServer(t)
+	for _, token := range []string{"wrong", ""} {
+		c, err := NewClient(srv.URL(), "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.token = token
+		err = c.Ping()
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusUnauthorized {
+			t.Errorf("token %q: want 401, got %v", token, err)
+		}
+	}
+	// No Authorization header at all.
+	resp, err := http.Get(srv.URL() + "/api/states")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("no-auth status = %d", resp.StatusCode)
+	}
+}
+
+func TestMethodChecks(t *testing.T) {
+	srv, _ := startServer(t)
+	req, _ := http.NewRequest(http.MethodPost, srv.URL()+"/api/states", nil)
+	req.Header.Set("Authorization", "Bearer "+testTokenStr)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /api/states = %d", resp.StatusCode)
+	}
+	req, _ = http.NewRequest(http.MethodGet, srv.URL()+"/api/services/light/turn_on", nil)
+	req.Header.Set("Authorization", "Bearer "+testTokenStr)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET service = %d", resp2.StatusCode)
+	}
+}
+
+func TestBackendErrorSurfaces(t *testing.T) {
+	srv, backend := startServer(t)
+	backend.mu.Lock()
+	backend.failAll = true
+	backend.mu.Unlock()
+	c := newClient(t, srv, testTokenStr)
+	_, err := c.States()
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusInternalServerError {
+		t.Errorf("want 500, got %v", err)
+	}
+}
+
+func TestServerConfigValidation(t *testing.T) {
+	if _, err := NewServer(ServerConfig{Token: "t"}); err == nil {
+		t.Error("want backend error")
+	}
+	if _, err := NewServer(ServerConfig{Backend: newMemBackend()}); err == nil {
+		t.Error("want token error")
+	}
+	if _, err := NewServer(ServerConfig{Token: "t", Backend: newMemBackend(), Addr: "999.999.999.999:0"}); err == nil {
+		t.Error("want listen error")
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	if _, err := NewClient("://bad", "t"); err == nil {
+		t.Error("want URL error")
+	}
+	if _, err := NewClient("http://localhost:1", ""); err == nil {
+		t.Error("want token error")
+	}
+	c, err := NewClient("http://127.0.0.1:1", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.http.Timeout = 200 * time.Millisecond
+	if err := c.Ping(); err == nil {
+		t.Error("want connection error")
+	}
+}
+
+func TestBadServicePath(t *testing.T) {
+	srv, _ := startServer(t)
+	req, _ := http.NewRequest(http.MethodPost, srv.URL()+"/api/services/light", nil)
+	req.Header.Set("Authorization", "Bearer "+testTokenStr)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("malformed service path = %d", resp.StatusCode)
+	}
+}

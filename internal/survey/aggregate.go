@@ -1,0 +1,99 @@
+package survey
+
+import (
+	"fmt"
+
+	"iotsid/internal/instr"
+)
+
+// Shares is the percentage breakdown of one instruction class's votes.
+type Shares struct {
+	High float64 `json:"high"`
+	Low  float64 `json:"low"`
+	None float64 `json:"none"`
+}
+
+// Results aggregates a respondent population into the paper's reported
+// statistics.
+type Results struct {
+	N       int
+	Control map[instr.Category]Shares // Table III
+	Status  map[instr.Category]Shares
+	// ControlWorsePct is the share of users who rate control instructions
+	// more threatening than status instructions (Fig 4: 85.29 %).
+	ControlWorsePct float64
+	// CoveredPct is the share of users whose devices are all covered by
+	// the Table I list (Fig 4: 91.18 %).
+	CoveredPct float64
+}
+
+// Aggregate tallies a population.
+func Aggregate(pop []Respondent) (Results, error) {
+	if len(pop) == 0 {
+		return Results{}, fmt.Errorf("survey: empty population")
+	}
+	res := Results{
+		N:       len(pop),
+		Control: make(map[instr.Category]Shares, 9),
+		Status:  make(map[instr.Category]Shares, 9),
+	}
+	n := float64(len(pop))
+	var worse, covered int
+	for _, c := range instr.Categories() {
+		var ch, cl, cn, sh, sl, sn int
+		for _, r := range pop {
+			switch r.Control[c] {
+			case VoteHigh:
+				ch++
+			case VoteLow:
+				cl++
+			case VoteNone:
+				cn++
+			default:
+				return Results{}, fmt.Errorf("survey: respondent %d missing control vote for %v", r.ID, c)
+			}
+			switch r.Status[c] {
+			case VoteHigh:
+				sh++
+			case VoteLow:
+				sl++
+			case VoteNone:
+				sn++
+			default:
+				return Results{}, fmt.Errorf("survey: respondent %d missing status vote for %v", r.ID, c)
+			}
+		}
+		res.Control[c] = Shares{High: 100 * float64(ch) / n, Low: 100 * float64(cl) / n, None: 100 * float64(cn) / n}
+		res.Status[c] = Shares{High: 100 * float64(sh) / n, Low: 100 * float64(sl) / n, None: 100 * float64(sn) / n}
+	}
+	for _, r := range pop {
+		if r.ControlWorse {
+			worse++
+		}
+		if r.Covered {
+			covered++
+		}
+	}
+	res.ControlWorsePct = 100 * float64(worse) / n
+	res.CoveredPct = 100 * float64(covered) / n
+	return res, nil
+}
+
+// SensitiveCategories applies the paper's rule: a category's control
+// instructions are sensitive when more than half of respondents rate them
+// high-threat. Returned in Table I order.
+func (r Results) SensitiveCategories() []instr.Category {
+	var out []instr.Category
+	for _, c := range instr.Categories() {
+		if r.Control[c].High > 50 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// IsSensitive reports whether a category's control instructions crossed the
+// 50 % high-threat threshold.
+func (r Results) IsSensitive(c instr.Category) bool {
+	return r.Control[c].High > 50
+}

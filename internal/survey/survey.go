@@ -1,0 +1,272 @@
+// Package survey reproduces the paper's 340-user questionnaire (§IV-A,
+// Tables II–III, Fig 4): per device category, users rate control and status
+// instructions as high / low / no threat. The aggregate drives the sensitive
+// instruction rule — a category's control instructions are *sensitive* when
+// more than 50 % of respondents rate them high-threat.
+//
+// The paper's percentages are all integer multiples of 1/34 (the survey was
+// evidently tabulated in 34ths and scaled), so the default profile stores
+// exact 34th-based rationals and the simulator reproduces Table III exactly
+// under quota allocation, or approximately under stochastic sampling.
+package survey
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"iotsid/internal/instr"
+)
+
+// Vote is one respondent's threat rating for a class of instructions.
+type Vote int
+
+// Votes offered by the questionnaire (Table II).
+const (
+	VoteHigh Vote = iota + 1
+	VoteLow
+	VoteNone
+)
+
+// String names the vote.
+func (v Vote) String() string {
+	switch v {
+	case VoteHigh:
+		return "high"
+	case VoteLow:
+		return "low"
+	case VoteNone:
+		return "none"
+	default:
+		return fmt.Sprintf("vote(%d)", int(v))
+	}
+}
+
+// Dist is a vote distribution in 34ths: High+Low+None must equal 34.
+type Dist struct {
+	High, Low, None int
+}
+
+// valid reports whether the distribution sums to 34.
+func (d Dist) valid() bool {
+	return d.High >= 0 && d.Low >= 0 && d.None >= 0 && d.High+d.Low+d.None == 34
+}
+
+// Profile calibrates the respondent population: per category, the control-
+// and status-instruction vote distributions, plus the two Fig 4 aggregates.
+type Profile struct {
+	Control map[instr.Category]Dist
+	Status  map[instr.Category]Dist
+	// ControlWorse34 is the number of 34ths of users who consider control
+	// instructions a greater threat than status instructions (Fig 4:
+	// 85.29 % = 29/34).
+	ControlWorse34 int
+	// Covered34 is the number of 34ths of users whose owned/expected
+	// devices all appear in the Table I list (Fig 4: 91.18 % = 31/34).
+	Covered34 int
+}
+
+// DefaultProfile returns the calibration that reproduces Table III and
+// Fig 4 exactly.
+func DefaultProfile() Profile {
+	return Profile{
+		Control: map[instr.Category]Dist{
+			instr.CatAlarm:           {High: 24, Low: 9, None: 1},  // 70.59 / 26.47 / 2.94
+			instr.CatKitchen:         {High: 23, Low: 11, None: 0}, // 67.65 / 32.35 / 0
+			instr.CatEntertainment:   {High: 9, Low: 25, None: 0},  // 26.47 / 73.53 / 0
+			instr.CatAirConditioning: {High: 18, Low: 15, None: 1}, // 52.94 / 44.12 / 2.94
+			instr.CatCurtain:         {High: 19, Low: 14, None: 1}, // 55.88 / 41.18 / 2.94
+			instr.CatLighting:        {High: 22, Low: 9, None: 3},  // 64.71 / 26.47 / 8.82
+			instr.CatWindowDoorLock:  {High: 32, Low: 2, None: 0},  // 94.12 / 5.88 / 0
+			instr.CatVacuum:          {High: 14, Low: 18, None: 2}, // 41.18 / 52.94 / 5.88
+			instr.CatCamera:          {High: 32, Low: 2, None: 0},  // 94.12 / 5.88 / 0
+		},
+		// Status (state-acquisition) instructions are rated less
+		// threatening overall (Fig 4 discussion); cameras and locks keep a
+		// privacy-driven tail of high votes.
+		Status: map[instr.Category]Dist{
+			instr.CatAlarm:           {High: 6, Low: 20, None: 8},
+			instr.CatKitchen:         {High: 3, Low: 17, None: 14},
+			instr.CatEntertainment:   {High: 2, Low: 14, None: 18},
+			instr.CatAirConditioning: {High: 4, Low: 18, None: 12},
+			instr.CatCurtain:         {High: 5, Low: 17, None: 12},
+			instr.CatLighting:        {High: 3, Low: 15, None: 16},
+			instr.CatWindowDoorLock:  {High: 15, Low: 15, None: 4},
+			instr.CatCamera:          {High: 16, Low: 15, None: 3},
+			instr.CatVacuum:          {High: 4, Low: 16, None: 14},
+		},
+		ControlWorse34: 29, // 85.29 %
+		Covered34:      31, // 91.18 %
+	}
+}
+
+// Validate checks that every category has well-formed distributions.
+func (p Profile) Validate() error {
+	for _, c := range instr.Categories() {
+		d, ok := p.Control[c]
+		if !ok {
+			return fmt.Errorf("survey: profile missing control dist for %v", c)
+		}
+		if !d.valid() {
+			return fmt.Errorf("survey: control dist for %v does not sum to 34: %+v", c, d)
+		}
+		d, ok = p.Status[c]
+		if !ok {
+			return fmt.Errorf("survey: profile missing status dist for %v", c)
+		}
+		if !d.valid() {
+			return fmt.Errorf("survey: status dist for %v does not sum to 34: %+v", c, d)
+		}
+	}
+	if p.ControlWorse34 < 0 || p.ControlWorse34 > 34 {
+		return fmt.Errorf("survey: ControlWorse34 out of range: %d", p.ControlWorse34)
+	}
+	if p.Covered34 < 0 || p.Covered34 > 34 {
+		return fmt.Errorf("survey: Covered34 out of range: %d", p.Covered34)
+	}
+	return nil
+}
+
+// Respondent is one simulated questionnaire answer sheet.
+type Respondent struct {
+	ID           int
+	Control      map[instr.Category]Vote
+	Status       map[instr.Category]Vote
+	ControlWorse bool // thinks control instructions out-threaten status ones
+	Covered      bool // all owned/expected devices are in the Table I list
+}
+
+// Mode selects how respondents are drawn from the profile.
+type Mode int
+
+// Simulation modes.
+const (
+	// ModeQuota allocates votes deterministically in exact proportion to
+	// the profile (largest-remainder), then shuffles assignment across
+	// respondents. Reproduces Table III exactly when n is a multiple of 34.
+	ModeQuota Mode = iota + 1
+	// ModeSample draws each respondent's votes independently from the
+	// profile's distributions.
+	ModeSample
+)
+
+// Simulate draws a population of n respondents from the profile.
+func Simulate(p Profile, n int, mode Mode, rng *rand.Rand) ([]Respondent, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("survey: population size must be positive, got %d", n)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("survey: nil rng")
+	}
+	out := make([]Respondent, n)
+	for i := range out {
+		out[i] = Respondent{
+			ID:      i + 1,
+			Control: make(map[instr.Category]Vote, len(p.Control)),
+			Status:  make(map[instr.Category]Vote, len(p.Status)),
+		}
+	}
+	switch mode {
+	case ModeQuota:
+		simulateQuota(p, out, rng)
+	case ModeSample:
+		simulateSample(p, out, rng)
+	default:
+		return nil, fmt.Errorf("survey: unknown mode %d", mode)
+	}
+	return out, nil
+}
+
+func simulateQuota(p Profile, out []Respondent, rng *rand.Rand) {
+	n := len(out)
+	for _, c := range instr.Categories() {
+		assignQuota(out, rng, quotaCounts(p.Control[c], n), func(r *Respondent, v Vote) { r.Control[c] = v })
+		assignQuota(out, rng, quotaCounts(p.Status[c], n), func(r *Respondent, v Vote) { r.Status[c] = v })
+	}
+	worse := quotaCount(p.ControlWorse34, n)
+	covered := quotaCount(p.Covered34, n)
+	perm := rng.Perm(n)
+	for i, idx := range perm {
+		out[idx].ControlWorse = i < worse
+	}
+	perm = rng.Perm(n)
+	for i, idx := range perm {
+		out[idx].Covered = i < covered
+	}
+}
+
+// quotaCount converts a 34ths share into a head count by largest remainder.
+func quotaCount(share34, n int) int {
+	return (share34*n + 17) / 34 // round(share/34 * n)
+}
+
+// quotaCounts converts a Dist into exact head counts summing to n.
+func quotaCounts(d Dist, n int) [3]int {
+	high := d.High * n / 34
+	low := d.Low * n / 34
+	none := d.None * n / 34
+	// Distribute the remainder by largest fractional part.
+	type rem struct {
+		idx  int
+		frac int
+	}
+	rems := []rem{
+		{0, d.High * n % 34},
+		{1, d.Low * n % 34},
+		{2, d.None * n % 34},
+	}
+	sort.Slice(rems, func(i, j int) bool {
+		if rems[i].frac != rems[j].frac {
+			return rems[i].frac > rems[j].frac
+		}
+		return rems[i].idx < rems[j].idx
+	})
+	counts := [3]int{high, low, none}
+	missing := n - high - low - none
+	for i := 0; i < missing; i++ {
+		counts[rems[i%3].idx]++
+	}
+	return counts
+}
+
+func assignQuota(out []Respondent, rng *rand.Rand, counts [3]int, set func(*Respondent, Vote)) {
+	votes := make([]Vote, 0, len(out))
+	for i := 0; i < counts[0]; i++ {
+		votes = append(votes, VoteHigh)
+	}
+	for i := 0; i < counts[1]; i++ {
+		votes = append(votes, VoteLow)
+	}
+	for i := 0; i < counts[2]; i++ {
+		votes = append(votes, VoteNone)
+	}
+	rng.Shuffle(len(votes), func(i, j int) { votes[i], votes[j] = votes[j], votes[i] })
+	for i := range out {
+		set(&out[i], votes[i])
+	}
+}
+
+func simulateSample(p Profile, out []Respondent, rng *rand.Rand) {
+	draw := func(d Dist) Vote {
+		x := rng.Intn(34)
+		switch {
+		case x < d.High:
+			return VoteHigh
+		case x < d.High+d.Low:
+			return VoteLow
+		default:
+			return VoteNone
+		}
+	}
+	for i := range out {
+		for _, c := range instr.Categories() {
+			out[i].Control[c] = draw(p.Control[c])
+			out[i].Status[c] = draw(p.Status[c])
+		}
+		out[i].ControlWorse = rng.Intn(34) < p.ControlWorse34
+		out[i].Covered = rng.Intn(34) < p.Covered34
+	}
+}

@@ -1,0 +1,227 @@
+package survey
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"iotsid/internal/instr"
+)
+
+func mustSimulate(t *testing.T, mode Mode, n int, seed int64) []Respondent {
+	t.Helper()
+	pop, err := Simulate(DefaultProfile(), n, mode, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	return pop
+}
+
+func TestDefaultProfileValid(t *testing.T) {
+	if err := DefaultProfile().Validate(); err != nil {
+		t.Fatalf("default profile invalid: %v", err)
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	t.Run("missing control", func(t *testing.T) {
+		p := DefaultProfile()
+		delete(p.Control, instr.CatAlarm)
+		if p.Validate() == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("bad sum", func(t *testing.T) {
+		p := DefaultProfile()
+		p.Control[instr.CatAlarm] = Dist{High: 10, Low: 10, None: 10}
+		if p.Validate() == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("missing status", func(t *testing.T) {
+		p := DefaultProfile()
+		delete(p.Status, instr.CatCamera)
+		if p.Validate() == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("aggregates out of range", func(t *testing.T) {
+		p := DefaultProfile()
+		p.ControlWorse34 = 40
+		if p.Validate() == nil {
+			t.Error("want error")
+		}
+		p = DefaultProfile()
+		p.Covered34 = -1
+		if p.Validate() == nil {
+			t.Error("want error")
+		}
+	})
+}
+
+func TestSimulateArgErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Simulate(DefaultProfile(), 0, ModeQuota, rng); err == nil {
+		t.Error("want error for n=0")
+	}
+	if _, err := Simulate(DefaultProfile(), 10, ModeQuota, nil); err == nil {
+		t.Error("want error for nil rng")
+	}
+	if _, err := Simulate(DefaultProfile(), 10, Mode(99), rng); err == nil {
+		t.Error("want error for bad mode")
+	}
+	bad := DefaultProfile()
+	bad.Control[instr.CatAlarm] = Dist{}
+	if _, err := Simulate(bad, 10, ModeQuota, rng); err == nil {
+		t.Error("want error for invalid profile")
+	}
+}
+
+// TestQuotaReproducesTableIII checks the headline calibration: with the
+// paper's population size (340 = 10×34) quota mode reproduces Table III to
+// reporting precision.
+func TestQuotaReproducesTableIII(t *testing.T) {
+	pop := mustSimulate(t, ModeQuota, 340, 42)
+	res, err := Aggregate(pop)
+	if err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+	want := map[instr.Category]Shares{
+		instr.CatAlarm:           {High: 70.59, Low: 26.47, None: 2.94},
+		instr.CatKitchen:         {High: 67.65, Low: 32.35, None: 0},
+		instr.CatEntertainment:   {High: 26.47, Low: 73.53, None: 0},
+		instr.CatAirConditioning: {High: 52.94, Low: 44.12, None: 2.94},
+		instr.CatCurtain:         {High: 55.88, Low: 41.18, None: 2.94},
+		instr.CatLighting:        {High: 64.71, Low: 26.47, None: 8.82},
+		instr.CatWindowDoorLock:  {High: 94.12, Low: 5.88, None: 0},
+		instr.CatVacuum:          {High: 41.18, Low: 52.94, None: 5.88},
+		instr.CatCamera:          {High: 94.12, Low: 5.88, None: 0},
+	}
+	for c, w := range want {
+		got := res.Control[c]
+		if math.Abs(got.High-w.High) > 0.01 || math.Abs(got.Low-w.Low) > 0.01 || math.Abs(got.None-w.None) > 0.01 {
+			t.Errorf("%v: got %+v, want %+v", c, got, w)
+		}
+	}
+	if math.Abs(res.ControlWorsePct-85.29) > 0.01 {
+		t.Errorf("ControlWorsePct = %.2f, want 85.29", res.ControlWorsePct)
+	}
+	if math.Abs(res.CoveredPct-91.18) > 0.01 {
+		t.Errorf("CoveredPct = %.2f, want 91.18", res.CoveredPct)
+	}
+}
+
+func TestSensitiveCategoriesMatchPaper(t *testing.T) {
+	pop := mustSimulate(t, ModeQuota, 340, 7)
+	res, err := Aggregate(pop)
+	if err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+	got := res.SensitiveCategories()
+	want := []instr.Category{
+		instr.CatAlarm, instr.CatKitchen, instr.CatAirConditioning,
+		instr.CatCurtain, instr.CatLighting, instr.CatWindowDoorLock, instr.CatCamera,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("sensitive categories = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sensitive categories = %v, want %v", got, want)
+		}
+	}
+	if res.IsSensitive(instr.CatEntertainment) || res.IsSensitive(instr.CatVacuum) {
+		t.Error("TV/vacuum must not be sensitive (Table III)")
+	}
+}
+
+func TestQuotaDeterministicGivenSeed(t *testing.T) {
+	a := mustSimulate(t, ModeQuota, 340, 5)
+	b := mustSimulate(t, ModeQuota, 340, 5)
+	for i := range a {
+		for _, c := range instr.Categories() {
+			if a[i].Control[c] != b[i].Control[c] || a[i].Status[c] != b[i].Status[c] {
+				t.Fatalf("respondent %d differs between identical seeds", i)
+			}
+		}
+	}
+}
+
+func TestQuotaNonMultipleOf34(t *testing.T) {
+	// Counts must still sum to n even when 34 does not divide n.
+	pop := mustSimulate(t, ModeQuota, 341, 3)
+	res, err := Aggregate(pop)
+	if err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+	for _, c := range instr.Categories() {
+		s := res.Control[c]
+		if math.Abs(s.High+s.Low+s.None-100) > 1e-9 {
+			t.Errorf("%v shares sum to %v", c, s.High+s.Low+s.None)
+		}
+	}
+}
+
+func TestSampleModeConvergesToProfile(t *testing.T) {
+	pop := mustSimulate(t, ModeSample, 40000, 11)
+	res, err := Aggregate(pop)
+	if err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+	p := DefaultProfile()
+	for _, c := range instr.Categories() {
+		wantHigh := 100 * float64(p.Control[c].High) / 34
+		if math.Abs(res.Control[c].High-wantHigh) > 2 {
+			t.Errorf("%v sampled high %.2f, want ≈%.2f", c, res.Control[c].High, wantHigh)
+		}
+	}
+	if math.Abs(res.ControlWorsePct-85.29) > 2 {
+		t.Errorf("sampled ControlWorsePct %.2f", res.ControlWorsePct)
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	if _, err := Aggregate(nil); err == nil {
+		t.Error("want error for empty population")
+	}
+	// Missing votes are an error.
+	pop := mustSimulate(t, ModeQuota, 34, 1)
+	delete(pop[0].Control, instr.CatAlarm)
+	if _, err := Aggregate(pop); err == nil {
+		t.Error("want error for missing control vote")
+	}
+	pop = mustSimulate(t, ModeQuota, 34, 1)
+	delete(pop[0].Status, instr.CatAlarm)
+	if _, err := Aggregate(pop); err == nil {
+		t.Error("want error for missing status vote")
+	}
+}
+
+func TestVoteString(t *testing.T) {
+	if VoteHigh.String() != "high" || VoteLow.String() != "low" || VoteNone.String() != "none" {
+		t.Error("vote names wrong")
+	}
+	if Vote(9).String() != "vote(9)" {
+		t.Error("unknown vote name wrong")
+	}
+}
+
+func TestQuotaCountsProperty(t *testing.T) {
+	// For every calibrated distribution and a range of population sizes,
+	// quota counts are non-negative and sum exactly to n.
+	p := DefaultProfile()
+	for _, c := range instr.Categories() {
+		for _, n := range []int{1, 7, 34, 100, 340, 341, 999} {
+			counts := quotaCounts(p.Control[c], n)
+			sum := counts[0] + counts[1] + counts[2]
+			if sum != n {
+				t.Errorf("%v n=%d: counts %v sum %d", c, n, counts, sum)
+			}
+			for _, x := range counts {
+				if x < 0 {
+					t.Errorf("%v n=%d: negative count %v", c, n, counts)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package trace is the audit-log subsystem: an append-only, bounded store
+// of security-relevant events (authorisation decisions, automation firings,
+// camera warnings, protocol activity) with time/kind/device queries and
+// JSON export. The paper's background cites log-based monitoring of smart
+// home platforms ("Fear and Logging in the IoT"); this is the reproduction's
+// equivalent — everything the IDS does is reconstructible from the trace.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Kind classifies events.
+type Kind int
+
+// Event kinds.
+const (
+	KindDecision Kind = iota + 1 // IDS authorisation decision
+	KindAutomation
+	KindWarning
+	KindProtocol
+	KindLifecycle
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindDecision:
+		return "decision"
+	case KindAutomation:
+		return "automation"
+	case KindWarning:
+		return "warning"
+	case KindProtocol:
+		return "protocol"
+	case KindLifecycle:
+		return "lifecycle"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one audit record.
+type Event struct {
+	Seq      uint64            `json:"seq"`
+	At       time.Time         `json:"at"`
+	Kind     Kind              `json:"kind"`
+	DeviceID string            `json:"device_id,omitempty"`
+	Op       string            `json:"op,omitempty"`
+	Outcome  string            `json:"outcome,omitempty"`
+	Detail   string            `json:"detail,omitempty"`
+	Fields   map[string]string `json:"fields,omitempty"`
+}
+
+// Log is a bounded in-memory audit log. When full, the oldest events are
+// evicted (ring-buffer semantics); Seq numbers keep the global order
+// auditable across eviction. Safe for concurrent use.
+type Log struct {
+	mu     sync.RWMutex
+	events []Event
+	head   int // index of the oldest event when full
+	size   int
+	next   uint64
+	cap    int
+	now    func() time.Time
+}
+
+// Option customises a Log.
+type Option func(*Log)
+
+// WithClock injects the timestamp source (tests, simulated time).
+func WithClock(now func() time.Time) Option {
+	return func(l *Log) { l.now = now }
+}
+
+// NewLog builds a log holding at most capacity events (minimum 16).
+func NewLog(capacity int, opts ...Option) *Log {
+	if capacity < 16 {
+		capacity = 16
+	}
+	l := &Log{events: make([]Event, capacity), cap: capacity, now: time.Now}
+	for _, o := range opts {
+		o(l)
+	}
+	return l
+}
+
+// Append records one event, stamping sequence and (if zero) time, and
+// returns the stored record.
+func (l *Log) Append(e Event) Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.next++
+	e.Seq = l.next
+	if e.At.IsZero() {
+		e.At = l.now()
+	}
+	idx := (l.head + l.size) % l.cap
+	if l.size == l.cap {
+		// Evict the oldest.
+		l.events[l.head] = e
+		l.head = (l.head + 1) % l.cap
+	} else {
+		l.events[idx] = e
+		l.size++
+	}
+	return e
+}
+
+// Len returns the number of retained events.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.size
+}
+
+// Total returns how many events were ever appended (including evicted).
+func (l *Log) Total() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.next
+}
+
+// Query filters retained events; zero-valued fields match everything.
+type Query struct {
+	Kind     Kind
+	DeviceID string
+	Op       string
+	Outcome  string
+	Since    time.Time
+	Until    time.Time
+	// Limit bounds the result count (0 = unlimited); the newest matches
+	// win.
+	Limit int
+}
+
+// matches reports whether an event satisfies the query.
+func (q Query) matches(e Event) bool {
+	if q.Kind != 0 && e.Kind != q.Kind {
+		return false
+	}
+	if q.DeviceID != "" && e.DeviceID != q.DeviceID {
+		return false
+	}
+	if q.Op != "" && e.Op != q.Op {
+		return false
+	}
+	if q.Outcome != "" && e.Outcome != q.Outcome {
+		return false
+	}
+	if !q.Since.IsZero() && e.At.Before(q.Since) {
+		return false
+	}
+	if !q.Until.IsZero() && e.At.After(q.Until) {
+		return false
+	}
+	return true
+}
+
+// Select returns matching events in append order.
+func (l *Log) Select(q Query) []Event {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []Event
+	for i := 0; i < l.size; i++ {
+		e := l.events[(l.head+i)%l.cap]
+		if q.matches(e) {
+			out = append(out, e)
+		}
+	}
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[len(out)-q.Limit:]
+	}
+	return out
+}
+
+// CountByOutcome tallies matching events per outcome.
+func (l *Log) CountByOutcome(q Query) map[string]int {
+	out := make(map[string]int)
+	for _, e := range l.Select(q) {
+		out[e.Outcome]++
+	}
+	return out
+}
+
+// Export writes matching events as JSON lines.
+func (l *Log) Export(w io.Writer, q Query) error {
+	enc := json.NewEncoder(w)
+	for _, e := range l.Select(q) {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("trace: export: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func fixedClock(start time.Time) func() time.Time {
+	t := start
+	return func() time.Time {
+		t = t.Add(time.Second)
+		return t
+	}
+}
+
+var t0 = time.Date(2021, 4, 1, 0, 0, 0, 0, time.UTC)
+
+func TestAppendAndSelect(t *testing.T) {
+	l := NewLog(64, WithClock(fixedClock(t0)))
+	l.Append(Event{Kind: KindDecision, DeviceID: "window-1", Op: "window.open", Outcome: "rejected"})
+	l.Append(Event{Kind: KindDecision, DeviceID: "window-1", Op: "window.open", Outcome: "allowed"})
+	l.Append(Event{Kind: KindWarning, DeviceID: "camera-1", Outcome: "pushed"})
+
+	if l.Len() != 3 || l.Total() != 3 {
+		t.Fatalf("len=%d total=%d", l.Len(), l.Total())
+	}
+	all := l.Select(Query{})
+	if len(all) != 3 {
+		t.Fatalf("all = %d", len(all))
+	}
+	// Sequence and time are monotone.
+	for i := 1; i < len(all); i++ {
+		if all[i].Seq <= all[i-1].Seq || all[i].At.Before(all[i-1].At) {
+			t.Errorf("ordering broken at %d", i)
+		}
+	}
+	if got := l.Select(Query{Kind: KindWarning}); len(got) != 1 || got[0].DeviceID != "camera-1" {
+		t.Errorf("kind query = %+v", got)
+	}
+	if got := l.Select(Query{Outcome: "rejected"}); len(got) != 1 {
+		t.Errorf("outcome query = %+v", got)
+	}
+	if got := l.Select(Query{DeviceID: "window-1", Op: "window.open"}); len(got) != 2 {
+		t.Errorf("device+op query = %d", len(got))
+	}
+	counts := l.CountByOutcome(Query{Kind: KindDecision})
+	if counts["rejected"] != 1 || counts["allowed"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestTimeWindowQuery(t *testing.T) {
+	l := NewLog(64, WithClock(fixedClock(t0)))
+	for i := 0; i < 10; i++ {
+		l.Append(Event{Kind: KindAutomation})
+	}
+	// Events are at t0+1s .. t0+10s.
+	got := l.Select(Query{Since: t0.Add(3 * time.Second), Until: t0.Add(7 * time.Second)})
+	if len(got) != 5 {
+		t.Errorf("window query = %d, want 5", len(got))
+	}
+	got = l.Select(Query{Limit: 3})
+	if len(got) != 3 || got[2].Seq != 10 {
+		t.Errorf("limit query = %+v", got)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	l := NewLog(16, WithClock(fixedClock(t0))) // minimum capacity
+	for i := 0; i < 40; i++ {
+		l.Append(Event{Kind: KindProtocol})
+	}
+	if l.Len() != 16 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	if l.Total() != 40 {
+		t.Fatalf("total = %d", l.Total())
+	}
+	all := l.Select(Query{})
+	if all[0].Seq != 25 || all[len(all)-1].Seq != 40 {
+		t.Errorf("retained seqs %d..%d, want 25..40", all[0].Seq, all[len(all)-1].Seq)
+	}
+}
+
+func TestTinyCapacityClamped(t *testing.T) {
+	l := NewLog(1)
+	for i := 0; i < 20; i++ {
+		l.Append(Event{})
+	}
+	if l.Len() != 16 {
+		t.Errorf("len = %d, want clamped capacity 16", l.Len())
+	}
+}
+
+func TestExportJSONLines(t *testing.T) {
+	l := NewLog(64, WithClock(fixedClock(t0)))
+	l.Append(Event{Kind: KindDecision, Op: "window.open", Outcome: "rejected",
+		Fields: map[string]string{"model": "window"}})
+	l.Append(Event{Kind: KindWarning, Outcome: "pushed"})
+	var buf bytes.Buffer
+	if err := l.Export(&buf, Query{}); err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatalf("line 0: %v", err)
+	}
+	if e.Op != "window.open" || e.Fields["model"] != "window" {
+		t.Errorf("event = %+v", e)
+	}
+}
+
+func TestConcurrentAppendSelect(t *testing.T) {
+	l := NewLog(256)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Append(Event{Kind: KindProtocol, Outcome: "x"})
+				_ = l.Select(Query{Limit: 10})
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Total() != 1600 {
+		t.Errorf("total = %d", l.Total())
+	}
+	if l.Len() != 256 {
+		t.Errorf("len = %d", l.Len())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindDecision: "decision", KindAutomation: "automation",
+		KindWarning: "warning", KindProtocol: "protocol", KindLifecycle: "lifecycle",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d = %q", k, k.String())
+		}
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Error("unknown kind name")
+	}
+}
+
+// TestRingInvariantsQuick checks the ring-buffer invariants under random
+// append counts and capacities: Total counts everything ever appended,
+// Len is min(cap, total), and retained sequence numbers are the trailing
+// window in order.
+func TestRingInvariantsQuick(t *testing.T) {
+	f := func(capRaw uint8, nRaw uint16) bool {
+		capacity := int(capRaw)
+		n := int(nRaw) % 2048
+		l := NewLog(capacity)
+		effectiveCap := capacity
+		if effectiveCap < 16 {
+			effectiveCap = 16
+		}
+		for i := 0; i < n; i++ {
+			l.Append(Event{Kind: KindProtocol})
+		}
+		if l.Total() != uint64(n) {
+			return false
+		}
+		wantLen := n
+		if wantLen > effectiveCap {
+			wantLen = effectiveCap
+		}
+		if l.Len() != wantLen {
+			return false
+		}
+		events := l.Select(Query{})
+		if len(events) != wantLen {
+			return false
+		}
+		for i, e := range events {
+			if e.Seq != uint64(n-wantLen+i+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

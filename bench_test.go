@@ -5,6 +5,7 @@
 package iotsid_test
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -173,6 +174,105 @@ func BenchmarkFig7(b *testing.B) {
 		}
 		if total != dataset.CameraWarnCount {
 			b.Fatalf("total = %d", total)
+		}
+	}
+}
+
+// --- Inference fast path ---
+
+// BenchmarkJudgeHot measures the steady-state zero-allocation judge path:
+// pooled feature buffer + FeaturizeInto + compiled tree walk. The
+// acceptance bar is 0 allocs/op.
+func BenchmarkJudgeHot(b *testing.B) {
+	s := sharedSuite(b)
+	snap, err := dataset.LegalSceneSeeded(dataset.ModelWindow, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the buffer pool so the benchmark sees steady state.
+	if _, err := s.Memory.Judge(dataset.ModelWindow, snap); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Memory.Judge(dataset.ModelWindow, snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAuthorizeParallel drives the full framework path from many
+// goroutines through a TTL-cached collector: the contended-gateway shape
+// the sharded decision log and the snapshot cache exist for.
+func BenchmarkAuthorizeParallel(b *testing.B) {
+	s := sharedSuite(b)
+	h, err := home.NewStandard(home.EnvConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cached, err := core.NewCachedCollector(&core.SimCollector{Env: h.Env()}, time.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	det, err := core.DefaultDetector()
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := core.New(core.Config{Detector: det, Collector: cached, Memory: s.Memory})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ins := make([]instr.Instruction, 8)
+	for i := range ins {
+		in, err := instr.BuiltinRegistry().Build("window.open", fmt.Sprintf("window-%d", i+1), instr.OriginUser, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ins[i] = in
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := f.Authorize(ins[i%len(ins)]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkAuthorizeBatch measures the collect-once batch path against the
+// same instruction mix.
+func BenchmarkAuthorizeBatch(b *testing.B) {
+	s := sharedSuite(b)
+	h, err := home.NewStandard(home.EnvConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	det, err := core.DefaultDetector()
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := core.New(core.Config{Detector: det, Collector: &core.SimCollector{Env: h.Env()}, Memory: s.Memory})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ins := make([]instr.Instruction, 16)
+	for i := range ins {
+		in, err := instr.BuiltinRegistry().Build("window.open", fmt.Sprintf("window-%d", i+1), instr.OriginUser, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ins[i] = in
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.AuthorizeBatch(ins); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

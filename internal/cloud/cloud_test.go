@@ -341,3 +341,49 @@ func TestLoginLockout(t *testing.T) {
 		}
 	}
 }
+
+// TestCachedContextSharesCollections proves ContextTTL makes a burst of
+// commands share one collector round trip instead of one each.
+func TestCachedContextSharesCollections(t *testing.T) {
+	fwd := &captureForwarder{}
+	var mu sync.Mutex
+	collects := 0
+	cfg := Config{
+		Users:    map[string]string{"alice": "s3cret"},
+		Registry: instr.BuiltinRegistry(),
+		Forward:  fwd.forward,
+		Gate:     func(in instr.Instruction, ctx sensor.Snapshot) error { return nil },
+		Context: func() (sensor.Snapshot, error) {
+			mu.Lock()
+			collects++
+			mu.Unlock()
+			s := sensor.NewSnapshot(sensorZero())
+			s.Set(sensor.FeatSmoke, sensor.Bool(false))
+			return s, nil
+		},
+		ContextTTL: time.Minute,
+	}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	if err := srv.BindDevice("window-1", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	c := login(t, srv, "alice", "s3cret")
+	for i := 0; i < 8; i++ {
+		if err := c.Command("window.open", "window-1", nil); err != nil {
+			t.Fatalf("Command %d: %v", i, err)
+		}
+	}
+	mu.Lock()
+	got := collects
+	mu.Unlock()
+	if got != 1 {
+		t.Errorf("context collected %d times for 8 commands, want 1", got)
+	}
+	if fwd.count() != 8 {
+		t.Errorf("forwarded = %d", fwd.count())
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"iotsid/internal/core"
 	"iotsid/internal/instr"
 	"iotsid/internal/sensor"
 )
@@ -66,6 +67,11 @@ type Config struct {
 	// Context supplies the snapshot the gate judges against; required
 	// when Gate is set.
 	Context ContextSource
+	// ContextTTL, when positive, caches the gate's sensor context for
+	// that long and single-flights concurrent collections, so a burst of
+	// commands shares one collector round trip instead of issuing one
+	// each. Zero keeps every command collecting fresh context.
+	ContextTTL time.Duration
 	// Now stamps history entries; defaults to time.Now.
 	Now func() time.Time
 	// MaxLoginFailures locks an account after this many consecutive bad
@@ -104,6 +110,13 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	if cfg.Gate != nil && cfg.Context == nil {
 		return nil, fmt.Errorf("cloud: a gate needs a context source")
+	}
+	if cfg.Context != nil && cfg.ContextTTL > 0 {
+		cached, err := core.NewCachedCollector(core.CollectorFunc(cfg.Context), cfg.ContextTTL)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Context = cached.Collect
 	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"iotsid/internal/sensor"
+)
+
+// countingCollector counts Collect calls and can stall them.
+type countingCollector struct {
+	calls atomic.Int64
+	block chan struct{} // when non-nil, Collect waits on it
+	err   error
+}
+
+func (c *countingCollector) Collect() (sensor.Snapshot, error) {
+	c.calls.Add(1)
+	if c.block != nil {
+		<-c.block
+	}
+	if c.err != nil {
+		return sensor.Snapshot{}, c.err
+	}
+	snap := sensor.NewSnapshot(time.Unix(1, 0))
+	snap.Set(sensor.FeatSmoke, sensor.Bool(false))
+	return snap, nil
+}
+
+func TestCachedCollectorServesWithinTTL(t *testing.T) {
+	inner := &countingCollector{}
+	cc, err := NewCachedCollector(inner, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1000, 0)
+	cc.SetClock(func() time.Time { return now })
+
+	for i := 0; i < 10; i++ {
+		snap, err := cc.Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := snap.Get(sensor.FeatSmoke); !ok {
+			t.Fatal("cached snapshot lost values")
+		}
+	}
+	if got := inner.calls.Load(); got != 1 {
+		t.Fatalf("inner collected %d times within TTL, want 1", got)
+	}
+
+	// Past the TTL the cache refreshes once.
+	now = now.Add(2 * time.Minute)
+	if _, err := cc.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.calls.Load(); got != 2 {
+		t.Fatalf("inner collected %d times after expiry, want 2", got)
+	}
+
+	// Invalidate forces a refresh inside the TTL.
+	cc.Invalidate()
+	if _, err := cc.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.calls.Load(); got != 3 {
+		t.Fatalf("inner collected %d times after Invalidate, want 3", got)
+	}
+}
+
+func TestCachedCollectorSingleFlight(t *testing.T) {
+	inner := &countingCollector{block: make(chan struct{})}
+	cc, err := NewCachedCollector(inner, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := cc.Collect()
+			errs <- err
+		}()
+	}
+	// Let every goroutine either start the collect or queue behind it.
+	for inner.calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(inner.block)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := inner.calls.Load(); got != 1 {
+		t.Fatalf("%d concurrent Collects hit the inner collector %d times, want 1", waiters, got)
+	}
+}
+
+func TestCachedCollectorDoesNotCacheErrors(t *testing.T) {
+	inner := &countingCollector{err: fmt.Errorf("sensors down")}
+	cc, err := NewCachedCollector(inner, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := cc.Collect(); err == nil {
+			t.Fatal("want propagated error")
+		}
+	}
+	if got := inner.calls.Load(); got != 3 {
+		t.Fatalf("errors were cached: %d inner calls, want 3", got)
+	}
+	// Recovery: the next success is cached.
+	inner.err = nil
+	if _, err := cc.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.calls.Load(); got != 4 {
+		t.Fatalf("recovered snapshot not cached: %d inner calls, want 4", got)
+	}
+}
+
+func TestCachedCollectorValidation(t *testing.T) {
+	if _, err := NewCachedCollector(nil, time.Second); err == nil {
+		t.Error("want nil-inner error")
+	}
+}

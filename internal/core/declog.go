@@ -1,0 +1,104 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// decisionLog is a fixed-capacity, sharded ring buffer of authorisation
+// records. Hot-path appends hash the device ID to a shard and take only
+// that shard's lock, so concurrent Authorize calls on different devices
+// never serialise on one mutex — and the log cannot grow without bound the
+// way the old append-only slice did. A global atomic sequence number gives
+// reads a total order across shards.
+type decisionLog struct {
+	shards []logShard
+	mask   uint32
+	seq    atomic.Uint64
+}
+
+type logShard struct {
+	mu   sync.Mutex
+	buf  []LogEntry // ring storage, len == cap
+	next uint64     // entries ever appended to this shard
+	_    [24]byte   // pad to keep neighbouring shard locks off one cache line
+}
+
+// defaultLogCapacity bounds the framework log when the caller does not
+// choose a size.
+const defaultLogCapacity = 4096
+
+// logShardCount must be a power of two for the mask trick.
+const logShardCount = 8
+
+func newDecisionLog(capacity int) *decisionLog {
+	if capacity <= 0 {
+		capacity = defaultLogCapacity
+	}
+	perShard := (capacity + logShardCount - 1) / logShardCount
+	l := &decisionLog{shards: make([]logShard, logShardCount), mask: logShardCount - 1}
+	for i := range l.shards {
+		l.shards[i].buf = make([]LogEntry, perShard)
+	}
+	return l
+}
+
+// fnv32a hashes the device ID without allocating.
+func fnv32a(s string) uint32 {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// append records one entry, stamping it with the next global sequence
+// number. Only the owning shard's lock is taken.
+func (l *decisionLog) append(e LogEntry) {
+	e.Seq = l.seq.Add(1)
+	s := &l.shards[fnv32a(e.DeviceID)&l.mask]
+	s.mu.Lock()
+	s.buf[s.next%uint64(len(s.buf))] = e
+	s.next++
+	s.mu.Unlock()
+}
+
+// snapshot copies every retained entry, ordered oldest → newest by global
+// sequence. The copy is bounded by the ring capacity regardless of how many
+// decisions the framework has ever made.
+func (l *decisionLog) snapshot() []LogEntry {
+	out := make([]LogEntry, 0, len(l.shards)*len(l.shards[0].buf))
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		n := s.next
+		retained := uint64(len(s.buf))
+		if n < retained {
+			retained = n
+		}
+		for j := n - retained; j < n; j++ {
+			out = append(out, s.buf[j%uint64(len(s.buf))])
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// recent returns the newest n retained entries, oldest → newest.
+func (l *decisionLog) recent(n int) []LogEntry {
+	all := l.snapshot()
+	if n < 0 {
+		n = 0
+	}
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[len(all)-n:]
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"iotsid/internal/dataset"
+	"iotsid/internal/sensor"
+)
+
+// randomSnapshot draws a snapshot over the model's feature vocabulary:
+// booleans fair-coin, labels uniform over their domain, numerics over a
+// range wide enough to straddle every threshold the trees learned.
+func randomSnapshot(t *testing.T, m dataset.Model, rng *rand.Rand) sensor.Snapshot {
+	t.Helper()
+	snap := sensor.NewSnapshot(sensorTime())
+	for _, f := range m.Features() {
+		d, ok := sensor.Describe(f)
+		if !ok {
+			t.Fatalf("feature %q not in vocabulary", f)
+		}
+		switch d.Type {
+		case sensor.TypeBool:
+			snap.Set(f, sensor.Bool(rng.Intn(2) == 1))
+		case sensor.TypeLabel:
+			snap.Set(f, sensor.Label(d.Labels[rng.Intn(len(d.Labels))]))
+		default:
+			snap.Set(f, sensor.Number(rng.Float64()*10040-40))
+		}
+	}
+	return snap
+}
+
+// TestCompiledAgreesWithTreeOnAllModels is the fast-path equivalence
+// property: for every trained model, the compiled tree, the explaining
+// tree, and the pooled Judge path all decide identically on random, legal
+// and attack snapshots (>10k probes across the six models).
+func TestCompiledAgreesWithTreeOnAllModels(t *testing.T) {
+	fm := memoryForTest(t)
+	rng := rand.New(rand.NewSource(2025))
+	const perModel = 2000
+	for _, m := range fm.Models() {
+		e, ok := fm.Entry(m)
+		if !ok {
+			t.Fatalf("no entry for %s", m)
+		}
+		c := e.Compiled()
+		if c == nil {
+			t.Fatalf("%s: entry has no compiled tree", m)
+		}
+		if c.Width() != m.FeatureWidth() {
+			t.Fatalf("%s: compiled width %d, model width %d", m, c.Width(), m.FeatureWidth())
+		}
+		for i := 0; i < perModel; i++ {
+			var snap sensor.Snapshot
+			var err error
+			switch i % 3 {
+			case 0:
+				snap, err = dataset.LegalScene(m, rng)
+			case 1:
+				snap, err = dataset.AttackScene(m, rng)
+			default:
+				snap = randomSnapshot(t, m, rng)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			x, err := m.Featurize(snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := e.Tree.Predict(x)
+			if got := c.Predict(x); got != want {
+				t.Fatalf("%s probe %d: compiled = %d, tree = %d (x = %v)", m, i, got, want, x)
+			}
+			legal, err := fm.Judge(m, snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if legal != (want == 1) {
+				t.Fatalf("%s probe %d: Judge = %v, tree class = %d", m, i, legal, want)
+			}
+		}
+	}
+}
+
+// TestCompileSaveLoadCompileRoundTrip proves compile → JSON save → load →
+// compile preserves every decision.
+func TestCompileSaveLoadCompileRoundTrip(t *testing.T) {
+	fm := memoryForTest(t)
+	var buf bytes.Buffer
+	if err := fm.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4242))
+	for _, m := range fm.Models() {
+		orig, _ := fm.Entry(m)
+		loaded, ok := back.Entry(m)
+		if !ok {
+			t.Fatalf("loaded memory missing %s", m)
+		}
+		lc := loaded.Compiled()
+		if lc == nil {
+			t.Fatalf("%s: loaded entry not compiled", m)
+		}
+		if lc.NodeCount() != orig.Compiled().NodeCount() {
+			t.Fatalf("%s: node count diverged after round trip", m)
+		}
+		for i := 0; i < 500; i++ {
+			snap := randomSnapshot(t, m, rng)
+			x, err := m.Featurize(snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := lc.Predict(x), orig.Compiled().Predict(x); got != want {
+				t.Fatalf("%s probe %d: reloaded = %d, original = %d", m, i, got, want)
+			}
+		}
+	}
+}
+
+// TestJudgeSteadyStateAllocs asserts the 0 allocs/op acceptance criterion
+// in-process (the benchmark records the number; this keeps it from
+// regressing silently in plain `go test`).
+func TestJudgeSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	fm := memoryForTest(t)
+	snap := legalCtx(t, dataset.ModelWindow)
+	// Warm the buffer pool.
+	if _, err := fm.Judge(dataset.ModelWindow, snap); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := fm.Judge(dataset.ModelWindow, snap); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Judge steady state allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"iotsid/internal/instr"
 	"iotsid/internal/sensor"
@@ -19,13 +19,14 @@ type Framework struct {
 	memory    *FeatureMemory
 	judger    *Judger
 
-	mu    sync.Mutex
-	log   []LogEntry
-	audit *trace.Log
+	log   *decisionLog
+	audit atomic.Pointer[trace.Log]
 }
 
-// LogEntry records one authorisation.
+// LogEntry records one authorisation. Seq is a process-wide sequence number
+// ordering entries across the log's shards.
 type LogEntry struct {
+	Seq      uint64   `json:"seq"`
 	Op       string   `json:"op"`
 	DeviceID string   `json:"device_id"`
 	Decision Decision `json:"decision"`
@@ -36,6 +37,9 @@ type Config struct {
 	Detector  *Detector
 	Collector Collector
 	Memory    *FeatureMemory
+	// LogCapacity bounds the decision log's ring buffer; 0 means the
+	// default (4096 entries). The log retains the newest entries.
+	LogCapacity int
 }
 
 // New assembles the framework.
@@ -52,15 +56,14 @@ func New(cfg Config) (*Framework, error) {
 		collector: cfg.Collector,
 		memory:    cfg.Memory,
 		judger:    j,
+		log:       newDecisionLog(cfg.LogCapacity),
 	}, nil
 }
 
 // SetAuditLog attaches (or detaches) an audit trace: every authorisation
 // decision is appended to it as a trace.KindDecision event.
 func (f *Framework) SetAuditLog(l *trace.Log) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.audit = l
+	f.audit.Store(l)
 }
 
 // Memory exposes the trained feature memory.
@@ -79,6 +82,29 @@ func (f *Framework) Authorize(in instr.Instruction) (Decision, error) {
 	return f.judgeAndLog(in, ctx)
 }
 
+// AuthorizeBatch collects the sensor context once and judges every
+// instruction against that single snapshot — the amortised form of
+// Authorize for callers draining a command queue. Decisions are returned in
+// input order; the first judgment error aborts the batch.
+func (f *Framework) AuthorizeBatch(ins []instr.Instruction) ([]Decision, error) {
+	if len(ins) == 0 {
+		return nil, nil
+	}
+	ctx, err := f.collector.Collect()
+	if err != nil {
+		return nil, fmt.Errorf("core: collect context: %w", err)
+	}
+	out := make([]Decision, len(ins))
+	for i, in := range ins {
+		dec, err := f.judgeAndLog(in, ctx)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch instruction %d (%s): %w", i, in.Op, err)
+		}
+		out[i] = dec
+	}
+	return out, nil
+}
+
 // Judge decides against a caller-supplied context (used when the caller
 // already holds the snapshot, e.g. the automation engine's evaluation
 // context).
@@ -91,11 +117,8 @@ func (f *Framework) judgeAndLog(in instr.Instruction, ctx sensor.Snapshot) (Deci
 	if err != nil {
 		return Decision{}, err
 	}
-	f.mu.Lock()
-	f.log = append(f.log, LogEntry{Op: in.Op, DeviceID: in.DeviceID, Decision: dec})
-	audit := f.audit
-	f.mu.Unlock()
-	if audit != nil {
+	f.log.append(LogEntry{Op: in.Op, DeviceID: in.DeviceID, Decision: dec})
+	if audit := f.audit.Load(); audit != nil {
 		outcome := "allowed"
 		if !dec.Allowed {
 			outcome = "rejected"
@@ -117,13 +140,17 @@ func (f *Framework) judgeAndLog(in instr.Instruction, ctx sensor.Snapshot) (Deci
 	return dec, nil
 }
 
-// Log returns a copy of the authorisation log.
+// Log returns a copy of the retained authorisation log, oldest first. The
+// log is a bounded ring: once more decisions have been made than the
+// configured capacity, only the newest survive.
 func (f *Framework) Log() []LogEntry {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	out := make([]LogEntry, len(f.log))
-	copy(out, f.log)
-	return out
+	return f.log.snapshot()
+}
+
+// LogRecent returns the newest n retained entries, oldest first — the
+// cheap way to peek at recent traffic without copying the whole ring.
+func (f *Framework) LogRecent(n int) []LogEntry {
+	return f.log.recent(n)
 }
 
 // Gate adapts the framework to the vendor bridges' gate signature: a

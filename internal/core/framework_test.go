@@ -59,6 +59,107 @@ func TestFrameworkAuthorize(t *testing.T) {
 	}
 }
 
+// countingStatic wraps a fixed snapshot and counts Collect calls.
+type countingStatic struct {
+	snap  sensor.Snapshot
+	calls int
+}
+
+func (c *countingStatic) Collect() (sensor.Snapshot, error) {
+	c.calls++
+	return c.snap, nil
+}
+
+func TestFrameworkAuthorizeBatch(t *testing.T) {
+	col := &countingStatic{snap: legalCtx(t, dataset.ModelWindow)}
+	f := frameworkForTest(t, col)
+	ins := []instr.Instruction{
+		buildInstr(t, "window.open", "window-1"),
+		buildInstr(t, "window.get_state", "window-1"),
+		buildInstr(t, "window.open", "window-2"),
+	}
+	decs, err := f.AuthorizeBatch(ins)
+	if err != nil {
+		t.Fatalf("AuthorizeBatch: %v", err)
+	}
+	if len(decs) != 3 {
+		t.Fatalf("decisions = %d", len(decs))
+	}
+	for i, dec := range decs {
+		if !dec.Allowed {
+			t.Errorf("decision %d rejected: %+v", i, dec)
+		}
+	}
+	if col.calls != 1 {
+		t.Errorf("batch collected %d times, want 1", col.calls)
+	}
+	if got := f.Log(); len(got) != 3 {
+		t.Errorf("log = %d entries", len(got))
+	}
+	// Empty batch is a no-op that does not collect.
+	if decs, err := f.AuthorizeBatch(nil); err != nil || decs != nil {
+		t.Errorf("empty batch = %v, %v", decs, err)
+	}
+	if col.calls != 1 {
+		t.Errorf("empty batch collected")
+	}
+}
+
+func TestFrameworkLogBoundedAndRecent(t *testing.T) {
+	f, err := New(Config{
+		Detector:    detectorForTest(t),
+		Collector:   staticCollector{snap: legalCtx(t, dataset.ModelWindow)},
+		Memory:      memoryForTest(t),
+		LogCapacity: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := buildInstr(t, "window.open", "window-1")
+	for i := 0; i < 1000; i++ {
+		if _, err := f.Authorize(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log := f.Log()
+	if len(log) == 0 || len(log) > 64 {
+		t.Fatalf("log retained %d entries, want bounded by 64", len(log))
+	}
+	// The retained window is the newest traffic.
+	if log[len(log)-1].Seq != 1000 {
+		t.Errorf("newest seq = %d, want 1000", log[len(log)-1].Seq)
+	}
+	recent := f.LogRecent(3)
+	if len(recent) != 3 {
+		t.Fatalf("LogRecent(3) = %d", len(recent))
+	}
+	if recent[2].Seq != 1000 || recent[0].Seq != 998 {
+		t.Errorf("recent window = [%d..%d]", recent[0].Seq, recent[2].Seq)
+	}
+}
+
+func TestFrameworkWithCachedCollector(t *testing.T) {
+	inner := &countingStatic{snap: legalCtx(t, dataset.ModelWindow)}
+	cached, err := NewCachedCollector(inner, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := frameworkForTest(t, cached)
+	in := buildInstr(t, "window.open", "window-1")
+	for i := 0; i < 25; i++ {
+		dec, err := f.Authorize(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dec.Allowed {
+			t.Fatalf("legal context rejected: %+v", dec)
+		}
+	}
+	if inner.calls != 1 {
+		t.Errorf("cached framework collected %d times, want 1", inner.calls)
+	}
+}
+
 func TestFrameworkValidation(t *testing.T) {
 	if _, err := New(Config{Detector: detectorForTest(t), Memory: memoryForTest(t)}); err == nil {
 		t.Error("want collector error")

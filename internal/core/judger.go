@@ -57,11 +57,18 @@ func (j *Judger) Judge(in instr.Instruction, ctx sensor.Snapshot) (Decision, err
 			Reason:    fmt.Sprintf("category %s is outside the context-model scope", in.Category),
 		}, nil
 	}
-	legal, explanation, err := j.memory.JudgeExplain(m, ctx)
+	// Fast path: the compiled tree answers allow/deny without allocating.
+	// Only an interception pays for the explaining walk — that is the
+	// decision a user actually reads.
+	legal, err := j.memory.Judge(m, ctx)
 	if err != nil {
 		return Decision{}, err
 	}
 	if !legal {
+		_, explanation, err := j.memory.JudgeExplain(m, ctx)
+		if err != nil {
+			return Decision{}, err
+		}
 		return Decision{
 			Allowed:     false,
 			Sensitive:   true,
@@ -71,10 +78,9 @@ func (j *Judger) Judge(in instr.Instruction, ctx sensor.Snapshot) (Decision, err
 		}, nil
 	}
 	return Decision{
-		Allowed:     true,
-		Sensitive:   true,
-		Model:       m,
-		Reason:      fmt.Sprintf("%s allowed: sensor context matches a legal activity scene", in.Op),
-		Explanation: explanation,
+		Allowed:   true,
+		Sensitive: true,
+		Model:     m,
+		Reason:    fmt.Sprintf("%s allowed: sensor context matches a legal activity scene", in.Op),
 	}, nil
 }

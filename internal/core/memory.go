@@ -79,12 +79,38 @@ type Report struct {
 }
 
 // Entry is one device model's slot in the feature memory: the trained tree,
-// its feature weights (Fig 6) and its evaluation report.
+// its feature weights (Fig 6) and its evaluation report. Alongside the
+// explaining tree the entry holds a compiled form of it plus a pool of
+// feature buffers — the zero-allocation pair Judge runs on.
 type Entry struct {
 	Tree    *tree.Tree    `json:"tree"`
 	Weights []tree.Weight `json:"weights"`
 	Report  Report        `json:"report"`
+
+	compiled *tree.Compiled
+	bufs     *sync.Pool // of *[]float64 sized to the tree's schema
 }
+
+// compile flattens the entry's tree and sizes its buffer pool. Every path
+// that stores an entry (Train, Put, Load) calls this before the entry is
+// published, so readers see the fields without synchronisation.
+func (e *Entry) compile() error {
+	c, err := e.Tree.Compile()
+	if err != nil {
+		return err
+	}
+	width := c.Width()
+	e.compiled = c
+	e.bufs = &sync.Pool{New: func() any {
+		buf := make([]float64, width)
+		return &buf
+	}}
+	return nil
+}
+
+// Compiled exposes the flattened inference tree (nil only for an entry that
+// was never stored through the memory's API).
+func (e *Entry) Compiled() *tree.Compiled { return e.compiled }
 
 // FeatureMemory is the command sensor context feature memory (§IV-C): one
 // trained decision tree per sensitive device model, with stored feature
@@ -149,8 +175,12 @@ func trainModel(m dataset.Model, d *mlearn.Dataset, tcfg TrainConfig, seed int64
 	if err != nil {
 		return nil, err
 	}
+	entry := &Entry{Tree: tr, Weights: weights}
+	if err := entry.compile(); err != nil {
+		return nil, err
+	}
 	testEval := mlearn.Evaluate(tr, test)
-	report := Report{
+	entry.Report = Report{
 		Model:         m,
 		TrainExamples: balanced.Len(),
 		TestExamples:  test.Len(),
@@ -163,7 +193,7 @@ func trainModel(m dataset.Model, d *mlearn.Dataset, tcfg TrainConfig, seed int64
 		CVMeanAcc:     cv.MeanAccuracy(),
 		CVStdAcc:      cv.StdAccuracy(),
 	}
-	return &Entry{Tree: tr, Weights: weights, Report: report}, nil
+	return entry, nil
 }
 
 func resample(d *mlearn.Dataset, s Sampling, rng *rand.Rand) (*mlearn.Dataset, error) {
@@ -179,10 +209,16 @@ func resample(d *mlearn.Dataset, s Sampling, rng *rand.Rand) (*mlearn.Dataset, e
 	}
 }
 
-// Put stores an entry (replacing any previous one).
+// Put stores an entry (replacing any previous one), compiling its tree for
+// the inference fast path if that has not happened yet.
 func (fm *FeatureMemory) Put(m dataset.Model, e *Entry) error {
 	if e == nil || e.Tree == nil {
 		return fmt.Errorf("core: nil entry for %s", m)
+	}
+	if e.compiled == nil {
+		if err := e.compile(); err != nil {
+			return fmt.Errorf("core: compile entry for %s: %w", m, err)
+		}
 	}
 	fm.mu.Lock()
 	defer fm.mu.Unlock()
@@ -211,19 +247,25 @@ func (fm *FeatureMemory) Models() []dataset.Model {
 	return out
 }
 
-// Judge runs one model's tree on a live snapshot: true means the context
-// matches a legal activity scene. This is the allocation-free hot path; use
-// JudgeExplain when the decision path is wanted.
+// Judge runs one model's compiled tree on a live snapshot: true means the
+// context matches a legal activity scene. The steady-state path is
+// allocation-free: the feature vector comes from the entry's buffer pool,
+// FeaturizeInto fills it in place, and the flattened tree is walked without
+// pointer chasing. Use JudgeExplain when the decision path is wanted.
 func (fm *FeatureMemory) Judge(m dataset.Model, ctx sensor.Snapshot) (bool, error) {
 	e, ok := fm.Entry(m)
 	if !ok {
 		return false, fmt.Errorf("core: no trained model for %s", m)
 	}
-	x, err := m.Featurize(ctx)
+	bufp := e.bufs.Get().(*[]float64)
+	err := m.FeaturizeInto(ctx, *bufp)
 	if err != nil {
+		e.bufs.Put(bufp)
 		return false, fmt.Errorf("core: featurize context for %s: %w", m, err)
 	}
-	return e.Tree.Predict(x) == 1, nil
+	legal := e.compiled.Predict(*bufp) == 1
+	e.bufs.Put(bufp)
+	return legal, nil
 }
 
 // JudgeExplain judges a snapshot and also returns the decision path the
@@ -268,6 +310,9 @@ func Load(r io.Reader) (*FeatureMemory, error) {
 	for m, e := range raw.Entries {
 		if e == nil || e.Tree == nil {
 			return nil, fmt.Errorf("core: serialised entry for %s has no tree", m)
+		}
+		if err := e.compile(); err != nil {
+			return nil, fmt.Errorf("core: compile loaded entry for %s: %w", m, err)
 		}
 		fm.entries[m] = e
 	}

@@ -151,54 +151,101 @@ func (m Model) Schema() (mlearn.Schema, error) {
 	return mlearn.NewSchema(attrs)
 }
 
+// featSpec is one precomputed featurisation step: the feature plus the
+// descriptor fields the encoder needs, resolved once at package init so the
+// hot path never rebuilds the feature list or re-queries the vocabulary.
+type featSpec struct {
+	feat   sensor.Feature
+	typ    sensor.FeatureType
+	labels []string
+}
+
+// modelSpecs caches the featurisation plan per model.
+var modelSpecs = func() map[Model][]featSpec {
+	out := make(map[Model][]featSpec, len(Models()))
+	for _, m := range Models() {
+		feats := m.Features()
+		specs := make([]featSpec, len(feats))
+		for i, f := range feats {
+			d := sensor.MustDescribe(f)
+			specs[i] = featSpec{feat: f, typ: d.Type, labels: d.Labels}
+		}
+		out[m] = specs
+	}
+	return out
+}()
+
+// FeatureWidth returns the model's feature-vector length, or 0 for an
+// unknown model.
+func (m Model) FeatureWidth() int { return len(modelSpecs[m]) }
+
 // Featurize encodes a sensor snapshot into the model's example vector. This
-// exact function is used both when building training data and when the
+// exact encoding is used both when building training data and when the
 // command determiner judges a live snapshot, so train and inference cannot
 // diverge.
 func (m Model) Featurize(snap sensor.Snapshot) ([]float64, error) {
-	feats := m.Features()
-	if feats == nil {
+	specs, ok := modelSpecs[m]
+	if !ok {
 		return nil, fmt.Errorf("dataset: unknown model %q", m)
 	}
-	out := make([]float64, len(feats))
-	for i, f := range feats {
-		v, ok := snap.Get(f)
+	out := make([]float64, len(specs))
+	if err := m.FeaturizeInto(snap, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FeaturizeInto encodes a snapshot into a caller-provided buffer — the
+// allocation-free form of Featurize for the inference fast path. buf must
+// have exactly the model's FeatureWidth.
+func (m Model) FeaturizeInto(snap sensor.Snapshot, buf []float64) error {
+	specs, ok := modelSpecs[m]
+	if !ok {
+		return fmt.Errorf("dataset: unknown model %q", m)
+	}
+	if len(buf) != len(specs) {
+		return fmt.Errorf("dataset: feature buffer %d, model %s needs %d", len(buf), m, len(specs))
+	}
+	for i := range specs {
+		s := &specs[i]
+		v, ok := snap.Get(s.feat)
 		if !ok {
-			return nil, fmt.Errorf("dataset: snapshot missing feature %q for model %s", f, m)
+			return fmt.Errorf("dataset: snapshot missing feature %q for model %s", s.feat, m)
 		}
-		d := sensor.MustDescribe(f)
-		switch d.Type {
+		switch s.typ {
 		case sensor.TypeBool:
 			b, isBool := v.Bool()
 			if !isBool {
-				return nil, fmt.Errorf("dataset: feature %q not boolean", f)
+				return fmt.Errorf("dataset: feature %q not boolean", s.feat)
 			}
 			if b {
-				out[i] = 1
+				buf[i] = 1
+			} else {
+				buf[i] = 0
 			}
 		case sensor.TypeLabel:
 			l, isLabel := v.Label()
 			if !isLabel {
-				return nil, fmt.Errorf("dataset: feature %q not a label", f)
+				return fmt.Errorf("dataset: feature %q not a label", s.feat)
 			}
 			idx := -1
-			for j, cand := range d.Labels {
+			for j, cand := range s.labels {
 				if cand == l {
 					idx = j
 					break
 				}
 			}
 			if idx < 0 {
-				return nil, fmt.Errorf("dataset: feature %q label %q outside domain", f, l)
+				return fmt.Errorf("dataset: feature %q label %q outside domain", s.feat, l)
 			}
-			out[i] = float64(idx)
+			buf[i] = float64(idx)
 		default:
 			n, isNum := v.Number()
 			if !isNum {
-				return nil, fmt.Errorf("dataset: feature %q not numeric", f)
+				return fmt.Errorf("dataset: feature %q not numeric", s.feat)
 			}
-			out[i] = n
+			buf[i] = n
 		}
 	}
-	return out, nil
+	return nil
 }

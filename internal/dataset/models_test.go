@@ -159,3 +159,55 @@ func TestSceneGeneratorsUnknownModel(t *testing.T) {
 		t.Error("want error")
 	}
 }
+
+func TestFeaturizeIntoMatchesFeaturize(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, m := range Models() {
+		buf := make([]float64, m.FeatureWidth())
+		for i := 0; i < 50; i++ {
+			gen := LegalScene
+			if i%2 == 1 {
+				gen = AttackScene
+			}
+			snap, err := gen(m, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := m.Featurize(snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Dirty the buffer to prove every slot is written.
+			for j := range buf {
+				buf[j] = -99
+			}
+			if err := m.FeaturizeInto(snap, buf); err != nil {
+				t.Fatalf("%s FeaturizeInto: %v", m, err)
+			}
+			for j := range want {
+				if buf[j] != want[j] {
+					t.Fatalf("%s slot %d: into = %v, featurize = %v", m, j, buf[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestFeaturizeIntoErrors(t *testing.T) {
+	snap, err := LegalSceneSeeded(ModelWindow, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ModelWindow.FeaturizeInto(snap, make([]float64, 2)); err == nil {
+		t.Error("want width-mismatch error")
+	}
+	if err := Model("fishtank").FeaturizeInto(snap, nil); err == nil {
+		t.Error("want unknown-model error")
+	}
+	if ModelWindow.FeatureWidth() != len(ModelWindow.Features()) {
+		t.Error("FeatureWidth disagrees with Features")
+	}
+	if Model("fishtank").FeatureWidth() != 0 {
+		t.Error("unknown model width should be 0")
+	}
+}

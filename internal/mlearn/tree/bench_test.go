@@ -75,3 +75,74 @@ func BenchmarkEvaluate(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkPredictCompiled(b *testing.B) {
+	d := benchDataset(b, 1000, 1)
+	tr := New(Config{MinSamplesLeaf: 5})
+	if err := tr.Fit(d); err != nil {
+		b.Fatal(err)
+	}
+	c, err := tr.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe := d.X[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Predict(probe)
+	}
+}
+
+// benchEvalSet walks every row so the benchmark averages over leaves at
+// all depths instead of one hot cached path.
+func benchPredictSweep(b *testing.B, predict func(x []float64) int, xs [][]float64) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = predict(xs[i%len(xs)])
+	}
+}
+
+func BenchmarkPredictSweepTree(b *testing.B) {
+	d := benchDataset(b, 5000, 1)
+	tr := New(Config{MinSamplesLeaf: 2})
+	if err := tr.Fit(d); err != nil {
+		b.Fatal(err)
+	}
+	benchPredictSweep(b, tr.Predict, d.X)
+}
+
+func BenchmarkPredictSweepCompiled(b *testing.B) {
+	d := benchDataset(b, 5000, 1)
+	tr := New(Config{MinSamplesLeaf: 2})
+	if err := tr.Fit(d); err != nil {
+		b.Fatal(err)
+	}
+	c, err := tr.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchPredictSweep(b, c.Predict, d.X)
+}
+
+func BenchmarkPredictAllCompiled(b *testing.B) {
+	d := benchDataset(b, 5000, 1)
+	tr := New(Config{MinSamplesLeaf: 2})
+	if err := tr.Fit(d); err != nil {
+		b.Fatal(err)
+	}
+	c, err := tr.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]int, len(d.X))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.PredictInto(d.X, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -29,8 +29,14 @@ func NewSnapshot(t time.Time) Snapshot {
 	return Snapshot{At: t, Values: make(map[Feature]Value)}
 }
 
-// Set stores a feature value, replacing any previous one.
-func (s Snapshot) Set(f Feature, v Value) { s.Values[f] = v }
+// Set stores a feature value, replacing any previous one. The value map is
+// allocated lazily, so Set is safe on a zero-value Snapshot.
+func (s *Snapshot) Set(f Feature, v Value) {
+	if s.Values == nil {
+		s.Values = make(map[Feature]Value)
+	}
+	s.Values[f] = v
+}
 
 // Get returns the value of a feature and whether it is present.
 func (s Snapshot) Get(f Feature) (Value, bool) {

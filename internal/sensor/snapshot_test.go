@@ -165,3 +165,23 @@ func TestSnapshotValidate(t *testing.T) {
 		}
 	})
 }
+
+// TestSetOnZeroValueSnapshot is the regression test for the nil-map panic:
+// Set on a zero-value Snapshot must lazily allocate the value map instead
+// of panicking.
+func TestSetOnZeroValueSnapshot(t *testing.T) {
+	var s Snapshot
+	s.Set(FeatSmoke, Bool(true))
+	if !s.Bool(FeatSmoke) {
+		t.Error("value lost after lazy allocation")
+	}
+	if len(s.Values) != 1 {
+		t.Errorf("values = %v", s.Values)
+	}
+	// A pointer to a zero-value snapshot works the same way.
+	p := &Snapshot{}
+	p.Set(FeatMotion, Bool(true))
+	if !p.Bool(FeatMotion) {
+		t.Error("pointer target lost value")
+	}
+}

@@ -520,6 +520,79 @@ func BenchmarkExtensionCampaign(b *testing.B) {
 	}
 }
 
+// --- Training parallelism ---
+
+// BenchmarkTrainAll trains all six device models end to end per iteration:
+// corpus-expanded dataset build, 7:3 split, oversampling, tree growth and
+// k-fold cross-validation. Workers defaults to GOMAXPROCS, so running with
+// `-cpu 1,4,8` measures the training fan-out's speedup directly; the
+// determinism tests prove every worker count yields byte-identical
+// memories.
+func BenchmarkTrainAll(b *testing.B) {
+	corpus, err := dataset.Corpus(dataset.CorpusConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fm, err := core.Train(corpus, dataset.BuildConfig{Seed: 42}, core.TrainConfig{Seed: 9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fm.Models()) != 6 {
+			b.Fatalf("trained %d models", len(fm.Models()))
+		}
+	}
+}
+
+// BenchmarkForestFit bags a 25-tree random forest on the window dataset per
+// iteration — the per-tree bagging fan-out under `-cpu 1,4,8`.
+func BenchmarkForestFit(b *testing.B) {
+	s := sharedSuite(b)
+	d, err := s.DatasetFor(dataset.ModelWindow)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	train, _, err := d.SplitStratified(0.7, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	balanced, err := mlearn.OversampleRandom(train, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := forest.New(forest.Config{Trees: 25, Seed: 9, Tree: tree.Config{MinSamplesLeaf: 3}})
+		if err := f.Fit(balanced); err != nil {
+			b.Fatal(err)
+		}
+		if f.Size() != 25 {
+			b.Fatalf("size %d", f.Size())
+		}
+	}
+}
+
+// BenchmarkBuildAll expands the corpus into all six model datasets per
+// iteration — the per-model build fan-out under `-cpu 1,4,8`.
+func BenchmarkBuildAll(b *testing.B) {
+	corpus, err := dataset.Corpus(dataset.CorpusConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		all, err := dataset.BuildAll(corpus, dataset.BuildConfig{Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(all) != 6 {
+			b.Fatalf("built %d datasets", len(all))
+		}
+	}
+}
+
 // BenchmarkExtensionTransfer evaluates the trained memory against a fresh
 // home per iteration.
 func BenchmarkExtensionTransfer(b *testing.B) {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchgen [-seed N] [-ablations]
+//	benchgen [-seed N] [-ablations] [-workers N] [-csv DIR]
 package main
 
 import (
@@ -30,9 +30,11 @@ func run() error {
 	seed := flag.Int64("seed", 0, "override the evaluation seed (0 = paper defaults)")
 	ablations := flag.Bool("ablations", false, "also run criterion/sampling/baseline ablations")
 	csvDir := flag.String("csv", "", "also write table3/table6/fig6/fig7 as CSV into this directory")
+	workers := flag.Int("workers", 0, "parallel workers for training and sweeps (0 = GOMAXPROCS); results are identical for every value")
 	flag.Parse()
 
 	cfg := eval.DefaultConfig()
+	cfg.Workers = *workers
 	if *seed != 0 {
 		cfg.Seed = *seed
 		cfg.CorpusSeed = *seed + 1

@@ -8,6 +8,7 @@ import (
 	"iotsid/internal/bridge"
 	"iotsid/internal/home"
 	"iotsid/internal/miio"
+	"iotsid/internal/par"
 	"iotsid/internal/sensor"
 	"iotsid/internal/smartthings"
 )
@@ -124,17 +125,27 @@ type MultiCollector []Collector
 var _ Collector = MultiCollector(nil)
 
 // Collect implements Collector. All sources must succeed: a silent partial
-// context is exactly the blind spot a sensor-spoofing attacker wants.
+// context is exactly the blind spot a sensor-spoofing attacker wants. The
+// vendor polls are network round trips, so they run concurrently — but the
+// merge happens in index order afterwards, preserving the documented
+// later-overrides-earlier semantics, and the reported error is the
+// lowest-index failure, exactly as a serial poll would return.
 func (m MultiCollector) Collect() (sensor.Snapshot, error) {
 	if len(m) == 0 {
 		return sensor.Snapshot{}, fmt.Errorf("core: empty multi collector")
 	}
-	merged := sensor.NewSnapshot(time.Time{})
-	for i, c := range m {
-		snap, err := c.Collect()
+	snaps, err := par.Map(len(m), len(m), func(i int) (sensor.Snapshot, error) {
+		snap, err := m[i].Collect()
 		if err != nil {
 			return sensor.Snapshot{}, fmt.Errorf("core: collector %d: %w", i, err)
 		}
+		return snap, nil
+	})
+	if err != nil {
+		return sensor.Snapshot{}, err
+	}
+	merged := sensor.NewSnapshot(time.Time{})
+	for _, snap := range snaps {
 		merged = merged.Merge(snap)
 	}
 	return merged, nil

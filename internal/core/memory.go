@@ -10,6 +10,7 @@ import (
 	"iotsid/internal/dataset"
 	"iotsid/internal/mlearn"
 	"iotsid/internal/mlearn/tree"
+	"iotsid/internal/par"
 	"iotsid/internal/sensor"
 )
 
@@ -44,6 +45,11 @@ type TrainConfig struct {
 	SplitRatio float64  // train share; default 0.7 (the paper's 7:3)
 	Sampling   Sampling // default random oversampling
 	KFold      int      // cross-validation folds; default 5
+	// Workers bounds the per-model training fan-out (and the per-fold
+	// cross-validation fan-out inside each model); 0 means GOMAXPROCS.
+	// Every parallel unit's seed is derived before the fan-out, so trained
+	// memories are bit-identical for every worker count.
+	Workers int
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -128,19 +134,33 @@ func NewFeatureMemory() *FeatureMemory {
 // Train builds the full memory from the strategy corpus: per device model,
 // build the dataset, split 7:3 stratified, fix the class imbalance on the
 // training split, grow the tree, cross-validate, and store tree + weights.
+// The six models train concurrently on tcfg.Workers goroutines; per-model
+// seeds are derived from the model index before the fan-out, so the trained
+// memory is bit-identical to a serial run.
 func Train(corpus []dataset.Strategy, bcfg dataset.BuildConfig, tcfg TrainConfig) (*FeatureMemory, error) {
 	tcfg = tcfg.withDefaults()
-	fm := NewFeatureMemory()
+	if bcfg.Workers == 0 {
+		bcfg.Workers = tcfg.Workers
+	}
 	all, err := dataset.BuildAll(corpus, bcfg)
 	if err != nil {
 		return nil, err
 	}
-	for i, m := range dataset.Models() {
+	models := dataset.Models()
+	entries, err := par.Map(len(models), tcfg.Workers, func(i int) (*Entry, error) {
+		m := models[i]
 		entry, err := trainModel(m, all[m], tcfg, tcfg.Seed+int64(i)*104729)
 		if err != nil {
 			return nil, fmt.Errorf("train %s: %w", m, err)
 		}
-		fm.entries[m] = entry
+		return entry, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fm := NewFeatureMemory()
+	for i, m := range models {
+		fm.entries[m] = entries[i]
 	}
 	return fm, nil
 }
@@ -170,8 +190,8 @@ func trainModel(m dataset.Model, d *mlearn.Dataset, tcfg TrainConfig, seed int64
 	if err != nil {
 		return nil, err
 	}
-	cv, err := mlearn.CrossValidate(func() mlearn.Classifier { return tree.New(tcfg.Tree) },
-		balanced, tcfg.KFold, rng)
+	cv, err := mlearn.CrossValidateWorkers(func() mlearn.Classifier { return tree.New(tcfg.Tree) },
+		balanced, tcfg.KFold, rng, tcfg.Workers)
 	if err != nil {
 		return nil, err
 	}

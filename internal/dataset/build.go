@@ -6,12 +6,17 @@ import (
 	"math/rand"
 
 	"iotsid/internal/mlearn"
+	"iotsid/internal/par"
 	"iotsid/internal/sensor"
 )
 
 // BuildConfig tunes dataset construction for one device model.
 type BuildConfig struct {
 	Seed int64
+	// Workers bounds BuildAll's per-model fan-out; 0 means GOMAXPROCS.
+	// Each model's generator is seeded before the fan-out, so the built
+	// datasets are identical for every worker count.
+	Workers int
 	// AttackRatio is the fraction of the built dataset that is negative
 	// (attack) examples — kept deliberately small to reproduce the paper's
 	// "vast disparity in the ratio of positive and negative samples"
@@ -142,17 +147,26 @@ func Build(m Model, corpus []Strategy, cfg BuildConfig) (*mlearn.Dataset, error)
 }
 
 // BuildAll constructs the dataset of every evaluated model, seeding each
-// model's generator independently from cfg.Seed.
+// model's generator independently from cfg.Seed. Models build concurrently
+// on cfg.Workers goroutines; because every model's seed is derived from its
+// index before the fan-out, the result is bit-identical to a serial build.
 func BuildAll(corpus []Strategy, cfg BuildConfig) (map[Model]*mlearn.Dataset, error) {
-	out := make(map[Model]*mlearn.Dataset, len(Models()))
-	for i, m := range Models() {
+	models := Models()
+	built, err := par.Map(len(models), cfg.Workers, func(i int) (*mlearn.Dataset, error) {
 		mc := cfg
 		mc.Seed = cfg.Seed + int64(i)*7919
-		d, err := Build(m, corpus, mc)
+		d, err := Build(models[i], corpus, mc)
 		if err != nil {
-			return nil, fmt.Errorf("build %s: %w", m, err)
+			return nil, fmt.Errorf("build %s: %w", models[i], err)
 		}
-		out[m] = d
+		return d, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[Model]*mlearn.Dataset, len(models))
+	for i, m := range models {
+		out[m] = built[i]
 	}
 	return out, nil
 }

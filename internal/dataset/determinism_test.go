@@ -1,0 +1,45 @@
+package dataset
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestBuildAllDeterminism is the golden-equality gate for the parallel
+// dataset builder: whatever the worker count, BuildAll must produce
+// bit-identical datasets, because every model's generator is seeded from
+// its index before the fan-out.
+func TestBuildAllDeterminism(t *testing.T) {
+	corpus, err := Corpus(CorpusConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := BuildAll(corpus, BuildConfig{Seed: 42, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		parallel, err := BuildAll(corpus, BuildConfig{Seed: 42, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(parallel) != len(serial) {
+			t.Fatalf("workers=%d: %d models, want %d", workers, len(parallel), len(serial))
+		}
+		for m, want := range serial {
+			got := parallel[m]
+			if got == nil {
+				t.Fatalf("workers=%d: model %s missing", workers, m)
+			}
+			if !reflect.DeepEqual(got.Y, want.Y) {
+				t.Errorf("workers=%d: %s labels diverge", workers, m)
+			}
+			if !reflect.DeepEqual(got.X, want.X) {
+				t.Errorf("workers=%d: %s feature rows diverge", workers, m)
+			}
+			if !reflect.DeepEqual(got.Schema, want.Schema) {
+				t.Errorf("workers=%d: %s schema diverges", workers, m)
+			}
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"iotsid/internal/mlearn/knn"
 	"iotsid/internal/mlearn/svm"
 	"iotsid/internal/mlearn/tree"
+	"iotsid/internal/par"
 )
 
 // BaselineRow compares the paper's chosen decision tree against the other
@@ -27,22 +28,25 @@ type BaselineRow struct {
 }
 
 // Baselines trains tree, KNN, Naive Bayes and linear SVM on every model
-// under the paper's protocol and reports test accuracies.
+// under the paper's protocol and reports test accuracies. Models run
+// concurrently; each model's generator is seeded identically to the serial
+// protocol, so the rows are bit-identical at any worker count.
 func (s *Suite) Baselines() ([]BaselineRow, error) {
-	out := make([]BaselineRow, 0, len(dataset.Models()))
-	for _, m := range dataset.Models() {
+	models := dataset.Models()
+	return par.Map(len(models), s.Config.Workers, func(i int) (BaselineRow, error) {
+		m := models[i]
 		d, err := s.DatasetFor(m)
 		if err != nil {
-			return nil, err
+			return BaselineRow{}, err
 		}
 		rng := rand.New(rand.NewSource(s.Config.TrainSeed))
 		train, test, err := d.SplitStratified(0.7, rng)
 		if err != nil {
-			return nil, err
+			return BaselineRow{}, err
 		}
 		balanced, err := mlearn.OversampleRandom(train, rng)
 		if err != nil {
-			return nil, err
+			return BaselineRow{}, err
 		}
 		row := BaselineRow{Model: m}
 		classifiers := []struct {
@@ -56,19 +60,17 @@ func (s *Suite) Baselines() ([]BaselineRow, error) {
 		}
 		for _, entry := range classifiers {
 			if err := entry.c.Fit(balanced); err != nil {
-				return nil, fmt.Errorf("baseline fit %s: %w", m, err)
+				return BaselineRow{}, fmt.Errorf("baseline fit %s: %w", m, err)
 			}
 			ev := mlearn.Evaluate(entry.c, test)
 			*entry.dst = ev.Accuracy()
-			if t, ok := entry.c.(*tree.Tree); ok {
-				_ = t
+			if _, ok := entry.c.(*tree.Tree); ok {
 				row.TreeFNR = ev.FNR()
 			}
 		}
 		row.BestIsTree = row.TreeAcc >= row.KNNAcc && row.TreeAcc >= row.BayesAcc && row.TreeAcc >= row.SVMAcc
-		out = append(out, row)
-	}
-	return out, nil
+		return row, nil
+	})
 }
 
 // RenderBaselines formats the classifier comparison.
@@ -95,22 +97,23 @@ type CriterionRow struct {
 }
 
 // CriterionAblation sweeps the three split criteria the paper names
-// (information gain, gain ratio, Gini).
+// (information gain, gain ratio, Gini). The model × criterion grid fans out
+// with every cell writing its own row slot, so row order matches the serial
+// sweep exactly.
 func (s *Suite) CriterionAblation() ([]CriterionRow, error) {
-	var out []CriterionRow
-	for _, m := range dataset.Models() {
-		for _, crit := range []tree.Criterion{tree.Gini, tree.Entropy, tree.GainRatio} {
-			r, err := s.TrainReport(m, core.TrainConfig{
-				Seed: s.Config.TrainSeed,
-				Tree: tree.Config{Criterion: crit, MinSamplesLeaf: 5},
-			})
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, CriterionRow{Model: m, Criterion: crit, TestAcc: r.TestAccuracy, FNR: r.FNR})
+	models := dataset.Models()
+	criteria := []tree.Criterion{tree.Gini, tree.Entropy, tree.GainRatio}
+	return par.Map(len(models)*len(criteria), s.Config.Workers, func(i int) (CriterionRow, error) {
+		m, crit := models[i/len(criteria)], criteria[i%len(criteria)]
+		r, err := s.TrainReport(m, core.TrainConfig{
+			Seed: s.Config.TrainSeed,
+			Tree: tree.Config{Criterion: crit, MinSamplesLeaf: 5},
+		})
+		if err != nil {
+			return CriterionRow{}, err
 		}
-	}
-	return out, nil
+		return CriterionRow{Model: m, Criterion: crit, TestAcc: r.TestAccuracy, FNR: r.FNR}, nil
+	})
 }
 
 // SamplingRow is one imbalance-handling ablation result.
@@ -123,23 +126,23 @@ type SamplingRow struct {
 }
 
 // SamplingAblation compares no resampling, random oversampling (the paper's
-// choice) and SMOTE.
+// choice) and SMOTE, fanning the model × strategy grid out like
+// CriterionAblation.
 func (s *Suite) SamplingAblation() ([]SamplingRow, error) {
-	var out []SamplingRow
-	for _, m := range dataset.Models() {
-		for _, sampling := range []core.Sampling{core.SampleNone, core.SampleRandomOversample, core.SampleSMOTE} {
-			r, err := s.TrainReport(m, core.TrainConfig{
-				Seed:     s.Config.TrainSeed,
-				Sampling: sampling,
-			})
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, SamplingRow{Model: m, Sampling: sampling,
-				TestAcc: r.TestAccuracy, Recall: r.Recall, FNR: r.FNR})
+	models := dataset.Models()
+	strategies := []core.Sampling{core.SampleNone, core.SampleRandomOversample, core.SampleSMOTE}
+	return par.Map(len(models)*len(strategies), s.Config.Workers, func(i int) (SamplingRow, error) {
+		m, sampling := models[i/len(strategies)], strategies[i%len(strategies)]
+		r, err := s.TrainReport(m, core.TrainConfig{
+			Seed:     s.Config.TrainSeed,
+			Sampling: sampling,
+		})
+		if err != nil {
+			return SamplingRow{}, err
 		}
-	}
-	return out, nil
+		return SamplingRow{Model: m, Sampling: sampling,
+			TestAcc: r.TestAccuracy, Recall: r.Recall, FNR: r.FNR}, nil
+	})
 }
 
 // ScalingRow measures accuracy as the corpus expansion grows — the
@@ -150,22 +153,21 @@ type ScalingRow struct {
 	TestAcc   float64
 }
 
-// ScalingAblation sweeps the positive-example budget on one model.
+// ScalingAblation sweeps the positive-example budget on one model, one
+// budget per parallel unit.
 func (s *Suite) ScalingAblation(m dataset.Model, sizes []int) ([]ScalingRow, error) {
-	out := make([]ScalingRow, 0, len(sizes))
-	for _, n := range sizes {
+	return par.Map(len(sizes), s.Config.Workers, func(i int) (ScalingRow, error) {
 		d, err := dataset.Build(m, s.Corpus, dataset.BuildConfig{
 			Seed:             s.Config.DatasetSeed,
-			PositiveOverride: n,
+			PositiveOverride: sizes[i],
 		})
 		if err != nil {
-			return nil, err
+			return ScalingRow{}, err
 		}
 		e, err := core.TrainModel(m, d, core.TrainConfig{Seed: s.Config.TrainSeed})
 		if err != nil {
-			return nil, err
+			return ScalingRow{}, err
 		}
-		out = append(out, ScalingRow{Model: m, Positives: n, TestAcc: e.Report.TestAccuracy})
-	}
-	return out, nil
+		return ScalingRow{Model: m, Positives: sizes[i], TestAcc: e.Report.TestAccuracy}, nil
+	})
 }

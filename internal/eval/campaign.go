@@ -10,6 +10,7 @@ import (
 	"iotsid/internal/dataset"
 	"iotsid/internal/home"
 	"iotsid/internal/instr"
+	"iotsid/internal/par"
 	"iotsid/internal/sensor"
 )
 
@@ -83,82 +84,106 @@ func (r CampaignResult) FalseBlockRate() float64 {
 	return float64(r.LegitBlocked) / float64(r.LegitAttempts)
 }
 
+// roundOutcome records one campaign round: per attack index, whether the
+// staged attack and the interleaved legitimate command were blocked.
+type roundOutcome struct {
+	attackBlocked []bool
+	legitBlocked  []bool
+}
+
 // Campaign runs a mixed attack campaign against a live deployment: per
 // round, every attack type stages its context in the home and fires its
 // sensitive instruction through the IDS gate; interleaved, legitimate
 // commands are issued from legal scenes. Uses the suite's trained memory.
+//
+// Rounds fan out over s.Config.Workers goroutines. Each round is fully
+// self-contained — its own standard home, its own framework, and a scene
+// generator seeded from the round index before the fan-out — and per-round
+// outcomes land in index slots, merged in round order. The tally is
+// therefore identical for every worker count (and rounds no longer leak
+// device state into each other through the shared environment).
 func (s *Suite) Campaign(rounds int) (CampaignResult, error) {
 	if rounds <= 0 {
 		return CampaignResult{}, fmt.Errorf("eval: rounds must be positive")
-	}
-	h, err := home.NewStandard(home.EnvConfig{Seed: s.Config.Seed + 101})
-	if err != nil {
-		return CampaignResult{}, err
 	}
 	detector, err := core.DefaultDetector()
 	if err != nil {
 		return CampaignResult{}, err
 	}
-	framework, err := core.New(core.Config{
-		Detector:  detector,
-		Collector: &core.SimCollector{Env: h.Env()},
-		Memory:    s.Memory,
+	registry := instr.BuiltinRegistry()
+
+	outcomes, err := par.Map(rounds, s.Config.Workers, func(round int) (roundOutcome, error) {
+		h, err := home.NewStandard(home.EnvConfig{Seed: s.Config.Seed + 101})
+		if err != nil {
+			return roundOutcome{}, err
+		}
+		framework, err := core.New(core.Config{
+			Detector:  detector,
+			Collector: &core.SimCollector{Env: h.Env()},
+			Memory:    s.Memory,
+		})
+		if err != nil {
+			return roundOutcome{}, err
+		}
+		rng := rand.New(rand.NewSource(s.Config.Seed + 202 + int64(round)))
+		fire := func(op, device string, ctx sensor.Snapshot) (blocked bool, err error) {
+			h.Env().Apply(ctx)
+			in, err := registry.Build(op, device, instr.OriginUnknown, nil)
+			if err != nil {
+				return false, err
+			}
+			dec, err := framework.Authorize(in)
+			if err != nil {
+				return false, err
+			}
+			if dec.Allowed {
+				// The instruction executes — the attack (or legit command)
+				// reaches the device.
+				if err := h.Execute(in); err != nil {
+					return false, err
+				}
+			}
+			return !dec.Allowed, nil
+		}
+
+		out := roundOutcome{
+			attackBlocked: make([]bool, len(campaignAttacks)),
+			legitBlocked:  make([]bool, len(campaignAttacks)),
+		}
+		for i, a := range campaignAttacks {
+			ctx, err := dataset.AttackScene(a.Model, rng)
+			if err != nil {
+				return roundOutcome{}, err
+			}
+			if out.attackBlocked[i], err = fire(a.Op, a.Device, ctx); err != nil {
+				return roundOutcome{}, err
+			}
+			// A legitimate use of the same instruction, from a legal scene.
+			legalCtx, err := dataset.LegalScene(a.Model, rng)
+			if err != nil {
+				return roundOutcome{}, err
+			}
+			if out.legitBlocked[i], err = fire(a.Op, a.Device, legalCtx); err != nil {
+				return roundOutcome{}, err
+			}
+		}
+		return out, nil
 	})
 	if err != nil {
 		return CampaignResult{}, err
 	}
-	registry := instr.BuiltinRegistry()
-	rng := rand.New(rand.NewSource(s.Config.Seed + 202))
 
 	res := CampaignResult{PerType: make(map[AttackType]CampaignCounts, len(campaignAttacks))}
-	fire := func(m dataset.Model, op, device string, ctx sensor.Snapshot) (blocked bool, err error) {
-		h.Env().Apply(ctx)
-		in, err := registry.Build(op, device, instr.OriginUnknown, nil)
-		if err != nil {
-			return false, err
-		}
-		dec, err := framework.Authorize(in)
-		if err != nil {
-			return false, err
-		}
-		if dec.Allowed {
-			// The instruction executes — the attack (or legit command)
-			// reaches the device.
-			if err := h.Execute(in); err != nil {
-				return false, err
-			}
-		}
-		return !dec.Allowed, nil
-	}
-
-	for round := 0; round < rounds; round++ {
-		for _, a := range campaignAttacks {
-			ctx, err := dataset.AttackScene(a.Model, rng)
-			if err != nil {
-				return CampaignResult{}, err
-			}
-			blocked, err := fire(a.Model, a.Op, a.Device, ctx)
-			if err != nil {
-				return CampaignResult{}, err
-			}
+	for _, out := range outcomes {
+		for i, a := range campaignAttacks {
 			c := res.PerType[a.Type]
 			c.Attempts++
-			if blocked {
+			if out.attackBlocked[i] {
 				c.Blocked++
 			}
 			res.PerType[a.Type] = c
-
-			// A legitimate use of the same instruction, from a legal scene.
-			legalCtx, err := dataset.LegalScene(a.Model, rng)
-			if err != nil {
-				return CampaignResult{}, err
-			}
-			blocked, err = fire(a.Model, a.Op, a.Device, legalCtx)
-			if err != nil {
-				return CampaignResult{}, err
-			}
 			res.LegitAttempts++
-			if blocked {
+			if out.legitBlocked[i] {
 				res.LegitBlocked++
 			}
 		}

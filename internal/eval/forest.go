@@ -9,6 +9,7 @@ import (
 	"iotsid/internal/mlearn"
 	"iotsid/internal/mlearn/forest"
 	"iotsid/internal/mlearn/tree"
+	"iotsid/internal/par"
 )
 
 // ForestRow compares the paper's single decision tree against a random
@@ -22,32 +23,34 @@ type ForestRow struct {
 }
 
 // ForestComparison trains both models per device under the paper's
-// protocol and reports test accuracy and ROC AUC.
+// protocol and reports test accuracy and ROC AUC. Devices fan out, and the
+// forest's own per-tree bagging fans out beneath them.
 func (s *Suite) ForestComparison() ([]ForestRow, error) {
-	out := make([]ForestRow, 0, len(dataset.Models()))
-	for _, m := range dataset.Models() {
+	models := dataset.Models()
+	return par.Map(len(models), s.Config.Workers, func(i int) (ForestRow, error) {
+		m := models[i]
 		d, err := s.DatasetFor(m)
 		if err != nil {
-			return nil, err
+			return ForestRow{}, err
 		}
 		rng := rand.New(rand.NewSource(s.Config.TrainSeed))
 		train, test, err := d.SplitStratified(0.7, rng)
 		if err != nil {
-			return nil, err
+			return ForestRow{}, err
 		}
 		balanced, err := mlearn.OversampleRandom(train, rng)
 		if err != nil {
-			return nil, err
+			return ForestRow{}, err
 		}
 
 		single := tree.New(tree.Config{MinSamplesLeaf: 5})
 		if err := single.Fit(balanced); err != nil {
-			return nil, fmt.Errorf("tree %s: %w", m, err)
+			return ForestRow{}, fmt.Errorf("tree %s: %w", m, err)
 		}
 		ensemble := forest.New(forest.Config{Trees: 25, Seed: s.Config.TrainSeed,
-			Tree: tree.Config{MinSamplesLeaf: 3}})
+			Workers: s.Config.Workers, Tree: tree.Config{MinSamplesLeaf: 3}})
 		if err := ensemble.Fit(balanced); err != nil {
-			return nil, fmt.Errorf("forest %s: %w", m, err)
+			return ForestRow{}, fmt.Errorf("forest %s: %w", m, err)
 		}
 
 		row := ForestRow{Model: m}
@@ -56,16 +59,15 @@ func (s *Suite) ForestComparison() ([]ForestRow, error) {
 		if _, auc, err := mlearn.ROC(mlearn.ProbaScorer(single.PredictProba), test); err == nil {
 			row.TreeAUC = auc
 		} else {
-			return nil, fmt.Errorf("tree ROC %s: %w", m, err)
+			return ForestRow{}, fmt.Errorf("tree ROC %s: %w", m, err)
 		}
 		if _, auc, err := mlearn.ROC(mlearn.ProbaScorer(ensemble.PredictProba), test); err == nil {
 			row.ForestAUC = auc
 		} else {
-			return nil, fmt.Errorf("forest ROC %s: %w", m, err)
+			return ForestRow{}, fmt.Errorf("forest ROC %s: %w", m, err)
 		}
-		out = append(out, row)
-	}
-	return out, nil
+		return row, nil
+	})
 }
 
 // RenderForestComparison formats the extension experiment.

@@ -7,9 +7,11 @@ package eval
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"iotsid/internal/core"
 	"iotsid/internal/dataset"
+	"iotsid/internal/mlearn"
 	"iotsid/internal/survey"
 )
 
@@ -20,6 +22,11 @@ type Config struct {
 	CorpusSeed  int64
 	DatasetSeed int64
 	TrainSeed   int64
+	// Workers bounds every parallel fan-out in the suite (training,
+	// ablation sweeps, transfer, campaign rounds); 0 means GOMAXPROCS.
+	// Results are deterministic for any value: each parallel unit's seed is
+	// derived from its index before the fan-out.
+	Workers int
 }
 
 // DefaultConfig is the configuration every reported number uses.
@@ -51,6 +58,18 @@ type Suite struct {
 	Corpus  []dataset.Strategy
 	Memory  *core.FeatureMemory
 	builder dataset.BuildConfig
+	// cache is a pointer so a Suite may be shallow-copied (e.g. to vary
+	// Config.Workers) while sharing the memoized datasets.
+	cache *datasetCache
+}
+
+// datasetCache memoizes per-model dataset builds: Table VI, Fig 6 and every
+// ablation used to pay the full corpus expansion again on each DatasetFor
+// call. Callers treat the cached datasets as immutable (the split and
+// resampling helpers all copy rows).
+type datasetCache struct {
+	mu    sync.Mutex
+	built map[dataset.Model]*mlearn.Dataset
 }
 
 // NewSuite runs the shared pipeline once: simulate the questionnaire,
@@ -70,10 +89,11 @@ func NewSuite(cfg Config) (*Suite, error) {
 	if err != nil {
 		return nil, fmt.Errorf("eval: corpus: %w", err)
 	}
-	bcfg := dataset.BuildConfig{Seed: cfg.DatasetSeed}
-	memory, err := core.Train(corpus, bcfg, core.TrainConfig{Seed: cfg.TrainSeed})
+	bcfg := dataset.BuildConfig{Seed: cfg.DatasetSeed, Workers: cfg.Workers}
+	memory, err := core.Train(corpus, bcfg, core.TrainConfig{Seed: cfg.TrainSeed, Workers: cfg.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("eval: train: %w", err)
 	}
-	return &Suite{Config: cfg, Survey: res, Corpus: corpus, Memory: memory, builder: bcfg}, nil
+	return &Suite{Config: cfg, Survey: res, Corpus: corpus, Memory: memory, builder: bcfg,
+		cache: &datasetCache{built: make(map[dataset.Model]*mlearn.Dataset)}}, nil
 }

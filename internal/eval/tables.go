@@ -248,9 +248,20 @@ func (s *Suite) RenderTableVI() string {
 	return b.String()
 }
 
-// DatasetFor rebuilds one model's dataset under the suite's seeds (for
-// ablations and benchmarks).
+// DatasetFor returns one model's dataset under the suite's seeds (for
+// ablations and benchmarks). Builds are memoized on the suite — Table VI,
+// Fig 6 and the ablation sweeps all ask for the same six datasets, and each
+// used to pay the full corpus expansion again. The returned dataset is
+// shared: callers must not mutate it (the split/resample helpers copy).
 func (s *Suite) DatasetFor(m dataset.Model) (*mlearn.Dataset, error) {
+	if s.cache != nil {
+		s.cache.mu.Lock()
+		d, ok := s.cache.built[m]
+		s.cache.mu.Unlock()
+		if ok {
+			return d, nil
+		}
+	}
 	idx := 0
 	for i, mm := range dataset.Models() {
 		if mm == m {
@@ -259,7 +270,23 @@ func (s *Suite) DatasetFor(m dataset.Model) (*mlearn.Dataset, error) {
 	}
 	cfg := s.builder
 	cfg.Seed = s.builder.Seed + int64(idx)*7919
-	return dataset.Build(m, s.Corpus, cfg)
+	d, err := dataset.Build(m, s.Corpus, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if s.cache != nil {
+		s.cache.mu.Lock()
+		// A concurrent builder may have raced us here; keep the first store
+		// so every caller sees one canonical dataset. Both builds are
+		// identical anyway — the build is seed-derived.
+		if prev, ok := s.cache.built[m]; ok {
+			d = prev
+		} else {
+			s.cache.built[m] = d
+		}
+		s.cache.mu.Unlock()
+	}
+	return d, nil
 }
 
 // TrainReport re-trains one model and returns its report (ablation entry

@@ -6,6 +6,7 @@ import (
 
 	"iotsid/internal/dataset"
 	"iotsid/internal/mlearn"
+	"iotsid/internal/par"
 )
 
 // TransferRow reports how one trained model performs on data generated for
@@ -21,30 +22,29 @@ type TransferRow struct {
 }
 
 // Transfer evaluates the suite's trained memory against freshly generated
-// homes, one per seed.
+// homes, one per seed. The model × home grid fans out; every cell builds
+// its own seed-derived dataset, so rows are identical at any worker count.
 func (s *Suite) Transfer(seeds []int64) ([]TransferRow, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("eval: no transfer seeds")
 	}
-	var out []TransferRow
-	for _, m := range dataset.Models() {
+	models := dataset.Models()
+	return par.Map(len(models)*len(seeds), s.Config.Workers, func(i int) (TransferRow, error) {
+		m, seed := models[i/len(seeds)], seeds[i%len(seeds)]
 		entry, ok := s.Memory.Entry(m)
 		if !ok {
-			return nil, fmt.Errorf("eval: model %s not trained", m)
+			return TransferRow{}, fmt.Errorf("eval: model %s not trained", m)
 		}
-		for _, seed := range seeds {
-			d, err := dataset.Build(m, s.Corpus, dataset.BuildConfig{Seed: seed})
-			if err != nil {
-				return nil, err
-			}
-			ev := mlearn.Evaluate(entry.Tree, d)
-			out = append(out, TransferRow{
-				Model: m, Seed: seed,
-				Accuracy: ev.Accuracy(), FNR: ev.FNR(), FPR: ev.FPR(),
-			})
+		d, err := dataset.Build(m, s.Corpus, dataset.BuildConfig{Seed: seed})
+		if err != nil {
+			return TransferRow{}, err
 		}
-	}
-	return out, nil
+		ev := mlearn.Evaluate(entry.Tree, d)
+		return TransferRow{
+			Model: m, Seed: seed,
+			Accuracy: ev.Accuracy(), FNR: ev.FNR(), FPR: ev.FPR(),
+		}, nil
+	})
 }
 
 // RenderTransfer formats the transfer experiment.

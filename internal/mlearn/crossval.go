@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"iotsid/internal/par"
 )
 
 // Factory builds a fresh untrained classifier; cross-validation needs one
@@ -43,8 +45,21 @@ func (r CVResult) StdAccuracy() float64 {
 }
 
 // CrossValidate runs stratified k-fold cross-validation, training a fresh
-// classifier per fold and pooling the test confusion matrices.
+// classifier per fold and pooling the test confusion matrices. Folds run
+// serially; it is safe for factories whose classifiers share state. Use
+// CrossValidateWorkers when the classifiers are independent and fold
+// training should fan out.
 func CrossValidate(f Factory, d *Dataset, k int, rng *rand.Rand) (CVResult, error) {
+	return CrossValidateWorkers(f, d, k, rng, 1)
+}
+
+// CrossValidateWorkers is CrossValidate with the fold loop fanned out over
+// at most workers goroutines (0 means GOMAXPROCS). The folds themselves are
+// drawn from rng before the fan-out and each fold's confusion matrix lands
+// in its own index slot, pooled in fold order afterwards — so for any
+// deterministic classifier the result is bit-identical to the serial run.
+// Factories must build classifiers that do not share mutable state.
+func CrossValidateWorkers(f Factory, d *Dataset, k int, rng *rand.Rand, workers int) (CVResult, error) {
 	if f == nil {
 		return CVResult{}, fmt.Errorf("mlearn: nil factory")
 	}
@@ -52,13 +67,18 @@ func CrossValidate(f Factory, d *Dataset, k int, rng *rand.Rand) (CVResult, erro
 	if err != nil {
 		return CVResult{}, err
 	}
-	var res CVResult
-	for i, fold := range folds {
+	confusions, err := par.Map(len(folds), workers, func(i int) (Confusion, error) {
 		c := f()
-		if err := c.Fit(fold[0]); err != nil {
-			return CVResult{}, fmt.Errorf("fold %d fit: %w", i, err)
+		if err := c.Fit(folds[i][0]); err != nil {
+			return Confusion{}, fmt.Errorf("fold %d fit: %w", i, err)
 		}
-		m := Evaluate(c, fold[1])
+		return Evaluate(c, folds[i][1]), nil
+	})
+	if err != nil {
+		return CVResult{}, err
+	}
+	var res CVResult
+	for _, m := range confusions {
 		res.FoldAccuracies = append(res.FoldAccuracies, m.Accuracy())
 		res.Pooled = res.Pooled.Add(m)
 	}

@@ -1,0 +1,51 @@
+package mlearn
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestCrossValidateDeterminism: fold partitions are drawn from the caller's
+// generator before the fan-out and fold confusions pool in index order, so
+// the parallel result is identical to the serial one — and the caller's
+// generator ends in the same state either way.
+func TestCrossValidateDeterminism(t *testing.T) {
+	d := imbalanced(t, 60, 40, 8)
+	factory := func() Classifier { return thresholdClassifier{} }
+
+	rngSerial := rand.New(rand.NewSource(7))
+	serial, err := CrossValidateWorkers(factory, d, 5, rngSerial, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		rngPar := rand.New(rand.NewSource(7))
+		parallel, err := CrossValidateWorkers(factory, d, 5, rngPar, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("workers=%d: result diverges: %+v vs %+v", workers, serial, parallel)
+		}
+		if rngSerial.Int63() != rngPar.Int63() {
+			t.Errorf("workers=%d: caller generator state diverges after the call", workers)
+		}
+		rngSerial = rand.New(rand.NewSource(7))
+		if _, err := CrossValidateWorkers(factory, d, 5, rngSerial, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The 4-arg CrossValidate stays the serial path.
+	a, err := CrossValidate(factory, d, 5, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrossValidateWorkers(factory, d, 5, rand.New(rand.NewSource(7)), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("CrossValidate != CrossValidateWorkers(1): %+v vs %+v", a, b)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"iotsid/internal/mlearn"
 	"iotsid/internal/mlearn/tree"
+	"iotsid/internal/par"
 )
 
 // Config tunes the ensemble.
@@ -20,8 +21,12 @@ type Config struct {
 	// MaxFeatures is the number of attributes each tree may split on;
 	// default ceil(sqrt(#attributes)) and never below 2.
 	MaxFeatures int
-	// Seed drives bootstrap and subspace sampling.
+	// Seed drives bootstrap and subspace sampling. Each member tree draws
+	// from its own generator seeded Seed+treeIndex, so the ensemble is
+	// identical for every worker count.
 	Seed int64
+	// Workers bounds the per-tree bagging fan-out; 0 means GOMAXPROCS.
+	Workers int
 	// Tree is the per-tree growth configuration (FeatureMask is owned by
 	// the forest and overwritten).
 	Tree tree.Config
@@ -45,12 +50,14 @@ var _ mlearn.Classifier = (*Forest)(nil)
 // New builds an untrained forest.
 func New(cfg Config) *Forest { return &Forest{cfg: cfg.withDefaults()} }
 
-// Fit trains the ensemble.
+// Fit trains the ensemble. Member trees bag and grow concurrently on
+// cfg.Workers goroutines; tree i draws its bootstrap and feature subspace
+// from a generator seeded Seed+i (derived before the fan-out) and lands in
+// slot i, so the fitted forest is bit-identical at every worker count.
 func (f *Forest) Fit(d *mlearn.Dataset) error {
 	if d.Len() == 0 {
 		return fmt.Errorf("forest: empty dataset")
 	}
-	rng := rand.New(rand.NewSource(f.cfg.Seed))
 	nAttrs := d.Schema.Len()
 	maxFeatures := f.cfg.MaxFeatures
 	if maxFeatures <= 0 {
@@ -62,8 +69,8 @@ func (f *Forest) Fit(d *mlearn.Dataset) error {
 	if maxFeatures > nAttrs {
 		maxFeatures = nAttrs
 	}
-	f.trees = make([]*tree.Tree, 0, f.cfg.Trees)
-	for i := 0; i < f.cfg.Trees; i++ {
+	trees, err := par.Map(f.cfg.Trees, f.cfg.Workers, func(i int) (*tree.Tree, error) {
+		rng := rand.New(rand.NewSource(f.cfg.Seed + int64(i)))
 		// Bootstrap resample.
 		idx := make([]int, d.Len())
 		for j := range idx {
@@ -79,10 +86,14 @@ func (f *Forest) Fit(d *mlearn.Dataset) error {
 		cfg.FeatureMask = mask
 		t := tree.New(cfg)
 		if err := t.Fit(sample); err != nil {
-			return fmt.Errorf("forest: tree %d: %w", i, err)
+			return nil, fmt.Errorf("forest: tree %d: %w", i, err)
 		}
-		f.trees = append(f.trees, t)
+		return t, nil
+	})
+	if err != nil {
+		return err
 	}
+	f.trees = trees
 	return nil
 }
 

@@ -1,0 +1,122 @@
+// Package par is the shared concurrency substrate of the train/eval stack:
+// a bounded worker pool over an index space, with errgroup-style error
+// propagation and ordered, index-addressed results.
+//
+// The package exists to make parallel training *deterministic*. Its contract
+// with callers is the seed-derivation rule (DESIGN.md §Training
+// parallelism): a unit function must depend only on its index and on state
+// derived before the fan-out — any randomness comes from a per-unit
+// generator seeded as rand.New(rand.NewSource(base + unitIndex)) computed up
+// front, never from a generator shared across units. Under that rule the
+// output of Do/Map is bit-identical for every worker count, so Workers is
+// purely a throughput knob.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: n if positive, otherwise
+// runtime.GOMAXPROCS(0). Configs throughout the repo carry a `Workers int`
+// field whose zero value means "use every P the runtime gives us"; this is
+// the single place that default is decided.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Do runs fn(i) for every i in [0, n) on at most workers goroutines
+// (Workers-resolved, so workers <= 0 means GOMAXPROCS) and waits for all of
+// them. Units must be independent of each other per the package contract.
+//
+// Error propagation is deterministic: Do returns the error of the
+// lowest-failing index — exactly the error a serial loop would have
+// returned, regardless of the order goroutines happen to run in. After a
+// unit fails, units with higher indices that have not started yet are
+// skipped (a serial loop would never have reached them); units with lower
+// indices still run, so the minimal failing index is always discovered.
+func Do(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next      atomic.Int64
+		minFailed atomic.Int64 // lowest failing index seen so far
+		mu        sync.Mutex
+		errIdx    = n // index whose error is held in err
+		err       error
+		wg        sync.WaitGroup
+	)
+	minFailed.Store(int64(n)) // sentinel: nothing failed
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				// Skip units a serial loop would not have reached — but keep
+				// running indices below the current minimum failure so the
+				// serial-equivalent (lowest) error is always found.
+				if i > minFailed.Load() {
+					continue
+				}
+				if e := fn(int(i)); e != nil {
+					mu.Lock()
+					if int(i) < errIdx {
+						errIdx, err = int(i), e
+					}
+					mu.Unlock()
+					for {
+						cur := minFailed.Load()
+						if i >= cur || minFailed.CompareAndSwap(cur, i) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return err
+}
+
+// Map runs fn(i) for every i in [0, n) on at most workers goroutines and
+// returns the results in index order — slot i holds fn(i)'s value. On error
+// it returns the lowest-failing index's error and a nil slice.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := Do(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,9 +1,17 @@
 #!/bin/sh
 # verify.sh — the tier-1 gate plus static analysis and the race detector.
-# The decision log and snapshot cache are concurrent hot-path code; -race is
-# not optional here.
+# The decision log, snapshot cache and the par worker pool are concurrent
+# hot-path code; -race is not optional here.
 set -eux
 
 go build ./...
 go vet ./...
 go test -race ./...
+
+# Deterministic-parallelism gate: the serial-vs-parallel golden-equality
+# tests (Train, BuildAll, CrossValidate, forest.Fit, suite/campaign) must
+# pass both under the default scheduler and pinned to a single P. If the
+# GOMAXPROCS=1 run and the default run disagree, one of them fails these
+# equality tests and the build breaks here.
+go test -count=1 -run 'Determinism|Memoized' ./internal/...
+GOMAXPROCS=1 go test -count=1 -run 'Determinism|Memoized' ./internal/...

@@ -5,6 +5,7 @@
 package iotsid_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -236,7 +237,7 @@ func BenchmarkAuthorizeParallel(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
 		for pb.Next() {
-			if _, err := f.Authorize(ins[i%len(ins)]); err != nil {
+			if _, err := f.Authorize(context.Background(), ins[i%len(ins)]); err != nil {
 				b.Fatal(err)
 			}
 			i++
@@ -271,7 +272,7 @@ func BenchmarkAuthorizeBatch(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := f.AuthorizeBatch(ins); err != nil {
+		if _, err := f.AuthorizeBatch(context.Background(), ins); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -317,7 +318,7 @@ func BenchmarkOverheadAuthorizeSim(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := f.Authorize(in); err != nil {
+		if _, err := f.Authorize(context.Background(), in); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -360,7 +361,7 @@ func BenchmarkOverheadAuthorizeMiio(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := f.Authorize(in); err != nil {
+		if _, err := f.Authorize(context.Background(), in); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -397,7 +398,7 @@ func BenchmarkOverheadAuthorizeSmartThings(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := f.Authorize(in); err != nil {
+		if _, err := f.Authorize(context.Background(), in); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -10,9 +10,11 @@
 //
 //	iotsidd [-hours 24] [-step 1m] [-seed 7] [-attack-every 4h]
 //	        [-miio-addr 127.0.0.1:0] [-st-addr 127.0.0.1:0] [-token HEX32]
+//	        [-aux-fault 0.2] [-aux-staleness 30s]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +27,7 @@ import (
 	"iotsid/internal/home"
 	"iotsid/internal/instr"
 	"iotsid/internal/miio"
+	"iotsid/internal/resilience"
 	"iotsid/internal/sensor"
 	"iotsid/internal/smartthings"
 	"iotsid/internal/trace"
@@ -50,6 +53,8 @@ func run() error {
 	devmodeAddr := flag.String("devmode-addr", "127.0.0.1:0", "developer-mode event channel UDP address (empty = disabled)")
 	saveMemory := flag.String("save-memory", "", "write the trained feature memory to this file")
 	loadMemory := flag.String("load-memory", "", "load a previously trained feature memory instead of training")
+	auxFault := flag.Float64("aux-fault", 0.2, "per-poll error probability of the optional aux sensor feed (0 disables chaos)")
+	auxStaleness := flag.Duration("aux-staleness", 30*time.Second, "budget for serving the aux feed's last-good snapshot after a failed poll")
 	flag.Parse()
 
 	// World.
@@ -101,9 +106,37 @@ func run() error {
 		}
 		fmt.Printf("feature memory written to %s\n", *saveMemory)
 	}
+	// Sensor context: a resilient two-source collector. The sim feed is the
+	// required vendor gateway — if it cannot answer, sensitive instructions
+	// fail closed. The aux feed is optional and chaos-wrapped, exercising
+	// degraded mode (retry, breaker, bounded-stale fallback) in a live run.
+	// It is declared first so the fresh required feed wins shared-feature
+	// merges.
+	health := resilience.NewRegistry()
+	auxRetry := resilience.Policy{MaxAttempts: 2, BaseDelay: time.Millisecond, Seed: *seed}
+	auxChaos := &core.ChaosCollector{Inner: &core.SimCollector{Env: h.Env()}, Plan: core.ChaosPlan(*seed, *auxFault, 0, 0)}
+	collector, err := core.NewMultiCollector(
+		core.MultiConfig{Health: health},
+		core.Source{
+			Name:      "aux",
+			Collector: auxChaos,
+			Staleness: *auxStaleness,
+			Retry:     &auxRetry,
+			Breaker:   resilience.NewBreaker(resilience.BreakerConfig{Name: "aux", FailureThreshold: 5, OpenTimeout: 2 * time.Second}),
+		},
+		core.Source{
+			Name:      "sim",
+			Collector: &core.SimCollector{Env: h.Env()},
+			Required:  true,
+			Breaker:   resilience.NewBreaker(resilience.BreakerConfig{Name: "sim"}),
+		},
+	)
+	if err != nil {
+		return err
+	}
 	framework, err := core.New(core.Config{
 		Detector:  detector,
-		Collector: &core.SimCollector{Env: h.Env()},
+		Collector: collector,
 		Memory:    memory,
 	})
 	if err != nil {
@@ -186,8 +219,27 @@ func run() error {
 	attackSteps := int(*attackEvery / *step)
 	fmt.Printf("\nsimulating %v hours (%d steps of %v)\n\n", *hours, steps, *step)
 	var blocked, allowed int
+	var degradedSteps, staleServes, contextOutages int
 	for i := 0; i < steps; i++ {
 		h.Env().Step(*step)
+		// Refresh the merged sensor context through the resilient collector —
+		// the same collect a live cloud command would trigger — so the retry,
+		// breaker and staleness machinery (and the health registry) run hot
+		// for the whole simulation.
+		cctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		_, prov, cerr := collector.CollectDetailed(cctx)
+		cancel()
+		switch {
+		case cerr != nil:
+			contextOutages++
+		case prov.Degraded():
+			degradedSteps++
+		}
+		for _, s := range prov {
+			if s.State == core.SourceStale {
+				staleServes++
+			}
+		}
 		if attackSteps > 0 && i > 0 && i%attackSteps == 0 {
 			injectSpoof(h)
 			fmt.Printf("%s  ATTACK injected: spoofed smoke sensor (clean air, empty home)\n",
@@ -219,6 +271,30 @@ func run() error {
 	}
 	fmt.Printf("\nrun complete: %d automation firings allowed, %d blocked by the IDS\n", allowed, blocked)
 	fmt.Printf("camera warnings by trigger: %v\n", warner.Stats())
+	fmt.Printf("sensor context: %d/%d collects degraded (%d stale fallbacks, %d full outages)\n",
+		degradedSteps, steps, staleServes, contextOutages)
+	fmt.Printf("aux feed: %d poll attempts across %d collects — the surplus is faults absorbed by retry\n",
+		auxChaos.Calls(), steps)
+	fmt.Println("source health at shutdown:")
+	for _, row := range health.Snapshot() {
+		role := "optional"
+		if row.Required {
+			role = "required"
+		}
+		line := fmt.Sprintf("  %-4s %-8s state=%-8s", row.Name, role, row.State)
+		if row.Breaker != "" {
+			line += " breaker=" + row.Breaker
+		}
+		if row.LastError != "" {
+			line += " last_error=" + row.LastError
+		}
+		fmt.Println(line)
+	}
+	if health.Healthy() {
+		fmt.Println("  overall: healthy")
+	} else {
+		fmt.Println("  overall: DEGRADED — sensitive instructions fail closed")
+	}
 	if devmode != nil {
 		fmt.Printf("devmode subscribers at shutdown: %d\n", devmode.Subscribers())
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"iotsid/internal/home"
 	"iotsid/internal/instr"
 	"iotsid/internal/miio"
+	"iotsid/internal/resilience"
 	"iotsid/internal/smartthings"
 )
 
@@ -63,10 +65,26 @@ func run() error {
 		return err
 	}
 
-	// The IDS collects over BOTH vendor paths.
-	collector := core.MultiCollector{
-		&core.MiioCollector{Client: miioClient},
-		&core.STCollector{Client: stClient},
+	// The IDS collects over BOTH vendor paths: the Xiaomi feed is required
+	// (fail closed without it), the SmartThings feed is optional with a
+	// 30s bounded-staleness fallback, and both are guarded by retry
+	// policies and circuit breakers feeding a health registry.
+	health := resilience.NewRegistry()
+	retry := resilience.Policy{MaxAttempts: 3, BaseDelay: 100 * time.Millisecond, Jitter: 0.2, Seed: 6}
+	collector, err := core.NewMultiCollector(core.MultiConfig{Health: health},
+		core.Source{
+			Name: "miio", Required: true, Retry: &retry,
+			Collector: &core.MiioCollector{Client: miioClient},
+			Breaker:   resilience.NewBreaker(resilience.BreakerConfig{Name: "miio"}),
+		},
+		core.Source{
+			Name: "smartthings", Staleness: 30 * time.Second, Retry: &retry,
+			Collector: &core.STCollector{Client: stClient},
+			Breaker:   resilience.NewBreaker(resilience.BreakerConfig{Name: "smartthings"}),
+		},
+	)
+	if err != nil {
+		return err
 	}
 	detector, err := core.DefaultDetector()
 	if err != nil {
@@ -88,11 +106,17 @@ func run() error {
 	xiaomi.SetGate(framework.Gate)
 	stBackend.SetGate(framework.Gate)
 
-	snap, err := collector.Collect()
+	collectCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	snap, prov, err := collector.CollectDetailed(collectCtx)
+	cancel()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("collected %d features over the two vendor paths\n\n", len(snap.Values))
+	fmt.Printf("collected %d features over the two vendor paths\n", len(snap.Values))
+	for _, src := range prov {
+		fmt.Printf("  source %-12s %s\n", src.Name, src.State)
+	}
+	fmt.Println()
 
 	// Issue a sensitive instruction through each vendor path under the
 	// current (benign daytime) context.
@@ -103,7 +127,7 @@ func run() error {
 		fmt.Println("  executed")
 	}
 	fmt.Println("curtain.open via the SmartThings REST path:")
-	if _, err := stClient.CallService("curtain", "open", map[string]any{"device_id": "curtain-1"}); err != nil {
+	if _, err := stClient.CallService(context.Background(), "curtain", "open", map[string]any{"device_id": "curtain-1"}); err != nil {
 		fmt.Printf("  rejected: %v\n", err)
 	} else {
 		fmt.Println("  executed")

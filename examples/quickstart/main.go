@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -61,7 +62,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	decision, err := framework.Authorize(open)
+	decision, err := framework.Authorize(context.Background(), open)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package bridge
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -194,7 +195,7 @@ func startST(t *testing.T, h *home.Home) (*STBackend, *smartthings.Client) {
 func TestSTStatesRoundTrip(t *testing.T) {
 	h := newHome(t)
 	_, client := startST(t, h)
-	entities, err := client.States()
+	entities, err := client.States(context.Background())
 	if err != nil {
 		t.Fatalf("States: %v", err)
 	}
@@ -233,7 +234,7 @@ func TestSTStatesRoundTrip(t *testing.T) {
 func TestSTSingleStateAndFeatureLookup(t *testing.T) {
 	h := newHome(t)
 	_, client := startST(t, h)
-	e, err := client.State("binary_sensor.smoke")
+	e, err := client.State(context.Background(), "binary_sensor.smoke")
 	if err != nil {
 		t.Fatalf("State: %v", err)
 	}
@@ -251,7 +252,7 @@ func TestSTSingleStateAndFeatureLookup(t *testing.T) {
 func TestSTServiceCallAndGate(t *testing.T) {
 	h := newHome(t)
 	backend, client := startST(t, h)
-	changed, err := client.CallService("light", "on", map[string]any{"device_id": "light-1"})
+	changed, err := client.CallService(context.Background(), "light", "on", map[string]any{"device_id": "light-1"})
 	if err != nil {
 		t.Fatalf("CallService: %v", err)
 	}
@@ -262,7 +263,7 @@ func TestSTServiceCallAndGate(t *testing.T) {
 	backend.SetGate(func(in instr.Instruction, ctx sensor.Snapshot) error {
 		return errors.New("IDS: blocked")
 	})
-	_, err = client.CallService("light", "off", map[string]any{"device_id": "light-1"})
+	_, err = client.CallService(context.Background(), "light", "off", map[string]any{"device_id": "light-1"})
 	var apiErr *smartthings.APIError
 	if !errors.As(err, &apiErr) {
 		t.Fatalf("want APIError, got %v", err)
@@ -273,7 +274,7 @@ func TestSTServiceCallAndGate(t *testing.T) {
 	}
 
 	// Missing device_id.
-	if _, err := client.CallService("light", "on", nil); !errors.As(err, &apiErr) {
+	if _, err := client.CallService(context.Background(), "light", "on", nil); !errors.As(err, &apiErr) {
 		t.Errorf("missing device_id: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package cloud
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -44,7 +45,7 @@ func startCloud(t *testing.T, gate Gate) (*Server, *captureForwarder) {
 	}
 	if gate != nil {
 		cfg.Gate = gate
-		cfg.Context = func() (sensor.Snapshot, error) {
+		cfg.Context = func(context.Context) (sensor.Snapshot, error) {
 			s := sensor.NewSnapshot(sensorZero())
 			s.Set(sensor.FeatSmoke, sensor.Bool(false))
 			return s, nil
@@ -189,7 +190,7 @@ func TestCloudGateContextUnavailable(t *testing.T) {
 		Registry: instr.BuiltinRegistry(),
 		Forward:  fwd.forward,
 		Gate:     func(instr.Instruction, sensor.Snapshot) error { return nil },
-		Context:  func() (sensor.Snapshot, error) { return sensor.Snapshot{}, errors.New("collector down") },
+		Context:  func(context.Context) (sensor.Snapshot, error) { return sensor.Snapshot{}, errors.New("collector down") },
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -353,7 +354,7 @@ func TestCachedContextSharesCollections(t *testing.T) {
 		Registry: instr.BuiltinRegistry(),
 		Forward:  fwd.forward,
 		Gate:     func(in instr.Instruction, ctx sensor.Snapshot) error { return nil },
-		Context: func() (sensor.Snapshot, error) {
+		Context: func(context.Context) (sensor.Snapshot, error) {
 			mu.Lock()
 			collects++
 			mu.Unlock()

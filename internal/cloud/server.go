@@ -7,19 +7,23 @@
 package cloud
 
 import (
+	"context"
 	"crypto/rand"
 	"crypto/subtle"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"iotsid/internal/core"
 	"iotsid/internal/instr"
+	"iotsid/internal/resilience"
 	"iotsid/internal/sensor"
 )
 
@@ -32,8 +36,9 @@ type Forwarder func(in instr.Instruction) error
 // forwarding; a non-nil error rejects it. This is the IDS hook.
 type Gate func(in instr.Instruction, ctx sensor.Snapshot) error
 
-// ContextSource supplies the sensor context the gate judges against.
-type ContextSource func() (sensor.Snapshot, error)
+// ContextSource supplies the sensor context the gate judges against. The
+// context carries the request's deadline and cancellation.
+type ContextSource func(ctx context.Context) (sensor.Snapshot, error)
 
 // HistoryEntry records one command submission.
 type HistoryEntry struct {
@@ -72,6 +77,14 @@ type Config struct {
 	// commands shares one collector round trip instead of issuing one
 	// each. Zero keeps every command collecting fresh context.
 	ContextTTL time.Duration
+	// ContextTimeout bounds each command's context collection (default 10s)
+	// — a hung gateway turns into a 503, not a wedged handler.
+	ContextTimeout time.Duration
+	// Health, when non-nil, is reported at /healthz: 200 while every
+	// required sensor source is serving (fresh or within its staleness
+	// budget), 503 otherwise. Wire it to the same resilience.Registry the
+	// context collector updates.
+	Health *resilience.Registry
 	// Now stamps history entries; defaults to time.Now.
 	Now func() time.Time
 	// MaxLoginFailures locks an account after this many consecutive bad
@@ -118,6 +131,9 @@ func NewServer(cfg Config) (*Server, error) {
 		}
 		cfg.Context = cached.Collect
 	}
+	if cfg.ContextTimeout <= 0 {
+		cfg.ContextTimeout = 10 * time.Second
+	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
@@ -147,6 +163,7 @@ func NewServer(cfg Config) (*Server, error) {
 	mux.HandleFunc("/v1/devices", s.handleDevices)
 	mux.HandleFunc("/v1/command", s.handleCommand)
 	mux.HandleFunc("/v1/history", s.handleHistory)
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	s.wg.Add(1)
 	go func() {
@@ -348,11 +365,24 @@ func (s *Server) handleCommand(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusForbidden, errorBody{Error: "device not bound to this account"})
 		return
 	}
-	// Verification step 3: the IDS gate.
+	// Verification step 3: the IDS gate. Collection is bounded by the
+	// request context plus ContextTimeout; an unavailable context is 503 —
+	// never a silent pass — and an open breaker additionally tells the
+	// client when to come back via Retry-After.
 	if s.cfg.Gate != nil {
-		ctx, err := s.cfg.Context()
+		collectCtx, cancel := context.WithTimeout(r.Context(), s.cfg.ContextTimeout)
+		ctx, err := s.cfg.Context(collectCtx)
+		cancel()
 		if err != nil {
 			s.record(user, req, OutcomeFailed, "context unavailable: "+err.Error())
+			var open *resilience.OpenError
+			if errors.As(err, &open) {
+				secs := int(open.RetryAfter / time.Second)
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+			}
 			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "sensor context unavailable"})
 			return
 		}
@@ -379,6 +409,33 @@ func (s *Server) record(user string, req commandRequest, outcome, detail string)
 		User: user, Op: req.Op, DeviceID: req.DeviceID,
 		Outcome: outcome, Detail: detail, At: s.cfg.Now(),
 	})
+}
+
+// healthzBody is the /healthz response document.
+type healthzBody struct {
+	Status  string                     `json:"status"` // ok | degraded
+	Sources []resilience.SourceHealth  `json:"sources,omitempty"`
+}
+
+// handleHealthz reports per-source collection health: 200 "ok" while every
+// required sensor source is serving, 503 "degraded" otherwise. The
+// endpoint is unauthenticated, as load balancers expect.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
+		return
+	}
+	if s.cfg.Health == nil {
+		writeJSON(w, http.StatusOK, healthzBody{Status: "ok"})
+		return
+	}
+	body := healthzBody{Status: "ok", Sources: s.cfg.Health.Snapshot()}
+	status := http.StatusOK
+	if !s.cfg.Health.Healthy() {
+		body.Status = "degraded"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
 }
 
 func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {

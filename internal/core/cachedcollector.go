@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -10,10 +11,10 @@ import (
 
 // CollectorFunc adapts a plain collect function to the Collector interface
 // (the cloud's ContextSource, closures in tests, …).
-type CollectorFunc func() (sensor.Snapshot, error)
+type CollectorFunc func(ctx context.Context) (sensor.Snapshot, error)
 
 // Collect implements Collector.
-func (f CollectorFunc) Collect() (sensor.Snapshot, error) { return f() }
+func (f CollectorFunc) Collect(ctx context.Context) (sensor.Snapshot, error) { return f(ctx) }
 
 // CachedCollector amortises context collection across concurrent and
 // closely-spaced Authorize calls. A snapshot younger than TTL is served
@@ -23,19 +24,27 @@ func (f CollectorFunc) Collect() (sensor.Snapshot, error) { return f() }
 // within one freshness window into one, which is where the §VI overhead
 // experiment shows the real latency lives on the network paths.
 //
+// Waiters honour their own context: a caller with a deadline is released
+// when it fires even if the in-flight collect is hung, so one dead gateway
+// cannot wedge every concurrent authorisation. Errors are never cached —
+// the next caller retries the inner collector. With ServeStaleOnError set,
+// a failed collect falls back to the previous good snapshot while it is
+// younger than the configured budget.
+//
 // Callers share the cached snapshot's value map and must treat it as
 // read-only — the same contract the framework's judging paths already
 // follow.
 type CachedCollector struct {
 	inner Collector
 	ttl   time.Duration
-	now   func() time.Time
 
 	mu       sync.Mutex
+	now      func() time.Time
 	snap     sensor.Snapshot
 	fetched  time.Time
 	valid    bool
 	inflight *collectCall
+	maxStale time.Duration // serve-stale-on-error budget; 0 disables
 }
 
 // collectCall is one in-progress inner Collect shared by waiters.
@@ -61,6 +70,18 @@ func (c *CachedCollector) SetClock(now func() time.Time) {
 	c.now = now
 }
 
+// ServeStaleOnError lets a failed inner collect fall back to the previous
+// good snapshot while it is at most maxStale old — bounded staleness
+// instead of an outage. A non-positive budget disables the fallback.
+func (c *CachedCollector) ServeStaleOnError(maxStale time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if maxStale < 0 {
+		maxStale = 0
+	}
+	c.maxStale = maxStale
+}
+
 // Invalidate drops the cached snapshot so the next Collect hits the inner
 // collector (e.g. after an actuation known to change the world).
 func (c *CachedCollector) Invalidate() {
@@ -72,7 +93,7 @@ func (c *CachedCollector) Invalidate() {
 var _ Collector = (*CachedCollector)(nil)
 
 // Collect implements Collector.
-func (c *CachedCollector) Collect() (sensor.Snapshot, error) {
+func (c *CachedCollector) Collect(ctx context.Context) (sensor.Snapshot, error) {
 	c.mu.Lock()
 	if c.valid && c.now().Sub(c.fetched) < c.ttl {
 		snap := c.snap
@@ -80,16 +101,22 @@ func (c *CachedCollector) Collect() (sensor.Snapshot, error) {
 		return snap, nil
 	}
 	if call := c.inflight; call != nil {
-		// Someone is already collecting: wait for their result.
+		// Someone is already collecting: wait for their result, but never
+		// past this caller's own deadline — a hung leader must not wedge
+		// the waiters.
 		c.mu.Unlock()
-		<-call.done
-		return call.snap, call.err
+		select {
+		case <-call.done:
+			return call.snap, call.err
+		case <-ctx.Done():
+			return sensor.Snapshot{}, fmt.Errorf("core: waiting for in-flight collect: %w", ctx.Err())
+		}
 	}
 	call := &collectCall{done: make(chan struct{})}
 	c.inflight = call
 	c.mu.Unlock()
 
-	call.snap, call.err = c.inner.Collect()
+	call.snap, call.err = c.inner.Collect(ctx)
 
 	c.mu.Lock()
 	c.inflight = nil
@@ -97,6 +124,10 @@ func (c *CachedCollector) Collect() (sensor.Snapshot, error) {
 		c.snap = call.snap
 		c.fetched = c.now()
 		c.valid = true
+	} else if c.valid && c.maxStale > 0 && c.now().Sub(c.fetched) <= c.maxStale {
+		// Serve-stale-on-error: the error itself stays uncached, but this
+		// call (and its waiters) ride on the bounded-stale snapshot.
+		call.snap, call.err = c.snap, nil
 	}
 	c.mu.Unlock()
 	close(call.done)

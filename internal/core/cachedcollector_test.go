@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -13,14 +15,18 @@ import (
 // countingCollector counts Collect calls and can stall them.
 type countingCollector struct {
 	calls atomic.Int64
-	block chan struct{} // when non-nil, Collect waits on it
+	block chan struct{} // when non-nil, Collect waits on it (or ctx)
 	err   error
 }
 
-func (c *countingCollector) Collect() (sensor.Snapshot, error) {
+func (c *countingCollector) Collect(ctx context.Context) (sensor.Snapshot, error) {
 	c.calls.Add(1)
 	if c.block != nil {
-		<-c.block
+		select {
+		case <-c.block:
+		case <-ctx.Done():
+			return sensor.Snapshot{}, ctx.Err()
+		}
 	}
 	if c.err != nil {
 		return sensor.Snapshot{}, c.err
@@ -40,7 +46,7 @@ func TestCachedCollectorServesWithinTTL(t *testing.T) {
 	cc.SetClock(func() time.Time { return now })
 
 	for i := 0; i < 10; i++ {
-		snap, err := cc.Collect()
+		snap, err := cc.Collect(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -54,7 +60,7 @@ func TestCachedCollectorServesWithinTTL(t *testing.T) {
 
 	// Past the TTL the cache refreshes once.
 	now = now.Add(2 * time.Minute)
-	if _, err := cc.Collect(); err != nil {
+	if _, err := cc.Collect(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if got := inner.calls.Load(); got != 2 {
@@ -63,7 +69,7 @@ func TestCachedCollectorServesWithinTTL(t *testing.T) {
 
 	// Invalidate forces a refresh inside the TTL.
 	cc.Invalidate()
-	if _, err := cc.Collect(); err != nil {
+	if _, err := cc.Collect(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if got := inner.calls.Load(); got != 3 {
@@ -84,7 +90,7 @@ func TestCachedCollectorSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, err := cc.Collect()
+			_, err := cc.Collect(context.Background())
 			errs <- err
 		}()
 	}
@@ -106,6 +112,44 @@ func TestCachedCollectorSingleFlight(t *testing.T) {
 	}
 }
 
+// TestCachedCollectorWaitersHonourDeadline: a hung in-flight collect must
+// not wedge waiters that carry their own deadline — each is released with
+// its context's error while the leader keeps waiting.
+func TestCachedCollectorWaitersHonourDeadline(t *testing.T) {
+	inner := &countingCollector{block: make(chan struct{})}
+	cc, err := NewCachedCollector(inner, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := cc.Collect(context.Background())
+		leaderDone <- err
+	}()
+	for inner.calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// The waiter has a deadline; the leader is hung.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := cc.Collect(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("waiter error = %v, want deadline exceeded", err)
+	}
+	if got := inner.calls.Load(); got != 1 {
+		t.Fatalf("released waiter re-entered the collector: %d calls", got)
+	}
+
+	// Release the leader; the machinery is not wedged.
+	close(inner.block)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	if _, err := cc.Collect(context.Background()); err != nil {
+		t.Fatalf("post-release Collect: %v", err)
+	}
+}
+
 func TestCachedCollectorDoesNotCacheErrors(t *testing.T) {
 	inner := &countingCollector{err: fmt.Errorf("sensors down")}
 	cc, err := NewCachedCollector(inner, time.Minute)
@@ -113,7 +157,7 @@ func TestCachedCollectorDoesNotCacheErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if _, err := cc.Collect(); err == nil {
+		if _, err := cc.Collect(context.Background()); err == nil {
 			t.Fatal("want propagated error")
 		}
 	}
@@ -122,14 +166,84 @@ func TestCachedCollectorDoesNotCacheErrors(t *testing.T) {
 	}
 	// Recovery: the next success is cached.
 	inner.err = nil
-	if _, err := cc.Collect(); err != nil {
+	if _, err := cc.Collect(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cc.Collect(); err != nil {
+	if _, err := cc.Collect(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if got := inner.calls.Load(); got != 4 {
 		t.Fatalf("recovered snapshot not cached: %d inner calls, want 4", got)
+	}
+}
+
+// TestCachedCollectorServeStaleOnError: with the knob set, a failed
+// refresh serves the previous good snapshot while it is within the
+// budget, and the error itself stays uncached (the next call retries).
+func TestCachedCollectorServeStaleOnError(t *testing.T) {
+	inner := &countingCollector{}
+	cc, err := NewCachedCollector(inner, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1000, 0)
+	cc.SetClock(func() time.Time { return now })
+	cc.ServeStaleOnError(10 * time.Minute)
+
+	if _, err := cc.Collect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Upstream dies; within the stale budget the old snapshot is served.
+	inner.err = fmt.Errorf("gateway down")
+	now = now.Add(5 * time.Minute) // past TTL, within stale budget
+	snap, err := cc.Collect(context.Background())
+	if err != nil {
+		t.Fatalf("stale serve: %v", err)
+	}
+	if _, ok := snap.Get(sensor.FeatSmoke); !ok {
+		t.Fatal("stale snapshot lost values")
+	}
+	if got := inner.calls.Load(); got != 2 {
+		t.Fatalf("inner calls = %d, want 2 (the failed refresh was attempted)", got)
+	}
+	// Each call keeps retrying the inner collector — the error is not
+	// cached even though the stale snapshot papers over it.
+	if _, err := cc.Collect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.calls.Load(); got != 3 {
+		t.Fatalf("inner calls = %d, want 3", got)
+	}
+
+	// Beyond the budget the outage surfaces.
+	now = now.Add(10 * time.Minute)
+	if _, err := cc.Collect(context.Background()); err == nil {
+		t.Fatal("stale budget exhausted: want the upstream error")
+	}
+
+	// Recovery resets the budget window.
+	inner.err = nil
+	if _, err := cc.Collect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Invalidate drops the snapshot entirely: no stale serve afterwards.
+	inner.err = fmt.Errorf("gateway down again")
+	cc.Invalidate()
+	if _, err := cc.Collect(context.Background()); err == nil {
+		t.Fatal("invalidated cache must not serve stale")
+	}
+	// A disabled knob never serves stale.
+	cc.ServeStaleOnError(0)
+	inner.err = nil
+	if _, err := cc.Collect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	inner.err = fmt.Errorf("down")
+	now = now.Add(2 * time.Minute)
+	if _, err := cc.Collect(context.Background()); err == nil {
+		t.Fatal("knob disabled: want the upstream error")
 	}
 }
 

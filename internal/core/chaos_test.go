@@ -1,0 +1,113 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"iotsid/internal/sensor"
+)
+
+// TestChaosPlanDeterminism: the fault plan is a pure function of
+// (seed, call index) — two plans with equal seeds agree on every call, a
+// different seed diverges somewhere.
+func TestChaosPlanDeterminism(t *testing.T) {
+	const calls = 300
+	a := ChaosPlan(42, 0.2, 0.1, 0.1)
+	b := ChaosPlan(42, 0.2, 0.1, 0.1)
+	c := ChaosPlan(43, 0.2, 0.1, 0.1)
+	diverged := false
+	counts := map[FaultKind]int{}
+	for i := 0; i < calls; i++ {
+		if a(i) != b(i) {
+			t.Fatalf("equal seeds diverge at call %d: %v vs %v", i, a(i), b(i))
+		}
+		if a(i) != c(i) {
+			diverged = true
+		}
+		counts[a(i)]++
+	}
+	if !diverged {
+		t.Error("different seeds produced identical plans")
+	}
+	// With 40% total fault probability every class shows up in 300 draws.
+	for _, k := range []FaultKind{FaultNone, FaultError, FaultHang, FaultByzantine} {
+		if counts[k] == 0 {
+			t.Errorf("fault class %v never drawn", k)
+		}
+	}
+}
+
+// TestChaosCollectorFaults drives each fault class through the wrapper.
+func TestChaosCollectorFaults(t *testing.T) {
+	healthy := sensor.NewSnapshot(time.Unix(5, 0))
+	healthy.Set(sensor.FeatSmoke, sensor.Bool(false))
+	healthy.Set(sensor.FeatAirQuality, sensor.Number(30))
+	script := []FaultKind{FaultNone, FaultError, FaultByzantine, FaultHang}
+	cc := &ChaosCollector{
+		Inner: staticCollector{snap: healthy},
+		Plan:  func(call int) FaultKind { return script[call%len(script)] },
+	}
+
+	// Call 0: pass-through.
+	snap, err := cc.Collect(context.Background())
+	if err != nil || snap.Bool(sensor.FeatSmoke) {
+		t.Fatalf("pass-through = %v, %v", snap.Values, err)
+	}
+
+	// Call 1: injected error.
+	if _, err := cc.Collect(context.Background()); err == nil {
+		t.Fatal("want injected error")
+	}
+
+	// Call 2: byzantine — booleans flipped, numbers intact, original
+	// snapshot untouched.
+	snap, err = cc.Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Bool(sensor.FeatSmoke) {
+		t.Fatal("byzantine corruption did not flip the boolean")
+	}
+	if n, _ := snap.Number(sensor.FeatAirQuality); n != 30 {
+		t.Errorf("byzantine corruption touched a number: %v", n)
+	}
+	if healthy.Bool(sensor.FeatSmoke) {
+		t.Fatal("corruption mutated the inner snapshot")
+	}
+
+	// Call 3: hang — only the caller's deadline releases the collect.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := cc.Collect(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hang fault = %v, want deadline exceeded", err)
+	}
+
+	if cc.Calls() != 4 {
+		t.Errorf("Calls = %d, want 4", cc.Calls())
+	}
+
+	// Custom corruption hook wins over the default.
+	cc2 := &ChaosCollector{
+		Inner: staticCollector{snap: healthy},
+		Plan:  func(int) FaultKind { return FaultByzantine },
+		Corrupt: func(s sensor.Snapshot) sensor.Snapshot {
+			out := s.Clone()
+			out.Set(sensor.FeatAirQuality, sensor.Number(999))
+			return out
+		},
+	}
+	snap, err = cc2.Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := snap.Number(sensor.FeatAirQuality); n != 999 {
+		t.Errorf("custom corruption not applied: %v", n)
+	}
+
+	// No inner collector is an error, not a panic.
+	if _, err := (&ChaosCollector{}).Collect(context.Background()); err == nil {
+		t.Error("want nil-inner error")
+	}
+}

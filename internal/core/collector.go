@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"time"
@@ -8,16 +9,17 @@ import (
 	"iotsid/internal/bridge"
 	"iotsid/internal/home"
 	"iotsid/internal/miio"
-	"iotsid/internal/par"
 	"iotsid/internal/sensor"
 	"iotsid/internal/smartthings"
 )
 
 // Collector is the sensor data collector (§IV-B): it gathers the real-time
 // readings of every relevant sensor and returns them as one unified
-// snapshot.
+// snapshot. The context carries the caller's deadline and cancellation —
+// collection is a network round trip on the vendor paths, and a decision
+// point cannot wait forever for it.
 type Collector interface {
-	Collect() (sensor.Snapshot, error)
+	Collect(ctx context.Context) (sensor.Snapshot, error)
 }
 
 // SimCollector reads the home simulator directly — the zero-network path
@@ -29,9 +31,12 @@ type SimCollector struct {
 var _ Collector = (*SimCollector)(nil)
 
 // Collect implements Collector.
-func (c *SimCollector) Collect() (sensor.Snapshot, error) {
+func (c *SimCollector) Collect(ctx context.Context) (sensor.Snapshot, error) {
 	if c.Env == nil {
 		return sensor.Snapshot{}, fmt.Errorf("core: sim collector has no environment")
+	}
+	if err := ctx.Err(); err != nil {
+		return sensor.Snapshot{}, err
 	}
 	return c.Env.Snapshot(), nil
 }
@@ -52,8 +57,9 @@ type MiioCollector struct {
 
 var _ Collector = (*MiioCollector)(nil)
 
-// Collect implements Collector.
-func (c *MiioCollector) Collect() (sensor.Snapshot, error) {
+// Collect implements Collector. The context bounds the whole get_prop
+// round trip, retries included.
+func (c *MiioCollector) Collect(ctx context.Context) (sensor.Snapshot, error) {
 	if c.Client == nil {
 		return sensor.Snapshot{}, fmt.Errorf("core: miio collector has no client")
 	}
@@ -69,7 +75,7 @@ func (c *MiioCollector) Collect() (sensor.Snapshot, error) {
 	if now == nil {
 		now = time.Now
 	}
-	raw, err := c.Client.Call("get_prop", props)
+	raw, err := c.Client.CallContext(ctx, "get_prop", props)
 	if err != nil {
 		return sensor.Snapshot{}, fmt.Errorf("core: miio get_prop: %w", err)
 	}
@@ -101,11 +107,11 @@ type STCollector struct {
 var _ Collector = (*STCollector)(nil)
 
 // Collect implements Collector.
-func (c *STCollector) Collect() (sensor.Snapshot, error) {
+func (c *STCollector) Collect(ctx context.Context) (sensor.Snapshot, error) {
 	if c.Client == nil {
 		return sensor.Snapshot{}, fmt.Errorf("core: smartthings collector has no client")
 	}
-	entities, err := c.Client.States()
+	entities, err := c.Client.States(ctx)
 	if err != nil {
 		return sensor.Snapshot{}, fmt.Errorf("core: smartthings states: %w", err)
 	}
@@ -114,39 +120,4 @@ func (c *STCollector) Collect() (sensor.Snapshot, error) {
 		return sensor.Snapshot{}, fmt.Errorf("core: smartthings decode: %w", err)
 	}
 	return snap, nil
-}
-
-// MultiCollector merges several vendor collectors into one context, later
-// sources overriding earlier ones on shared features — the paper's
-// "communication module for acquiring sensor data based on Xiaomi and
-// Samsung devices" as a single logical collector.
-type MultiCollector []Collector
-
-var _ Collector = MultiCollector(nil)
-
-// Collect implements Collector. All sources must succeed: a silent partial
-// context is exactly the blind spot a sensor-spoofing attacker wants. The
-// vendor polls are network round trips, so they run concurrently — but the
-// merge happens in index order afterwards, preserving the documented
-// later-overrides-earlier semantics, and the reported error is the
-// lowest-index failure, exactly as a serial poll would return.
-func (m MultiCollector) Collect() (sensor.Snapshot, error) {
-	if len(m) == 0 {
-		return sensor.Snapshot{}, fmt.Errorf("core: empty multi collector")
-	}
-	snaps, err := par.Map(len(m), len(m), func(i int) (sensor.Snapshot, error) {
-		snap, err := m[i].Collect()
-		if err != nil {
-			return sensor.Snapshot{}, fmt.Errorf("core: collector %d: %w", i, err)
-		}
-		return snap, nil
-	})
-	if err != nil {
-		return sensor.Snapshot{}, err
-	}
-	merged := sensor.NewSnapshot(time.Time{})
-	for _, snap := range snaps {
-		merged = merged.Merge(snap)
-	}
-	return merged, nil
 }

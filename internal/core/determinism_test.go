@@ -2,9 +2,9 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
-	"fmt"
-	"reflect"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -63,7 +63,7 @@ type fakeCollector struct {
 	err   error
 }
 
-func (c *fakeCollector) Collect() (sensor.Snapshot, error) {
+func (c *fakeCollector) Collect(ctx context.Context) (sensor.Snapshot, error) {
 	if c.calls != nil {
 		c.calls.Add(1)
 	}
@@ -82,14 +82,21 @@ func (c *fakeCollector) Collect() (sensor.Snapshot, error) {
 func TestMultiCollectorDeterminism(t *testing.T) {
 	var calls atomic.Int32
 	at := time.Date(2021, 6, 1, 10, 0, 0, 0, time.UTC)
-	m := MultiCollector{
+	srcs, err := AllRequired(
 		&fakeCollector{feat: sensor.FeatSmoke, value: sensor.Bool(true), at: at, calls: &calls},
 		&fakeCollector{feat: sensor.FeatMotion, value: sensor.Bool(true), at: at, calls: &calls},
 		&fakeCollector{feat: sensor.FeatSmoke, value: sensor.Bool(false), at: at, calls: &calls},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMultiCollector(MultiConfig{}, srcs...)
+	if err != nil {
+		t.Fatal(err)
 	}
 	for trial := 0; trial < 25; trial++ {
 		calls.Store(0)
-		snap, err := m.Collect()
+		snap, err := m.Collect(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -110,18 +117,26 @@ func TestMultiCollectorLowestIndexError(t *testing.T) {
 	at := time.Now()
 	errA := errors.New("vendor A down")
 	errB := errors.New("vendor B down")
-	m := MultiCollector{
+	srcs, err := AllRequired(
 		&fakeCollector{feat: sensor.FeatSmoke, value: sensor.Bool(true), at: at},
 		&fakeCollector{err: errA},
 		&fakeCollector{err: errB},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMultiCollector(MultiConfig{}, srcs...)
+	if err != nil {
+		t.Fatal(err)
 	}
 	for trial := 0; trial < 25; trial++ {
-		_, err := m.Collect()
+		_, err := m.Collect(context.Background())
 		if err == nil || !errors.Is(err, errA) {
 			t.Fatalf("trial %d: err = %v, want the lowest-index failure %v", trial, err, errA)
 		}
-		if !reflect.DeepEqual(err.Error(), fmt.Sprintf("core: collector 1: %v", errA)) {
-			t.Fatalf("err = %q", err)
+		// Both failed required sources are named, in declaration order.
+		if !strings.Contains(err.Error(), "src1, src2") {
+			t.Fatalf("err = %q, want both missing sources named in order", err)
 		}
 	}
 }

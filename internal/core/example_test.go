@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -57,7 +58,7 @@ func Example_authorize() {
 		fmt.Println("build:", err)
 		return
 	}
-	decision, err := ids.Authorize(open)
+	decision, err := ids.Authorize(context.Background(), open)
 	if err != nil {
 		fmt.Println("authorize:", err)
 		return

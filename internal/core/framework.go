@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"strings"
 	"sync/atomic"
 
 	"iotsid/internal/instr"
@@ -73,36 +75,80 @@ func (f *Framework) Memory() *FeatureMemory { return f.memory }
 func (f *Framework) Detector() *Detector { return f.detector }
 
 // Authorize collects the live sensor context and judges the instruction —
-// the full runtime path of Fig 3.
-func (f *Framework) Authorize(in instr.Instruction) (Decision, error) {
-	ctx, err := f.collector.Collect()
+// the full runtime path of Fig 3. The context bounds the collection round
+// trip.
+//
+// Degraded mode: when the collector reports per-source provenance (a
+// DetailedCollector, e.g. MultiCollector) and a required source is missing
+// or beyond its staleness budget, sensitive instructions fail closed with
+// an explicit rejection while non-sensitive instructions still judge
+// against the partial context — the explicit choice between bounded
+// staleness and failing closed, never crashing open.
+func (f *Framework) Authorize(ctx context.Context, in instr.Instruction) (Decision, error) {
+	snap, prov, err := f.collect(ctx)
 	if err != nil {
 		return Decision{}, fmt.Errorf("core: collect context: %w", err)
 	}
-	return f.judgeAndLog(in, ctx)
+	if dec, failed := f.failClosed(in, prov, snap); failed {
+		return dec, nil
+	}
+	return f.judgeAndLog(in, snap)
 }
 
 // AuthorizeBatch collects the sensor context once and judges every
 // instruction against that single snapshot — the amortised form of
 // Authorize for callers draining a command queue. Decisions are returned in
 // input order; the first judgment error aborts the batch.
-func (f *Framework) AuthorizeBatch(ins []instr.Instruction) ([]Decision, error) {
+func (f *Framework) AuthorizeBatch(ctx context.Context, ins []instr.Instruction) ([]Decision, error) {
 	if len(ins) == 0 {
 		return nil, nil
 	}
-	ctx, err := f.collector.Collect()
+	snap, prov, err := f.collect(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("core: collect context: %w", err)
 	}
 	out := make([]Decision, len(ins))
 	for i, in := range ins {
-		dec, err := f.judgeAndLog(in, ctx)
+		if dec, failed := f.failClosed(in, prov, snap); failed {
+			out[i] = dec
+			continue
+		}
+		dec, err := f.judgeAndLog(in, snap)
 		if err != nil {
 			return nil, fmt.Errorf("core: batch instruction %d (%s): %w", i, in.Op, err)
 		}
 		out[i] = dec
 	}
 	return out, nil
+}
+
+// collect prefers the provenance-reporting path when the collector offers
+// it.
+func (f *Framework) collect(ctx context.Context) (sensor.Snapshot, Provenance, error) {
+	if dc, ok := f.collector.(DetailedCollector); ok {
+		return dc.CollectDetailed(ctx)
+	}
+	snap, err := f.collector.Collect(ctx)
+	return snap, nil, err
+}
+
+// failClosed rejects a sensitive instruction when a required context
+// source contributed nothing — deciding blind on a sensitive command is
+// exactly what the attacker of §III-A wants. The rejection is a logged
+// decision, not an error: the caller gets a definitive "no".
+func (f *Framework) failClosed(in instr.Instruction, prov Provenance, at sensor.Snapshot) (Decision, bool) {
+	missing := prov.MissingRequired()
+	if len(missing) == 0 || !f.detector.IsSensitive(in) {
+		return Decision{}, false
+	}
+	dec := Decision{
+		Allowed:   false,
+		Sensitive: true,
+		Reason: fmt.Sprintf("%s rejected (fail closed): required sensor source(s) %s unavailable",
+			in.Op, strings.Join(missing, ", ")),
+	}
+	f.logDecision(in, dec, at)
+	return dec, true
 }
 
 // Judge decides against a caller-supplied context (used when the caller
@@ -117,6 +163,12 @@ func (f *Framework) judgeAndLog(in instr.Instruction, ctx sensor.Snapshot) (Deci
 	if err != nil {
 		return Decision{}, err
 	}
+	f.logDecision(in, dec, ctx)
+	return dec, nil
+}
+
+// logDecision appends a decision to the ring log and the audit trace.
+func (f *Framework) logDecision(in instr.Instruction, dec Decision, ctx sensor.Snapshot) {
 	f.log.append(LogEntry{Op: in.Op, DeviceID: in.DeviceID, Decision: dec})
 	if audit := f.audit.Load(); audit != nil {
 		outcome := "allowed"
@@ -137,7 +189,6 @@ func (f *Framework) judgeAndLog(in instr.Instruction, ctx sensor.Snapshot) (Deci
 			Fields:   fields,
 		})
 	}
-	return dec, nil
 }
 
 // Log returns a copy of the retained authorisation log, oldest first. The

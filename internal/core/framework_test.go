@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -32,11 +33,11 @@ func frameworkForTest(t *testing.T, c Collector) *Framework {
 // staticCollector returns a fixed snapshot.
 type staticCollector struct{ snap sensor.Snapshot }
 
-func (s staticCollector) Collect() (sensor.Snapshot, error) { return s.snap, nil }
+func (s staticCollector) Collect(context.Context) (sensor.Snapshot, error) { return s.snap, nil }
 
 func TestFrameworkAuthorize(t *testing.T) {
 	f := frameworkForTest(t, staticCollector{snap: attackCtx(t, dataset.ModelWindow)})
-	dec, err := f.Authorize(buildInstr(t, "window.open", "window-1"))
+	dec, err := f.Authorize(context.Background(), buildInstr(t, "window.open", "window-1"))
 	if err != nil {
 		t.Fatalf("Authorize: %v", err)
 	}
@@ -50,7 +51,7 @@ func TestFrameworkAuthorize(t *testing.T) {
 	}
 
 	f2 := frameworkForTest(t, staticCollector{snap: legalCtx(t, dataset.ModelWindow)})
-	dec, err = f2.Authorize(buildInstr(t, "window.open", "window-1"))
+	dec, err = f2.Authorize(context.Background(), buildInstr(t, "window.open", "window-1"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ type countingStatic struct {
 	calls int
 }
 
-func (c *countingStatic) Collect() (sensor.Snapshot, error) {
+func (c *countingStatic) Collect(context.Context) (sensor.Snapshot, error) {
 	c.calls++
 	return c.snap, nil
 }
@@ -78,7 +79,7 @@ func TestFrameworkAuthorizeBatch(t *testing.T) {
 		buildInstr(t, "window.get_state", "window-1"),
 		buildInstr(t, "window.open", "window-2"),
 	}
-	decs, err := f.AuthorizeBatch(ins)
+	decs, err := f.AuthorizeBatch(context.Background(), ins)
 	if err != nil {
 		t.Fatalf("AuthorizeBatch: %v", err)
 	}
@@ -97,7 +98,7 @@ func TestFrameworkAuthorizeBatch(t *testing.T) {
 		t.Errorf("log = %d entries", len(got))
 	}
 	// Empty batch is a no-op that does not collect.
-	if decs, err := f.AuthorizeBatch(nil); err != nil || decs != nil {
+	if decs, err := f.AuthorizeBatch(context.Background(), nil); err != nil || decs != nil {
 		t.Errorf("empty batch = %v, %v", decs, err)
 	}
 	if col.calls != 1 {
@@ -117,7 +118,7 @@ func TestFrameworkLogBoundedAndRecent(t *testing.T) {
 	}
 	in := buildInstr(t, "window.open", "window-1")
 	for i := 0; i < 1000; i++ {
-		if _, err := f.Authorize(in); err != nil {
+		if _, err := f.Authorize(context.Background(), in); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -147,7 +148,7 @@ func TestFrameworkWithCachedCollector(t *testing.T) {
 	f := frameworkForTest(t, cached)
 	in := buildInstr(t, "window.open", "window-1")
 	for i := 0; i < 25; i++ {
-		dec, err := f.Authorize(in)
+		dec, err := f.Authorize(context.Background(), in)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -321,7 +322,7 @@ func TestFrameworkOverMiioPath(t *testing.T) {
 		t.Fatal("window did not open")
 	}
 	// The collector really works over the wire.
-	snap, err := f.collector.Collect()
+	snap, err := f.collector.Collect(context.Background())
 	if err != nil {
 		t.Fatalf("collect over miio: %v", err)
 	}
@@ -351,14 +352,14 @@ func TestFrameworkOverSmartThingsPath(t *testing.T) {
 	backend.SetGate(f.Gate)
 
 	h.Env().Apply(attackCtx(t, dataset.ModelWindow))
-	if _, err := client.CallService("window", "open", map[string]any{"device_id": "window-1"}); err == nil {
+	if _, err := client.CallService(context.Background(), "window", "open", map[string]any{"device_id": "window-1"}); err == nil {
 		t.Fatal("attack-context window.open executed over REST")
 	}
 	h.Env().Apply(legalCtx(t, dataset.ModelWindow))
-	if _, err := client.CallService("window", "open", map[string]any{"device_id": "window-1"}); err != nil {
+	if _, err := client.CallService(context.Background(), "window", "open", map[string]any{"device_id": "window-1"}); err != nil {
 		t.Fatalf("legal window.open rejected: %v", err)
 	}
-	snap, err := f.collector.Collect()
+	snap, err := f.collector.Collect(context.Background())
 	if err != nil {
 		t.Fatalf("collect over REST: %v", err)
 	}
@@ -375,8 +376,15 @@ func TestMultiCollectorMergesVendors(t *testing.T) {
 	b.Set(sensor.FeatSmoke, sensor.Bool(true)) // later source wins
 	b.Set(sensor.FeatMotion, sensor.Bool(true))
 
-	mc := MultiCollector{staticCollector{snap: a}, staticCollector{snap: b}}
-	snap, err := mc.Collect()
+	srcs, err := AllRequired(staticCollector{snap: a}, staticCollector{snap: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := NewMultiCollector(MultiConfig{}, srcs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := mc.Collect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -386,24 +394,30 @@ func TestMultiCollectorMergesVendors(t *testing.T) {
 	if n, _ := snap.Number(sensor.FeatTempIndoor); n != 20 {
 		t.Error("merge lost first-source value")
 	}
-	var empty MultiCollector
-	if _, err := empty.Collect(); err == nil {
+	if _, err := NewMultiCollector(MultiConfig{}); err == nil {
 		t.Error("want empty collector error")
 	}
-	failing := MultiCollector{&SimCollector{}}
-	if _, err := failing.Collect(); err == nil {
+	failingSrcs, err := AllRequired(&SimCollector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failing, err := NewMultiCollector(MultiConfig{}, failingSrcs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := failing.Collect(context.Background()); err == nil {
 		t.Error("want propagated source error")
 	}
 }
 
 func TestCollectorValidation(t *testing.T) {
-	if _, err := (&SimCollector{}).Collect(); err == nil {
+	if _, err := (&SimCollector{}).Collect(context.Background()); err == nil {
 		t.Error("sim collector without env must fail")
 	}
-	if _, err := (&MiioCollector{}).Collect(); err == nil {
+	if _, err := (&MiioCollector{}).Collect(context.Background()); err == nil {
 		t.Error("miio collector without client must fail")
 	}
-	if _, err := (&STCollector{}).Collect(); err == nil {
+	if _, err := (&STCollector{}).Collect(context.Background()); err == nil {
 		t.Error("smartthings collector without client must fail")
 	}
 }
@@ -412,10 +426,10 @@ func TestFrameworkAuditTrace(t *testing.T) {
 	f := frameworkForTest(t, staticCollector{snap: attackCtx(t, dataset.ModelWindow)})
 	audit := trace.NewLog(64)
 	f.SetAuditLog(audit)
-	if _, err := f.Authorize(buildInstr(t, "window.open", "window-1")); err != nil {
+	if _, err := f.Authorize(context.Background(), buildInstr(t, "window.open", "window-1")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.Authorize(buildInstr(t, "window.get_state", "window-1")); err != nil {
+	if _, err := f.Authorize(context.Background(), buildInstr(t, "window.get_state", "window-1")); err != nil {
 		t.Fatal(err)
 	}
 	events := audit.Select(trace.Query{Kind: trace.KindDecision})
@@ -434,7 +448,7 @@ func TestFrameworkAuditTrace(t *testing.T) {
 	}
 	// Detaching stops auditing.
 	f.SetAuditLog(nil)
-	if _, err := f.Authorize(buildInstr(t, "window.open", "window-1")); err != nil {
+	if _, err := f.Authorize(context.Background(), buildInstr(t, "window.open", "window-1")); err != nil {
 		t.Fatal(err)
 	}
 	if audit.Total() != 2 {

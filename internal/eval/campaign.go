@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -132,7 +133,7 @@ func (s *Suite) Campaign(rounds int) (CampaignResult, error) {
 			if err != nil {
 				return false, err
 			}
-			dec, err := framework.Authorize(in)
+			dec, err := framework.Authorize(context.Background(), in)
 			if err != nil {
 				return false, err
 			}

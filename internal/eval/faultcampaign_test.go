@@ -1,0 +1,148 @@
+package eval
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func faultResults(t *testing.T, rounds int) map[string]FaultScenarioResult {
+	t.Helper()
+	s := suiteForTest(t)
+	results, err := s.FaultCampaign(rounds)
+	if err != nil {
+		t.Fatalf("FaultCampaign: %v", err)
+	}
+	out := make(map[string]FaultScenarioResult, len(results))
+	for _, r := range results {
+		out[r.Name] = r
+	}
+	return out
+}
+
+// TestFaultCampaignContract asserts the two headline properties of the
+// resilience work: a flapping optional source does not take availability to
+// zero (bounded staleness absorbs it), and a dead required source rejects
+// every sensitive instruction (fail-closed), with zero unsafe allows
+// anywhere in the campaign.
+func TestFaultCampaignContract(t *testing.T) {
+	results := faultResults(t, 4)
+
+	// Baseline: the harness itself is sound — everything is served and no
+	// command errors out.
+	base, ok := results["baseline"]
+	if !ok {
+		t.Fatal("baseline scenario missing")
+	}
+	if base.CollectErrors != 0 || base.FailClosed != 0 || base.StaleServes != 0 {
+		t.Errorf("baseline not clean: %+v", base)
+	}
+	if base.Availability() == 0 {
+		t.Error("baseline availability zero")
+	}
+	if base.Safety() == 0 {
+		t.Error("baseline safety zero")
+	}
+
+	// Flapping optional source: availability survives, no fail-closed (the
+	// required feed keeps answering), and the staleness fallback was
+	// actually exercised.
+	flaky := results["flaky_optional"]
+	if flaky.Availability() == 0 {
+		t.Errorf("flaky optional source took availability to zero: %+v", flaky)
+	}
+	if flaky.StaleServes == 0 {
+		t.Errorf("staleness fallback never exercised: %+v", flaky)
+	}
+	if flaky.FailClosed != 0 {
+		t.Errorf("healthy required source but fail-closed decisions: %+v", flaky)
+	}
+	// A flapping *optional* source must not change safety relative to the
+	// baseline regime: the fresh required feed wins every merge.
+	if flaky.Safety() < base.Safety() {
+		t.Errorf("flaky optional source degraded safety: %.2f < %.2f", flaky.Safety(), base.Safety())
+	}
+
+	// Optional blackout: the fresh → stale → missing ladder is walked.
+	blackout := results["optional_blackout"]
+	if blackout.StaleServes == 0 {
+		t.Errorf("blackout never served stale: %+v", blackout)
+	}
+	if blackout.Availability() == 0 {
+		t.Errorf("optional blackout took availability to zero: %+v", blackout)
+	}
+
+	// Required source down: every sensitive instruction rejected — attacks
+	// and legitimate alike — via explicit fail-closed decisions.
+	down := results["required_down"]
+	if down.AttackBlocked != down.AttackAttempts {
+		t.Errorf("required down: %d/%d attacks blocked, want all", down.AttackBlocked, down.AttackAttempts)
+	}
+	if down.LegitAllowed != 0 {
+		t.Errorf("required down: %d sensitive commands served blind", down.LegitAllowed)
+	}
+	if down.FailClosed == 0 {
+		t.Errorf("required down produced no fail-closed decisions: %+v", down)
+	}
+
+	// The fail-closed contract holds campaign-wide: no sensitive
+	// instruction was ever allowed while the required source was missing.
+	for name, r := range results {
+		if r.UnsafeAllows != 0 {
+			t.Errorf("scenario %s: %d unsafe allows, want 0", name, r.UnsafeAllows)
+		}
+		if r.AttackAttempts == 0 || r.LegitAttempts == 0 {
+			t.Errorf("scenario %s fired no sensitive instructions: %+v", name, r)
+		}
+	}
+}
+
+// TestFaultCampaignDeterminism: every (scenario, round) unit is seeded from
+// its index, so the tables are bit-identical at any worker count.
+func TestFaultCampaignDeterminism(t *testing.T) {
+	s := suiteForTest(t)
+	serial := *s
+	serial.Config.Workers = 1
+	parallel := *s
+	parallel.Config.Workers = 8
+
+	a, err := serial.FaultCampaign(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parallel.FaultCampaign(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("fault campaign diverges:\nserial:   %+v\nparallel: %+v", a, b)
+	}
+}
+
+// TestRenderFaultCampaign: the table renders one row per scenario.
+func TestRenderFaultCampaign(t *testing.T) {
+	s := suiteForTest(t)
+	out, err := s.RenderFaultCampaign(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range DefaultFaultScenarios() {
+		if !strings.Contains(out, sc.Name) {
+			t.Errorf("render missing scenario %s:\n%s", sc.Name, out)
+		}
+	}
+	if !strings.Contains(out, "avail") || !strings.Contains(out, "safety") {
+		t.Errorf("render missing headers:\n%s", out)
+	}
+}
+
+// TestFaultCampaignValidation covers the argument checks.
+func TestFaultCampaignValidation(t *testing.T) {
+	s := suiteForTest(t)
+	if _, err := s.FaultCampaign(0); err == nil {
+		t.Error("want rounds error")
+	}
+	if _, err := s.FaultCampaignScenarios(nil, 2); err == nil {
+		t.Error("want empty-scenarios error")
+	}
+}

@@ -1,6 +1,7 @@
 package miio
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -22,14 +23,23 @@ func WithRetries(n int) ClientOption {
 	return func(c *Client) { c.retries = n }
 }
 
+// WithCallBudget caps one whole Call — every retry included — at d. Without
+// it a call with r retries can take (r+1)× the per-attempt timeout, which
+// is the unbounded tail the collection deadline work exists to remove.
+// Zero means no overall budget beyond the per-attempt deadlines.
+func WithCallBudget(d time.Duration) ClientOption {
+	return func(c *Client) { c.callBudget = d }
+}
+
 // Client speaks the encrypted protocol to one gateway. It performs the
 // hello handshake on dial (learning the gateway's device ID and stamp, as
 // the vendor app does) and then issues encrypted method calls. Safe for
 // concurrent use; calls are serialised on the socket.
 type Client struct {
-	token   Token
-	timeout time.Duration
-	retries int
+	token      Token
+	timeout    time.Duration
+	retries    int
+	callBudget time.Duration
 
 	mu       sync.Mutex
 	conn     *net.UDPConn
@@ -113,11 +123,21 @@ func (c *Client) handshake() error {
 // Call issues one encrypted method call and decodes the result into a raw
 // JSON message. RPC-level errors surface as *RPCError.
 func (c *Client) Call(method string, params any) (json.RawMessage, error) {
+	return c.CallContext(context.Background(), method, params)
+}
+
+// CallContext is Call with cancellation and an overall deadline: the call
+// ends at the earliest of the context's deadline and the client's call
+// budget, no matter how many retries remain. Cancellation is checked
+// between attempts, and every socket read deadline is capped so a blocking
+// read can never outlive the overall deadline.
+func (c *Client) CallContext(ctx context.Context, method string, params any) (json.RawMessage, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return nil, fmt.Errorf("miio: client closed")
 	}
+	overall, hasOverall, ctxBound := overallDeadline(ctx, c.callBudget)
 	c.nextID++
 	id := c.nextID
 	var rawParams json.RawMessage
@@ -142,10 +162,29 @@ func (c *Client) Call(method string, params any) (json.RawMessage, error) {
 	buf := make([]byte, MaxPacketSize)
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, budgetErr(method, err, lastErr)
+		}
+		readDeadline := time.Now().Add(c.timeout)
+		if hasOverall {
+			if !overall.After(time.Now()) {
+				// Attribute the expiry to whichever bound was binding: the
+				// caller's context deadline (even if its timer has not fired
+				// yet) or the client's own call budget.
+				cause := error(context.DeadlineExceeded)
+				if !ctxBound {
+					cause = fmt.Errorf("call budget exhausted")
+				}
+				return nil, budgetErr(method, cause, lastErr)
+			}
+			if readDeadline.After(overall) {
+				readDeadline = overall
+			}
+		}
 		if _, err := c.conn.Write(raw); err != nil {
 			return nil, fmt.Errorf("miio: write: %w", err)
 		}
-		if err := c.conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+		if err := c.conn.SetReadDeadline(readDeadline); err != nil {
 			return nil, fmt.Errorf("miio: deadline: %w", err)
 		}
 		for {
@@ -174,4 +213,29 @@ func (c *Client) Call(method string, params any) (json.RawMessage, error) {
 		}
 	}
 	return nil, fmt.Errorf("miio: call %s: %w", method, lastErr)
+}
+
+// overallDeadline resolves the earliest of the context deadline and the
+// client's call budget (measured from now); fromCtx reports whether the
+// context deadline is the binding one.
+func overallDeadline(ctx context.Context, budget time.Duration) (deadline time.Time, has, fromCtx bool) {
+	if d, ok := ctx.Deadline(); ok {
+		deadline, has, fromCtx = d, true, true
+	}
+	if budget > 0 {
+		b := time.Now().Add(budget)
+		if !has || b.Before(deadline) {
+			deadline, has, fromCtx = b, true, false
+		}
+	}
+	return deadline, has, fromCtx
+}
+
+// budgetErr reports a call abandoned by its overall deadline, keeping the
+// last transport error for the post-mortem.
+func budgetErr(method string, cause, lastErr error) error {
+	if lastErr != nil && lastErr != cause {
+		return fmt.Errorf("miio: call %s: %w (last attempt: %v)", method, cause, lastErr)
+	}
+	return fmt.Errorf("miio: call %s: %w", method, cause)
 }

@@ -1,0 +1,107 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// Data-state values for SourceHealth.State. "unknown" is the pre-first-
+// collect state; fresh/stale/missing mirror the per-source provenance the
+// degraded-mode collector stamps on each merged snapshot.
+const (
+	DataUnknown = "unknown"
+	DataFresh   = "fresh"
+	DataStale   = "stale"
+	DataMissing = "missing"
+)
+
+// SourceHealth is one source's row in a health report.
+type SourceHealth struct {
+	Name     string `json:"name"`
+	Required bool   `json:"required"`
+	// State is the data state of the source's contribution to the most
+	// recent merged snapshot: unknown, fresh, stale or missing.
+	State string `json:"state"`
+	// Breaker is the source's breaker state (closed/open/half-open), or ""
+	// when the source has no breaker.
+	Breaker             string    `json:"breaker,omitempty"`
+	LastSuccess         time.Time `json:"last_success,omitempty"`
+	LastError           string    `json:"last_error,omitempty"`
+	ConsecutiveFailures int       `json:"consecutive_failures"`
+}
+
+// Registry tracks per-source health for the serving layer's /healthz.
+// Sources report in registration order so snapshots are deterministic.
+type Registry struct {
+	mu    sync.Mutex
+	rows  map[string]*SourceHealth
+	order []string
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{rows: make(map[string]*SourceHealth)}
+}
+
+// Register adds a source row (idempotent; re-registering updates Required).
+func (r *Registry) Register(name string, required bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if row, ok := r.rows[name]; ok {
+		row.Required = required
+		return
+	}
+	r.rows[name] = &SourceHealth{Name: name, Required: required, State: DataUnknown}
+	r.order = append(r.order, name)
+}
+
+// Report records one collect outcome for a source: its data state for the
+// merged snapshot, the breaker state ("" when none), and the error if the
+// underlying collect failed (a stale fallback reports both a state of
+// DataStale and the error that forced it).
+func (r *Registry) Report(name, state, breaker string, at time.Time, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	row, ok := r.rows[name]
+	if !ok {
+		row = &SourceHealth{Name: name}
+		r.rows[name] = row
+		r.order = append(r.order, name)
+	}
+	row.State = state
+	row.Breaker = breaker
+	if err == nil {
+		row.LastSuccess = at
+		row.LastError = ""
+		row.ConsecutiveFailures = 0
+	} else {
+		row.LastError = err.Error()
+		row.ConsecutiveFailures++
+	}
+}
+
+// Snapshot returns the rows in registration order.
+func (r *Registry) Snapshot() []SourceHealth {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SourceHealth, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, *r.rows[name])
+	}
+	return out
+}
+
+// Healthy reports whether every required source is currently serving data
+// (fresh or within its staleness budget). A registry with no rows is
+// healthy; a required source that has never collected is not.
+func (r *Registry) Healthy() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.order {
+		row := r.rows[name]
+		if row.Required && row.State != DataFresh && row.State != DataStale {
+			return false
+		}
+	}
+	return true
+}

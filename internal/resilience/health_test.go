@@ -1,0 +1,64 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRegistryReportAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Register("miio", true)
+	r.Register("smartthings", false)
+
+	rows := r.Snapshot()
+	if len(rows) != 2 || rows[0].Name != "miio" || rows[1].Name != "smartthings" {
+		t.Fatalf("snapshot = %+v, want registration order miio, smartthings", rows)
+	}
+	if rows[0].State != DataUnknown {
+		t.Fatalf("pre-collect state = %q, want unknown", rows[0].State)
+	}
+	if r.Healthy() {
+		t.Fatal("registry with a never-collected required source must not be healthy")
+	}
+
+	at := time.Unix(1700000000, 0)
+	r.Report("miio", DataFresh, "closed", at, nil)
+	r.Report("smartthings", DataMissing, "open", at, errors.New("502"))
+	if !r.Healthy() {
+		t.Fatal("required source fresh: registry should be healthy")
+	}
+	rows = r.Snapshot()
+	if rows[0].LastSuccess != at || rows[0].ConsecutiveFailures != 0 {
+		t.Fatalf("miio row = %+v", rows[0])
+	}
+	if rows[1].LastError != "502" || rows[1].ConsecutiveFailures != 1 || rows[1].Breaker != "open" {
+		t.Fatalf("smartthings row = %+v", rows[1])
+	}
+
+	// Stale data still counts as serving; a missing required source does not.
+	r.Report("miio", DataStale, "closed", at, errors.New("timeout"))
+	if !r.Healthy() {
+		t.Fatal("stale required source is still serving: should be healthy")
+	}
+	r.Report("miio", DataMissing, "open", at, errors.New("timeout"))
+	if r.Healthy() {
+		t.Fatal("missing required source: must be unhealthy")
+	}
+	if got := r.Snapshot()[0].ConsecutiveFailures; got != 2 {
+		t.Fatalf("consecutive failures = %d, want 2", got)
+	}
+}
+
+func TestRegistryUnregisteredReport(t *testing.T) {
+	r := NewRegistry()
+	r.Report("ghost", DataFresh, "", time.Unix(0, 0), nil)
+	rows := r.Snapshot()
+	if len(rows) != 1 || rows[0].Name != "ghost" {
+		t.Fatalf("snapshot = %+v", rows)
+	}
+	// Optional by default, so a fresh ghost keeps the registry healthy.
+	if !r.Healthy() {
+		t.Fatal("optional sources never make the registry unhealthy")
+	}
+}

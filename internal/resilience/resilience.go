@@ -1,0 +1,36 @@
+// Package resilience is the fault-handling substrate of the collection
+// pipeline: deterministic retry with exponential backoff and seedable
+// jitter, per-attempt and overall deadlines, a per-source circuit breaker,
+// and a health registry the serving layer exposes.
+//
+// Like package par, the package's contract is determinism: a retry
+// schedule is a pure function of its Policy (the jitter stream is seeded),
+// and a breaker's transitions are a pure function of the recorded outcome
+// sequence and the injected clock. Nothing in here consults ambient
+// randomness, so fault-injection campaigns replay bit-identically.
+package resilience
+
+import "errors"
+
+// permanentError marks an error that retrying cannot fix (bad credentials,
+// malformed request, 4xx).
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Policy.Do gives up immediately instead of
+// retrying. A nil err returns nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked with
+// Permanent.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}

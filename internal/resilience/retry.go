@@ -1,0 +1,145 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Policy describes a bounded retry loop: up to MaxAttempts tries separated
+// by exponential backoff with seeded jitter, each attempt optionally capped
+// by AttemptTimeout, the whole loop capped by the caller's context.
+//
+// A Policy is a value: it carries no hidden state, and Schedule is a pure
+// function of the exported fields, so two equal policies always retry on
+// the same instants relative to their start.
+type Policy struct {
+	// MaxAttempts is the total number of tries, including the first
+	// (default 3; values below 1 are treated as the default).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth (default 2s).
+	MaxDelay time.Duration
+	// Multiplier grows the backoff between attempts (default 2).
+	Multiplier float64
+	// Jitter is the fraction of each delay that is randomised, in [0, 1]:
+	// the effective delay is d * (1 - Jitter/2 + Jitter*u) for a seeded
+	// uniform u (default 0, i.e. no jitter).
+	Jitter float64
+	// Seed seeds the jitter stream; equal seeds give bit-identical
+	// schedules.
+	Seed int64
+	// AttemptTimeout, when positive, caps each attempt with a per-attempt
+	// context deadline.
+	AttemptTimeout time.Duration
+	// Sleep overrides the inter-attempt wait (tests); nil sleeps for real,
+	// honouring ctx cancellation.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	return p
+}
+
+// Schedule returns the waits between attempts — MaxAttempts-1 durations,
+// bit-identical for equal policies (the jitter stream is seeded from Seed).
+func (p Policy) Schedule() []time.Duration {
+	p = p.withDefaults()
+	if p.MaxAttempts == 1 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	out := make([]time.Duration, p.MaxAttempts-1)
+	d := float64(p.BaseDelay)
+	for i := range out {
+		wait := d
+		if p.Jitter > 0 {
+			wait = d * (1 - p.Jitter/2 + p.Jitter*rng.Float64())
+		}
+		if wait > float64(p.MaxDelay) {
+			wait = float64(p.MaxDelay)
+		}
+		out[i] = time.Duration(wait)
+		d *= p.Multiplier
+		if d > float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+		}
+	}
+	return out
+}
+
+// Do runs op until it succeeds, returns a Permanent error, exhausts
+// MaxAttempts, or ctx is done. Each attempt sees a child context capped by
+// AttemptTimeout (when set); the overall loop is capped by ctx itself.
+func (p Policy) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	p = p.withDefaults()
+	schedule := p.Schedule()
+	var lastErr error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return fmt.Errorf("%w (after %d attempts: %v)", err, attempt, lastErr)
+			}
+			return err
+		}
+		attemptCtx := ctx
+		var cancel context.CancelFunc
+		if p.AttemptTimeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, p.AttemptTimeout)
+		}
+		err := op(attemptCtx)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if IsPermanent(err) {
+			return err
+		}
+		if attempt < len(schedule) {
+			if err := p.sleep(ctx, schedule[attempt]); err != nil {
+				return fmt.Errorf("%w (after %d attempts: %v)", err, attempt+1, lastErr)
+			}
+		}
+	}
+	return fmt.Errorf("resilience: %d attempts failed: %w", p.MaxAttempts, lastErr)
+}
+
+func (p Policy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

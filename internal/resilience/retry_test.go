@@ -1,0 +1,150 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// noSleep makes Do instantaneous while still exercising the schedule path.
+func noSleep(ctx context.Context, d time.Duration) error { return ctx.Err() }
+
+// TestScheduleDeterminism: equal policies produce bit-identical jittered
+// schedules — the property verify.sh's determinism gate leans on.
+func TestScheduleDeterminism(t *testing.T) {
+	p := Policy{MaxAttempts: 6, BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second,
+		Multiplier: 2, Jitter: 0.5, Seed: 42}
+	a := p.Schedule()
+	b := p.Schedule()
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatalf("schedule lengths = %d, %d, want 5", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// A different seed must move at least one delay.
+	p2 := p
+	p2.Seed = 43
+	c := p2.Schedule()
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seed 42 and 43 produced identical jittered schedules")
+	}
+}
+
+func TestScheduleBoundsAndGrowth(t *testing.T) {
+	p := Policy{MaxAttempts: 8, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Multiplier: 2}
+	s := p.Schedule()
+	want := []time.Duration{10, 20, 40, 80, 80, 80, 80}
+	for i, w := range want {
+		if s[i] != w*time.Millisecond {
+			t.Fatalf("schedule[%d] = %v, want %v", i, s[i], w*time.Millisecond)
+		}
+	}
+	// Jitter keeps delays within ±Jitter/2 of the deterministic value.
+	p.Jitter = 0.4
+	p.Seed = 7
+	for i, d := range p.Schedule() {
+		base := float64(want[i] * time.Millisecond)
+		lo, hi := base*0.8, base*1.2
+		if float64(d) < lo || float64(d) > hi {
+			t.Fatalf("jittered schedule[%d] = %v outside [%v, %v]", i, d, lo, hi)
+		}
+	}
+	if got := (Policy{MaxAttempts: 1}).Schedule(); got != nil {
+		t.Fatalf("single-attempt schedule = %v, want nil", got)
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	p := Policy{MaxAttempts: 4, Sleep: noSleep}
+	calls := 0
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	p := Policy{MaxAttempts: 3, Sleep: noSleep}
+	calls := 0
+	base := errors.New("still down")
+	err := p.Do(context.Background(), func(ctx context.Context) error { calls++; return base })
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, base) {
+		t.Fatalf("err = %v, want wrapped %v", err, base)
+	}
+}
+
+func TestDoStopsOnPermanent(t *testing.T) {
+	p := Policy{MaxAttempts: 5, Sleep: noSleep}
+	calls := 0
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		calls++
+		return Permanent(fmt.Errorf("bad credentials"))
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (permanent error must not retry)", calls)
+	}
+	if !IsPermanent(err) {
+		t.Fatalf("err = %v, want permanent", err)
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) != nil")
+	}
+}
+
+func TestDoHonoursContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{MaxAttempts: 10, BaseDelay: time.Hour} // real sleep would hang
+	calls := 0
+	err := p.Do(ctx, func(ctx context.Context) error {
+		calls++
+		cancel() // cancel during the first attempt; the backoff sleep must abort
+		return errors.New("transient")
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestDoAttemptTimeout(t *testing.T) {
+	p := Policy{MaxAttempts: 2, AttemptTimeout: 5 * time.Millisecond, Sleep: noSleep}
+	var deadlines int
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		if _, ok := ctx.Deadline(); ok {
+			deadlines++
+		}
+		<-ctx.Done() // a hung attempt is released by the per-attempt deadline
+		return ctx.Err()
+	})
+	if deadlines != 2 {
+		t.Fatalf("attempts with deadline = %d, want 2", deadlines)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}

@@ -2,12 +2,15 @@ package smartthings
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"time"
+
+	"iotsid/internal/resilience"
 )
 
 // APIError is an error response from the bridge.
@@ -21,16 +24,32 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("smartthings: HTTP %d: %s", e.StatusCode, e.Message)
 }
 
+// ClientOption customises a client.
+type ClientOption func(*Client)
+
+// WithTimeout sets the per-request HTTP timeout (default 5s).
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.http.Timeout = d }
+}
+
+// WithRetry retries idempotent GETs under the shared resilience policy when
+// they fail with a transient network error or a 5xx. Non-GET requests and
+// 4xx responses are never retried.
+func WithRetry(p resilience.Policy) ClientOption {
+	return func(c *Client) { c.retry = &p }
+}
+
 // Client talks to the bridge with a long-lived access token, exactly as the
 // paper's collector queries its Home Assistant deployment.
 type Client struct {
 	baseURL string
 	token   string
 	http    *http.Client
+	retry   *resilience.Policy
 }
 
 // NewClient builds a client for the bridge at baseURL.
-func NewClient(baseURL, token string) (*Client, error) {
+func NewClient(baseURL, token string, opts ...ClientOption) (*Client, error) {
 	u, err := url.Parse(baseURL)
 	if err != nil || u.Scheme == "" || u.Host == "" {
 		return nil, fmt.Errorf("smartthings: invalid base URL %q", baseURL)
@@ -38,32 +57,36 @@ func NewClient(baseURL, token string) (*Client, error) {
 	if token == "" {
 		return nil, fmt.Errorf("smartthings: empty access token")
 	}
-	return &Client{
+	c := &Client{
 		baseURL: u.Scheme + "://" + u.Host,
 		token:   token,
 		http:    &http.Client{Timeout: 5 * time.Second},
-	}, nil
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
 }
 
 // Ping checks the API is up and the token valid.
-func (c *Client) Ping() error {
+func (c *Client) Ping(ctx context.Context) error {
 	var out map[string]string
-	return c.do(http.MethodGet, "/api/", nil, &out)
+	return c.do(ctx, http.MethodGet, "/api/", nil, &out)
 }
 
 // States fetches every entity state.
-func (c *Client) States() ([]Entity, error) {
+func (c *Client) States(ctx context.Context) ([]Entity, error) {
 	var out []Entity
-	if err := c.do(http.MethodGet, "/api/states", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/api/states", nil, &out); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
 // State fetches one entity state.
-func (c *Client) State(entityID string) (Entity, error) {
+func (c *Client) State(ctx context.Context, entityID string) (Entity, error) {
 	var out Entity
-	if err := c.do(http.MethodGet, "/api/states/"+url.PathEscape(entityID), nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/api/states/"+url.PathEscape(entityID), nil, &out); err != nil {
 		return Entity{}, err
 	}
 	return out, nil
@@ -71,27 +94,44 @@ func (c *Client) State(entityID string) (Entity, error) {
 
 // CallService invokes `domain.service` with a data payload and returns the
 // entities it changed.
-func (c *Client) CallService(domain, service string, data map[string]any) ([]Entity, error) {
+func (c *Client) CallService(ctx context.Context, domain, service string, data map[string]any) ([]Entity, error) {
 	var out []Entity
 	path := "/api/services/" + url.PathEscape(domain) + "/" + url.PathEscape(service)
-	if err := c.do(http.MethodPost, path, data, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, path, data, &out); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-func (c *Client) do(method, path string, body any, out any) error {
-	var reader io.Reader
+func (c *Client) do(ctx context.Context, method, path string, body any, out any) error {
+	var payload []byte
 	if body != nil {
 		data, err := json.Marshal(body)
 		if err != nil {
 			return fmt.Errorf("smartthings: marshal body: %w", err)
 		}
-		reader = bytes.NewReader(data)
+		payload = data
 	}
-	req, err := http.NewRequest(method, c.baseURL+path, reader)
+	// Only idempotent GETs retry; a replayed POST could actuate a device
+	// twice.
+	if c.retry != nil && method == http.MethodGet {
+		return c.retry.Do(ctx, func(ctx context.Context) error {
+			return c.doOnce(ctx, method, path, payload, out)
+		})
+	}
+	return c.doOnce(ctx, method, path, payload, out)
+}
+
+// doOnce performs one HTTP round trip. Failures that retrying cannot fix
+// (4xx) are marked Permanent; transport errors and 5xx stay transient.
+func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte, out any) error {
+	var reader io.Reader
+	if payload != nil {
+		reader = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, reader)
 	if err != nil {
-		return fmt.Errorf("smartthings: build request: %w", err)
+		return resilience.Permanent(fmt.Errorf("smartthings: build request: %w", err))
 	}
 	req.Header.Set("Authorization", "Bearer "+c.token)
 	req.Header.Set("Content-Type", "application/json")
@@ -106,7 +146,11 @@ func (c *Client) do(method, path string, body any, out any) error {
 		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err == nil && apiErr.Message != "" {
 			msg = apiErr.Message
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+		callErr := &APIError{StatusCode: resp.StatusCode, Message: msg}
+		if resp.StatusCode >= 500 {
+			return callErr
+		}
+		return resilience.Permanent(callErr)
 	}
 	if out == nil {
 		return nil

@@ -1,6 +1,7 @@
 package smartthings
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -93,10 +94,10 @@ func newClient(t *testing.T, srv *Server, token string) *Client {
 func TestPingAndStates(t *testing.T) {
 	srv, _ := startServer(t)
 	c := newClient(t, srv, testTokenStr)
-	if err := c.Ping(); err != nil {
+	if err := c.Ping(context.Background()); err != nil {
 		t.Fatalf("Ping: %v", err)
 	}
-	states, err := c.States()
+	states, err := c.States(context.Background())
 	if err != nil {
 		t.Fatalf("States: %v", err)
 	}
@@ -108,14 +109,14 @@ func TestPingAndStates(t *testing.T) {
 func TestStateByID(t *testing.T) {
 	srv, _ := startServer(t)
 	c := newClient(t, srv, testTokenStr)
-	e, err := c.State("sensor.temperature")
+	e, err := c.State(context.Background(), "sensor.temperature")
 	if err != nil {
 		t.Fatalf("State: %v", err)
 	}
 	if e.State != "21.5" || e.Attributes["unit_of_measurement"] != "°C" {
 		t.Errorf("entity = %+v", e)
 	}
-	_, err = c.State("sensor.nope")
+	_, err = c.State(context.Background(), "sensor.nope")
 	var apiErr *APIError
 	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
 		t.Errorf("want 404, got %v", err)
@@ -125,7 +126,7 @@ func TestStateByID(t *testing.T) {
 func TestCallService(t *testing.T) {
 	srv, backend := startServer(t)
 	c := newClient(t, srv, testTokenStr)
-	changed, err := c.CallService("light", "turn_on", map[string]any{"entity_id": "light.living_room"})
+	changed, err := c.CallService(context.Background(), "light", "turn_on", map[string]any{"entity_id": "light.living_room"})
 	if err != nil {
 		t.Fatalf("CallService: %v", err)
 	}
@@ -137,7 +138,7 @@ func TestCallService(t *testing.T) {
 		t.Error("service call did not reach the backend")
 	}
 	// Unknown service surfaces as a 400.
-	_, err = c.CallService("light", "explode", map[string]any{"entity_id": "light.living_room"})
+	_, err = c.CallService(context.Background(), "light", "explode", map[string]any{"entity_id": "light.living_room"})
 	var apiErr *APIError
 	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
 		t.Errorf("want 400, got %v", err)
@@ -152,7 +153,7 @@ func TestAuthRequired(t *testing.T) {
 			t.Fatal(err)
 		}
 		c.token = token
-		err = c.Ping()
+		err = c.Ping(context.Background())
 		var apiErr *APIError
 		if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusUnauthorized {
 			t.Errorf("token %q: want 401, got %v", token, err)
@@ -199,7 +200,7 @@ func TestBackendErrorSurfaces(t *testing.T) {
 	backend.failAll = true
 	backend.mu.Unlock()
 	c := newClient(t, srv, testTokenStr)
-	_, err := c.States()
+	_, err := c.States(context.Background())
 	var apiErr *APIError
 	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusInternalServerError {
 		t.Errorf("want 500, got %v", err)
@@ -230,7 +231,7 @@ func TestClientValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.http.Timeout = 200 * time.Millisecond
-	if err := c.Ping(); err == nil {
+	if err := c.Ping(context.Background()); err == nil {
 		t.Error("want connection error")
 	}
 }

@@ -8,10 +8,24 @@ go build ./...
 go vet ./...
 go test -race ./...
 
+# Resilience gate: the retry/breaker/health machinery, the degraded-mode
+# collector, the chaos harness and the fault-injection campaign are
+# timing-sensitive concurrent code — run them focused under the race
+# detector (also covered by the blanket -race run above; this keeps a
+# fast, named signal when the resilience layer regresses).
+go test -race -count=1 ./internal/resilience/
+go test -race -count=1 -run 'MultiCollector|Chaos|FailsClosed|CachedCollector' ./internal/core/
+go test -race -count=1 -run 'Fault' ./internal/eval/
+go test -race -count=1 -run 'Call|Retry|Timeout|Permanent|Context' ./internal/miio/ ./internal/smartthings/
+go test -race -count=1 -run 'Healthz|RetryAfter|ContextTimeout' ./internal/cloud/
+
 # Deterministic-parallelism gate: the serial-vs-parallel golden-equality
-# tests (Train, BuildAll, CrossValidate, forest.Fit, suite/campaign) must
-# pass both under the default scheduler and pinned to a single P. If the
-# GOMAXPROCS=1 run and the default run disagree, one of them fails these
-# equality tests and the build breaks here.
+# tests (Train, BuildAll, CrossValidate, forest.Fit, suite/campaign, the
+# fault campaign, seeded retry jitter) must pass both under the default
+# scheduler and pinned to a single P. If the GOMAXPROCS=1 run and the
+# default run disagree, one of them fails these equality tests and the
+# build breaks here. The 'Determinism' pattern matches the resilience
+# layer's TestScheduleDeterminism, TestChaosPlanDeterminism and
+# TestFaultCampaignDeterminism as well.
 go test -count=1 -run 'Determinism|Memoized' ./internal/...
 GOMAXPROCS=1 go test -count=1 -run 'Determinism|Memoized' ./internal/...

@@ -25,6 +25,8 @@ import (
 	"iotsid/internal/mlearn/knn"
 	"iotsid/internal/mlearn/svm"
 	"iotsid/internal/mlearn/tree"
+	"iotsid/internal/obs"
+	"iotsid/internal/sensor"
 	"iotsid/internal/smartthings"
 	"iotsid/internal/survey"
 )
@@ -239,6 +241,105 @@ func BenchmarkAuthorizeParallel(b *testing.B) {
 		for pb.Next() {
 			if _, err := f.Authorize(context.Background(), ins[i%len(ins)]); err != nil {
 				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkAuthorizeCachedBare is the uninstrumented twin of
+// BenchmarkAuthorizeInstrumented — same cached legal-scene workload, no
+// metrics registry. The delta between the two is the whole cost of the
+// observability layer on the hot path (EXPERIMENTS.md records it).
+func BenchmarkAuthorizeCachedBare(b *testing.B) {
+	s := sharedSuite(b)
+	snap, err := dataset.LegalSceneSeeded(dataset.ModelWindow, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cached, err := core.NewCachedCollector(
+		core.CollectorFunc(func(ctx context.Context) (sensor.Snapshot, error) { return snap, nil }),
+		time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	det, err := core.DefaultDetector()
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := core.New(core.Config{Detector: det, Collector: cached, Memory: s.Memory})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := instr.BuiltinRegistry().Build("window.open", "window-1", instr.OriginUser, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := f.Authorize(context.Background(), in); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := f.Authorize(context.Background(), in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAuthorizeInstrumented drives the framework with a full metrics
+// registry attached — decision counters, latency histogram, decision-log
+// append/eviction counters, cache counters — over a cached legal scene. The
+// acceptance bar is 0 allocs/op: instrumentation must not reintroduce
+// allocations on the steady-state allow path (the race-free gate is
+// TestAuthorizeSteadyStateAllocs in internal/core).
+func BenchmarkAuthorizeInstrumented(b *testing.B) {
+	s := sharedSuite(b)
+	snap, err := dataset.LegalSceneSeeded(dataset.ModelWindow, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	cached, err := core.NewCachedCollector(
+		core.CollectorFunc(func(ctx context.Context) (sensor.Snapshot, error) { return snap, nil }),
+		time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cached.Instrument(reg)
+	det, err := core.DefaultDetector()
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := core.New(core.Config{Detector: det, Collector: cached, Memory: s.Memory, Metrics: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ins := make([]instr.Instruction, 8)
+	for i := range ins {
+		in, err := instr.BuiltinRegistry().Build("window.open", fmt.Sprintf("window-%d", i+1), instr.OriginUser, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ins[i] = in
+	}
+	// Warm the cache, the feature-buffer pool and the reason table.
+	if _, err := f.Authorize(context.Background(), ins[0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			dec, err := f.Authorize(context.Background(), ins[i%len(ins)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !dec.Allowed {
+				b.Fatal("legal scene must be allowed")
 			}
 			i++
 		}

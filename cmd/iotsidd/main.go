@@ -15,8 +15,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -27,6 +31,7 @@ import (
 	"iotsid/internal/home"
 	"iotsid/internal/instr"
 	"iotsid/internal/miio"
+	"iotsid/internal/obs"
 	"iotsid/internal/resilience"
 	"iotsid/internal/sensor"
 	"iotsid/internal/smartthings"
@@ -55,7 +60,11 @@ func run() error {
 	loadMemory := flag.String("load-memory", "", "load a previously trained feature memory instead of training")
 	auxFault := flag.Float64("aux-fault", 0.2, "per-poll error probability of the optional aux sensor feed (0 disables chaos)")
 	auxStaleness := flag.Duration("aux-staleness", 30*time.Second, "budget for serving the aux feed's last-good snapshot after a failed poll")
+	metricsAddr := flag.String("metrics-addr", "", "serve GET /metrics (Prometheus text), /healthz and /debug/pprof on this address (empty = disabled)")
+	dumpMetrics := flag.Bool("dump-metrics", false, "print the final metrics exposition to stdout on exit")
 	flag.Parse()
+
+	metrics := obs.Default()
 
 	// World.
 	h, err := home.NewStandard(home.EnvConfig{Seed: *seed})
@@ -116,19 +125,25 @@ func run() error {
 	auxRetry := resilience.Policy{MaxAttempts: 2, BaseDelay: time.Millisecond, Seed: *seed}
 	auxChaos := &core.ChaosCollector{Inner: &core.SimCollector{Env: h.Env()}, Plan: core.ChaosPlan(*seed, *auxFault, 0, 0)}
 	collector, err := core.NewMultiCollector(
-		core.MultiConfig{Health: health},
+		core.MultiConfig{Health: health, Metrics: metrics},
 		core.Source{
 			Name:      "aux",
 			Collector: auxChaos,
 			Staleness: *auxStaleness,
 			Retry:     &auxRetry,
-			Breaker:   resilience.NewBreaker(resilience.BreakerConfig{Name: "aux", FailureThreshold: 5, OpenTimeout: 2 * time.Second}),
+			Breaker: resilience.NewBreaker(resilience.BreakerConfig{
+				Name: "aux", FailureThreshold: 5, OpenTimeout: 2 * time.Second,
+				OnStateChange: core.BreakerTransitionHook(metrics, "aux"),
+			}),
 		},
 		core.Source{
 			Name:      "sim",
 			Collector: &core.SimCollector{Env: h.Env()},
 			Required:  true,
-			Breaker:   resilience.NewBreaker(resilience.BreakerConfig{Name: "sim"}),
+			Breaker: resilience.NewBreaker(resilience.BreakerConfig{
+				Name:          "sim",
+				OnStateChange: core.BreakerTransitionHook(metrics, "sim"),
+			}),
 		},
 	)
 	if err != nil {
@@ -138,12 +153,46 @@ func run() error {
 		Detector:  detector,
 		Collector: collector,
 		Memory:    memory,
+		Metrics:   metrics,
 	})
 	if err != nil {
 		return err
 	}
 	audit := trace.NewLog(8192)
+	audit.Instrument(metrics)
 	framework.SetAuditLog(audit)
+
+	// Operator endpoints: Prometheus text at /metrics, liveness at
+	// /healthz, pprof under /debug/pprof/.
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Handler())
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			status := http.StatusOK
+			body := map[string]any{"status": "ok"}
+			if !health.Healthy() {
+				status = http.StatusServiceUnavailable
+				body["status"] = "degraded"
+			}
+			body["sources"] = health.Snapshot()
+			w.WriteHeader(status)
+			_ = json.NewEncoder(w).Encode(body)
+		})
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		msrv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() { _ = msrv.Serve(ln) }()
+		defer msrv.Close()
+		fmt.Printf("metrics on http://%s/metrics (pprof at /debug/pprof/)\n", ln.Addr())
+	}
 
 	// Vendor paths, both gated by the IDS.
 	token, err := miio.ParseToken(*tokenHex)
@@ -313,6 +362,15 @@ func run() error {
 			return err
 		}
 		fmt.Printf("audit trace written to %s\n", *auditPath)
+	}
+	if dropped := audit.Dropped(); dropped > 0 {
+		fmt.Printf("audit trace dropped %d oldest events (ring capacity reached)\n", dropped)
+	}
+	if *dumpMetrics {
+		fmt.Println("\nfinal metrics exposition:")
+		if err := metrics.WriteText(os.Stdout); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -23,6 +24,7 @@ import (
 
 	"iotsid/internal/core"
 	"iotsid/internal/instr"
+	"iotsid/internal/obs"
 	"iotsid/internal/resilience"
 	"iotsid/internal/sensor"
 )
@@ -85,6 +87,14 @@ type Config struct {
 	// budget), 503 otherwise. Wire it to the same resilience.Registry the
 	// context collector updates.
 	Health *resilience.Registry
+	// Metrics, when non-nil, is served as Prometheus text at GET /metrics
+	// (unauthenticated, like /healthz). The cloud's internal context cache
+	// (ContextTTL) registers its hit/miss/coalesced/stale counters here too.
+	Metrics *obs.Registry
+	// Pprof mounts net/http/pprof's profiling handlers under /debug/pprof/.
+	// The endpoints expose stack traces and heap contents — enable only on
+	// operator-facing listeners.
+	Pprof bool
 	// Now stamps history entries; defaults to time.Now.
 	Now func() time.Time
 	// MaxLoginFailures locks an account after this many consecutive bad
@@ -129,6 +139,7 @@ func NewServer(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
+		cached.Instrument(cfg.Metrics) // nil registry is a no-op
 		cfg.Context = cached.Collect
 	}
 	if cfg.ContextTimeout <= 0 {
@@ -164,6 +175,16 @@ func NewServer(cfg Config) (*Server, error) {
 	mux.HandleFunc("/v1/command", s.handleCommand)
 	mux.HandleFunc("/v1/history", s.handleHistory)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	if cfg.Metrics != nil {
+		mux.Handle("/metrics", cfg.Metrics.Handler())
+	}
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	s.wg.Add(1)
 	go func() {
@@ -413,8 +434,8 @@ func (s *Server) record(user string, req commandRequest, outcome, detail string)
 
 // healthzBody is the /healthz response document.
 type healthzBody struct {
-	Status  string                     `json:"status"` // ok | degraded
-	Sources []resilience.SourceHealth  `json:"sources,omitempty"`
+	Status  string                    `json:"status"` // ok | degraded
+	Sources []resilience.SourceHealth `json:"sources,omitempty"`
 }
 
 // handleHealthz reports per-source collection health: 200 "ok" while every

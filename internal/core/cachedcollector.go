@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"iotsid/internal/obs"
 	"iotsid/internal/sensor"
 )
 
@@ -45,6 +46,8 @@ type CachedCollector struct {
 	valid    bool
 	inflight *collectCall
 	maxStale time.Duration // serve-stale-on-error budget; 0 disables
+
+	metrics *cacheMetrics // nil = uninstrumented
 }
 
 // collectCall is one in-progress inner Collect shared by waiters.
@@ -61,6 +64,18 @@ func NewCachedCollector(inner Collector, ttl time.Duration) (*CachedCollector, e
 		return nil, fmt.Errorf("core: cached collector needs an inner collector")
 	}
 	return &CachedCollector{inner: inner, ttl: ttl, now: time.Now}, nil
+}
+
+// Instrument registers the cache's result counters (hit, miss, coalesced,
+// stale, error) with reg and starts counting. Call before serving traffic;
+// a nil registry is a no-op.
+func (c *CachedCollector) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.metrics = newCacheMetrics(reg)
 }
 
 // SetClock overrides the freshness clock (tests).
@@ -97,14 +112,18 @@ func (c *CachedCollector) Collect(ctx context.Context) (sensor.Snapshot, error) 
 	c.mu.Lock()
 	if c.valid && c.now().Sub(c.fetched) < c.ttl {
 		snap := c.snap
+		m := c.metrics
 		c.mu.Unlock()
+		m.hit()
 		return snap, nil
 	}
 	if call := c.inflight; call != nil {
 		// Someone is already collecting: wait for their result, but never
 		// past this caller's own deadline — a hung leader must not wedge
 		// the waiters.
+		m := c.metrics
 		c.mu.Unlock()
+		m.coalesce()
 		select {
 		case <-call.done:
 			return call.snap, call.err
@@ -120,6 +139,8 @@ func (c *CachedCollector) Collect(ctx context.Context) (sensor.Snapshot, error) 
 
 	c.mu.Lock()
 	c.inflight = nil
+	m := c.metrics
+	m.miss()
 	if call.err == nil {
 		c.snap = call.snap
 		c.fetched = c.now()
@@ -128,6 +149,9 @@ func (c *CachedCollector) Collect(ctx context.Context) (sensor.Snapshot, error) 
 		// Serve-stale-on-error: the error itself stays uncached, but this
 		// call (and its waiters) ride on the bounded-stale snapshot.
 		call.snap, call.err = c.snap, nil
+		m.staleServe()
+	} else if call.err != nil {
+		m.err()
 	}
 	c.mu.Unlock()
 	close(call.done)

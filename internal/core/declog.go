@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"iotsid/internal/obs"
 )
 
 // decisionLog is a fixed-capacity, sharded ring buffer of authorisation
@@ -16,6 +18,13 @@ type decisionLog struct {
 	shards []logShard
 	mask   uint32
 	seq    atomic.Uint64
+
+	// appends/evictions surface the ring's behaviour to the metrics layer:
+	// the ring never blocks and never grows, so the only way it "drops" is
+	// by overwriting its oldest entry — before these counters that loss was
+	// silent. Both are nil (no-op) on an uninstrumented framework.
+	appends   *obs.Counter
+	evictions *obs.Counter
 }
 
 type logShard struct {
@@ -58,15 +67,27 @@ func fnv32a(s string) uint32 {
 	return h
 }
 
+// instrument attaches append/eviction counters (pre-registered by the
+// framework; nil leaves the log uninstrumented).
+func (l *decisionLog) instrument(appends, evictions *obs.Counter) {
+	l.appends = appends
+	l.evictions = evictions
+}
+
 // append records one entry, stamping it with the next global sequence
 // number. Only the owning shard's lock is taken.
 func (l *decisionLog) append(e LogEntry) {
 	e.Seq = l.seq.Add(1)
 	s := &l.shards[fnv32a(e.DeviceID)&l.mask]
 	s.mu.Lock()
+	evicted := s.next >= uint64(len(s.buf))
 	s.buf[s.next%uint64(len(s.buf))] = e
 	s.next++
 	s.mu.Unlock()
+	l.appends.Inc()
+	if evicted {
+		l.evictions.Inc()
+	}
 }
 
 // snapshot copies every retained entry, ordered oldest → newest by global

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"iotsid/internal/instr"
+	"iotsid/internal/obs"
 	"iotsid/internal/sensor"
 	"iotsid/internal/trace"
 )
@@ -21,8 +23,10 @@ type Framework struct {
 	memory    *FeatureMemory
 	judger    *Judger
 
-	log   *decisionLog
-	audit atomic.Pointer[trace.Log]
+	log     *decisionLog
+	audit   atomic.Pointer[trace.Log]
+	metrics *frameworkMetrics
+	now     func() time.Time
 }
 
 // LogEntry records one authorisation. Seq is a process-wide sequence number
@@ -42,6 +46,14 @@ type Config struct {
 	// LogCapacity bounds the decision log's ring buffer; 0 means the
 	// default (4096 entries). The log retains the newest entries.
 	LogCapacity int
+	// Metrics, when non-nil, instruments the framework: decision counts by
+	// outcome and sensitivity, Authorize latency, and decision-log
+	// append/eviction counts. Every series is pre-registered here, so the
+	// hot path stays allocation-free.
+	Metrics *obs.Registry
+	// Now is the latency clock (injectable so histogram tests are
+	// deterministic); defaults to time.Now.
+	Now func() time.Time
 }
 
 // New assembles the framework.
@@ -53,13 +65,27 @@ func New(cfg Config) (*Framework, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Framework{
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	f := &Framework{
 		detector:  cfg.Detector,
 		collector: cfg.Collector,
 		memory:    cfg.Memory,
 		judger:    j,
 		log:       newDecisionLog(cfg.LogCapacity),
-	}, nil
+		metrics:   newFrameworkMetrics(cfg.Metrics),
+		now:       cfg.Now,
+	}
+	if cfg.Metrics != nil {
+		f.log.instrument(
+			cfg.Metrics.NewCounter(metricLogAppends,
+				"Entries appended to the sharded authorization decision log."),
+			cfg.Metrics.NewCounter(metricLogEvictions,
+				"Oldest entries overwritten (dropped) by the decision log's bounded ring."),
+		)
+	}
+	return f, nil
 }
 
 // SetAuditLog attaches (or detaches) an audit trace: every authorisation
@@ -85,14 +111,20 @@ func (f *Framework) Detector() *Detector { return f.detector }
 // against the partial context — the explicit choice between bounded
 // staleness and failing closed, never crashing open.
 func (f *Framework) Authorize(ctx context.Context, in instr.Instruction) (Decision, error) {
+	start := f.now()
 	snap, prov, err := f.collect(ctx)
 	if err != nil {
 		return Decision{}, fmt.Errorf("core: collect context: %w", err)
 	}
 	if dec, failed := f.failClosed(in, prov, snap); failed {
+		f.metrics.observeLatency(f.now().Sub(start))
 		return dec, nil
 	}
-	return f.judgeAndLog(in, snap)
+	dec, err := f.judgeAndLog(in, snap)
+	if err == nil {
+		f.metrics.observeLatency(f.now().Sub(start))
+	}
+	return dec, err
 }
 
 // AuthorizeBatch collects the sensor context once and judges every
@@ -103,10 +135,13 @@ func (f *Framework) AuthorizeBatch(ctx context.Context, ins []instr.Instruction)
 	if len(ins) == 0 {
 		return nil, nil
 	}
+	start := f.now()
 	snap, prov, err := f.collect(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("core: collect context: %w", err)
 	}
+	f.metrics.observeBatch()
+	defer func() { f.metrics.observeLatency(f.now().Sub(start)) }()
 	out := make([]Decision, len(ins))
 	for i, in := range ins {
 		if dec, failed := f.failClosed(in, prov, snap); failed {
@@ -147,6 +182,7 @@ func (f *Framework) failClosed(in instr.Instruction, prov Provenance, at sensor.
 		Reason: fmt.Sprintf("%s rejected (fail closed): required sensor source(s) %s unavailable",
 			in.Op, strings.Join(missing, ", ")),
 	}
+	f.metrics.observeFailClosed()
 	f.logDecision(in, dec, at)
 	return dec, true
 }
@@ -163,6 +199,7 @@ func (f *Framework) judgeAndLog(in instr.Instruction, ctx sensor.Snapshot) (Deci
 	if err != nil {
 		return Decision{}, err
 	}
+	f.metrics.observeDecision(dec)
 	f.logDecision(in, dec, ctx)
 	return dec, nil
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"iotsid/internal/dataset"
 	"iotsid/internal/instr"
@@ -19,12 +21,35 @@ type Decision struct {
 	Explanation string `json:"explanation,omitempty"`
 }
 
+// opReasons holds the interned reason strings for one opcode. The judge
+// hot path returns Decisions by value; before interning, the fmt.Sprintf
+// building each Reason was the last allocation on the Authorize fast path.
+// Opcodes come from the instruction registry, so the table's cardinality
+// is bounded; reasonCap is a backstop against a caller judging raw,
+// unregistered input.
+type opReasons struct {
+	notSensitive string
+	allowed      string
+	rejected     string
+}
+
+// reasonCap bounds the interning table; past it, reasons fall back to
+// fmt.Sprintf (correct, just no longer allocation-free).
+const reasonCap = 4096
+
 // Judger is the command determiner (§IV-D): sensitive instructions are
 // allowed only when the trained context model confirms the live sensor
 // snapshot matches a legal activity scene.
 type Judger struct {
 	detector *Detector
 	memory   *FeatureMemory
+
+	// Reason interning: copy-on-write maps read via one atomic load on the
+	// hot path; the mutex only serialises writers on first sight of an op
+	// or category.
+	mu         sync.Mutex
+	reasons    atomic.Pointer[map[string]*opReasons]
+	outOfScope atomic.Pointer[map[instr.Category]string]
 }
 
 // NewJudger wires the determiner.
@@ -38,12 +63,84 @@ func NewJudger(d *Detector, fm *FeatureMemory) (*Judger, error) {
 	return &Judger{detector: d, memory: fm}, nil
 }
 
-// Judge decides one instruction against a sensor context.
+// reasonsFor interns the per-op reason strings on first sight and serves
+// them allocation-free afterwards.
+func (j *Judger) reasonsFor(op string) *opReasons {
+	if m := j.reasons.Load(); m != nil {
+		if r, ok := (*m)[op]; ok {
+			return r
+		}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	cur := j.reasons.Load()
+	if cur != nil {
+		if r, ok := (*cur)[op]; ok {
+			return r
+		}
+	}
+	r := &opReasons{
+		notSensitive: fmt.Sprintf("%s is not a sensitive instruction", op),
+		allowed:      fmt.Sprintf("%s allowed: sensor context matches a legal activity scene", op),
+		rejected:     fmt.Sprintf("%s rejected: sensor context does not match a legal activity scene", op),
+	}
+	var n int
+	if cur != nil {
+		n = len(*cur)
+	}
+	if n >= reasonCap {
+		return r // table full: serve without storing
+	}
+	next := make(map[string]*opReasons, n+1)
+	if cur != nil {
+		for k, v := range *cur {
+			next[k] = v
+		}
+	}
+	next[op] = r
+	j.reasons.Store(&next)
+	return r
+}
+
+// outOfScopeReason interns the per-category out-of-scope reason.
+func (j *Judger) outOfScopeReason(c instr.Category) string {
+	if m := j.outOfScope.Load(); m != nil {
+		if r, ok := (*m)[c]; ok {
+			return r
+		}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	cur := j.outOfScope.Load()
+	if cur != nil {
+		if r, ok := (*cur)[c]; ok {
+			return r
+		}
+	}
+	r := fmt.Sprintf("category %s is outside the context-model scope", c)
+	var n int
+	if cur != nil {
+		n = len(*cur)
+	}
+	next := make(map[instr.Category]string, n+1)
+	if cur != nil {
+		for k, v := range *cur {
+			next[k] = v
+		}
+	}
+	next[c] = r
+	j.outOfScope.Store(&next)
+	return r
+}
+
+// Judge decides one instruction against a sensor context. The steady-state
+// allow path allocates nothing: reasons are interned per opcode, the
+// feature vector is pooled, and the compiled tree walks a flat node slice.
 func (j *Judger) Judge(in instr.Instruction, ctx sensor.Snapshot) (Decision, error) {
 	if !j.detector.IsSensitive(in) {
 		return Decision{
 			Allowed: true,
-			Reason:  fmt.Sprintf("%s is not a sensitive instruction", in.Op),
+			Reason:  j.reasonsFor(in.Op).notSensitive,
 		}, nil
 	}
 	m, ok := dataset.ModelForCategory(in.Category)
@@ -54,7 +151,7 @@ func (j *Judger) Judge(in instr.Instruction, ctx sensor.Snapshot) (Decision, err
 		return Decision{
 			Allowed:   true,
 			Sensitive: true,
-			Reason:    fmt.Sprintf("category %s is outside the context-model scope", in.Category),
+			Reason:    j.outOfScopeReason(in.Category),
 		}, nil
 	}
 	// Fast path: the compiled tree answers allow/deny without allocating.
@@ -73,7 +170,7 @@ func (j *Judger) Judge(in instr.Instruction, ctx sensor.Snapshot) (Decision, err
 			Allowed:     false,
 			Sensitive:   true,
 			Model:       m,
-			Reason:      fmt.Sprintf("%s rejected: sensor context does not match a legal activity scene", in.Op),
+			Reason:      j.reasonsFor(in.Op).rejected,
 			Explanation: explanation,
 		}, nil
 	}
@@ -81,6 +178,6 @@ func (j *Judger) Judge(in instr.Instruction, ctx sensor.Snapshot) (Decision, err
 		Allowed:   true,
 		Sensitive: true,
 		Model:     m,
-		Reason:    fmt.Sprintf("%s allowed: sensor context matches a legal activity scene", in.Op),
+		Reason:    j.reasonsFor(in.Op).allowed,
 	}, nil
 }

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"time"
+
+	"iotsid/internal/obs"
+	"iotsid/internal/resilience"
+)
+
+// Metric names the core layer owns. The naming scheme (DESIGN
+// §Observability): iotsid_<subsystem>_<what>_<unit|total>, label values
+// carry the variable part (outcome, source, state) so family cardinality
+// stays fixed and every series can be pre-registered.
+const (
+	metricDecisions    = "iotsid_authz_decisions_total"
+	metricAuthzLatency = "iotsid_authz_latency_seconds"
+	metricBatches      = "iotsid_authz_batches_total"
+	metricLogAppends   = "iotsid_decision_log_appends_total"
+	metricLogEvictions = "iotsid_decision_log_evictions_total"
+	metricSourceState  = "iotsid_collector_source_collects_total"
+	metricRetries      = "iotsid_collector_retry_attempts_total"
+	metricCache        = "iotsid_cache_collects_total"
+	metricBreaker      = "iotsid_breaker_transitions_total"
+)
+
+// Decision outcome indices for the pre-registered counter matrix.
+const (
+	outcomeAllow = iota
+	outcomeReject
+	outcomeFailClosed
+	outcomeCount
+)
+
+// frameworkMetrics holds the framework's pre-registered series: a direct
+// pointer per (outcome, sensitivity) cell plus the latency histogram, so
+// the Authorize hot path counts itself with two atomic adds and zero
+// lookups. A nil *frameworkMetrics disables instrumentation entirely —
+// every method is nil-receiver safe.
+type frameworkMetrics struct {
+	decisions [outcomeCount][2]*obs.Counter // [outcome][sensitive]
+	latency   *obs.Histogram
+	batches   *obs.Counter
+}
+
+// newFrameworkMetrics pre-registers the authorization series.
+func newFrameworkMetrics(reg *obs.Registry) *frameworkMetrics {
+	if reg == nil {
+		return nil
+	}
+	dec := reg.NewCounterVec(metricDecisions,
+		"Authorization decisions by outcome (allow, reject, fail_closed) and instruction sensitivity.",
+		"outcome", "sensitive")
+	m := &frameworkMetrics{
+		latency: reg.NewHistogram(metricAuthzLatency,
+			"End-to-end Framework.Authorize latency (collect + judge + log), seconds.",
+			obs.LatencyBuckets),
+		batches: reg.NewCounter(metricBatches,
+			"AuthorizeBatch invocations (each also counts one latency observation)."),
+	}
+	names := [outcomeCount]string{"allow", "reject", "fail_closed"}
+	for o := 0; o < outcomeCount; o++ {
+		m.decisions[o][0] = dec.With(names[o], "false")
+		m.decisions[o][1] = dec.With(names[o], "true")
+	}
+	return m
+}
+
+// boolIdx maps a sensitivity flag onto the counter matrix column.
+func boolIdx(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// observeDecision counts one judged decision.
+func (m *frameworkMetrics) observeDecision(dec Decision) {
+	if m == nil {
+		return
+	}
+	o := outcomeReject
+	if dec.Allowed {
+		o = outcomeAllow
+	}
+	m.decisions[o][boolIdx(dec.Sensitive)].Inc()
+}
+
+// observeFailClosed counts one fail-closed rejection (always sensitive).
+func (m *frameworkMetrics) observeFailClosed() {
+	if m == nil {
+		return
+	}
+	m.decisions[outcomeFailClosed][1].Inc()
+}
+
+// observeLatency records one Authorize round trip.
+func (m *frameworkMetrics) observeLatency(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.latency.Observe(d.Seconds())
+}
+
+// observeBatch counts one AuthorizeBatch call.
+func (m *frameworkMetrics) observeBatch() {
+	if m == nil {
+		return
+	}
+	m.batches.Inc()
+}
+
+// BreakerTransitionHook returns a resilience.BreakerConfig.OnStateChange
+// hook that counts transitions into iotsid_breaker_transitions_total,
+// labeled by breaker name and target state. The three target-state series
+// are pre-registered here, so the hook itself (which runs under the
+// breaker's lock) is two array index loads and an atomic add.
+func BreakerTransitionHook(reg *obs.Registry, name string) func(from, to resilience.State) {
+	if reg == nil {
+		return nil
+	}
+	vec := reg.NewCounterVec(metricBreaker,
+		"Circuit breaker state transitions by breaker name and target state.",
+		"name", "to")
+	var cells [3]*obs.Counter
+	cells[resilience.StateClosed] = vec.With(name, "closed")
+	cells[resilience.StateOpen] = vec.With(name, "open")
+	cells[resilience.StateHalfOpen] = vec.With(name, "half_open")
+	return func(_, to resilience.State) {
+		if int(to) >= 0 && int(to) < len(cells) {
+			cells[to].Inc()
+		}
+	}
+}
+
+// cacheMetrics is the CachedCollector's pre-registered result counters.
+type cacheMetrics struct {
+	hits      *obs.Counter // served from the fresh snapshot
+	misses    *obs.Counter // led an inner collect
+	coalesced *obs.Counter // waited on another caller's in-flight collect
+	stale     *obs.Counter // served the bounded-stale fallback after an error
+	errors    *obs.Counter // inner collect failed with no fallback
+}
+
+// newCacheMetrics pre-registers the cache result series.
+func newCacheMetrics(reg *obs.Registry) *cacheMetrics {
+	if reg == nil {
+		return nil
+	}
+	vec := reg.NewCounterVec(metricCache,
+		"CachedCollector results: hit, miss (led the inner collect), coalesced (shared an in-flight collect), stale (serve-stale-on-error fallback), error.",
+		"result")
+	return &cacheMetrics{
+		hits:      vec.With("hit"),
+		misses:    vec.With("miss"),
+		coalesced: vec.With("coalesced"),
+		stale:     vec.With("stale"),
+		errors:    vec.With("error"),
+	}
+}
+
+// The increment taps are nil-receiver safe like everything else in the
+// instrumentation layer, so the cache's hot path pays one branch when
+// uninstrumented.
+func (m *cacheMetrics) hit() {
+	if m != nil {
+		m.hits.Inc()
+	}
+}
+func (m *cacheMetrics) miss() {
+	if m != nil {
+		m.misses.Inc()
+	}
+}
+func (m *cacheMetrics) coalesce() {
+	if m != nil {
+		m.coalesced.Inc()
+	}
+}
+func (m *cacheMetrics) staleServe() {
+	if m != nil {
+		m.stale.Inc()
+	}
+}
+func (m *cacheMetrics) err() {
+	if m != nil {
+		m.errors.Inc()
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"iotsid/internal/obs"
 	"iotsid/internal/par"
 	"iotsid/internal/resilience"
 	"iotsid/internal/sensor"
@@ -103,6 +104,10 @@ type MultiConfig struct {
 	Health *resilience.Registry
 	// HistoryLen bounds the per-source last-good history (default 8).
 	HistoryLen int
+	// Metrics, when non-nil, counts per-source provenance outcomes
+	// (fresh/stale/missing) and retry attempts. Series are pre-registered
+	// per declared source, so the collect path never does a label lookup.
+	Metrics *obs.Registry
 }
 
 // MultiCollector merges several vendor sources into one context, later
@@ -127,10 +132,26 @@ type MultiCollector struct {
 	now     func() time.Time
 	health  *resilience.Registry
 
+	// stateCounters[i] holds source i's pre-registered fresh/stale/missing
+	// counters (indexed by provenanceIdx); nil when uninstrumented.
+	stateCounters [][3]*obs.Counter
+
 	mu      sync.Mutex
 	history []*sensor.History // per-source last-good snapshots
 	lastAt  []time.Time       // collection clock stamp of the newest history entry
 	hasLast []bool
+}
+
+// provenanceIdx maps a SourceState onto the counter triple.
+func provenanceIdx(s SourceState) int {
+	switch s {
+	case SourceFresh:
+		return 0
+	case SourceStale:
+		return 1
+	default:
+		return 2
+	}
 }
 
 var _ DetailedCollector = (*MultiCollector)(nil)
@@ -172,6 +193,38 @@ func NewMultiCollector(cfg MultiConfig, sources ...Source) (*MultiCollector, err
 		m.history[i] = sensor.NewHistory(cfg.HistoryLen)
 		if m.health != nil {
 			m.health.Register(s.Name, s.Required)
+		}
+	}
+	if cfg.Metrics != nil {
+		states := cfg.Metrics.NewCounterVec(metricSourceState,
+			"Per-source provenance of each merged collect: fresh, stale (last-good within budget) or missing.",
+			"source", "state")
+		retries := cfg.Metrics.NewCounterVec(metricRetries,
+			"Retry attempts (attempt index > 0) against a source's collector.",
+			"source")
+		m.stateCounters = make([][3]*obs.Counter, len(sources))
+		for i, s := range sources {
+			m.stateCounters[i] = [3]*obs.Counter{
+				states.With(s.Name, string(SourceFresh)),
+				states.With(s.Name, string(SourceStale)),
+				states.With(s.Name, string(SourceMissing)),
+			}
+			if s.Retry != nil {
+				// Chain the retry counter onto the caller's policy without
+				// mutating their value: the collector owns this copy.
+				p := *s.Retry
+				counter := retries.With(s.Name)
+				prev := p.OnAttempt
+				p.OnAttempt = func(attempt int) {
+					if attempt > 0 {
+						counter.Inc()
+					}
+					if prev != nil {
+						prev(attempt)
+					}
+				}
+				m.sources[i].Retry = &p
+			}
 		}
 	}
 	return m, nil
@@ -315,6 +368,9 @@ func (m *MultiCollector) CollectDetailed(ctx context.Context) (sensor.Snapshot, 
 			served++
 		}
 		prov[i] = status
+		if m.stateCounters != nil {
+			m.stateCounters[i][provenanceIdx(status.State)].Inc()
+		}
 		if m.health != nil {
 			m.health.Report(src.Name, string(status.State), breakerState(src.Breaker), now, status.cause)
 		}

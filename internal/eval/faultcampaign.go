@@ -185,7 +185,7 @@ func (s *Suite) faultRound(sc FaultScenario, unit int64) (FaultScenarioResult, e
 
 	reqChaos := &core.ChaosCollector{
 		Inner: &core.SimCollector{Env: h.Env()},
-		Plan:  core.ChaosPlan(s.Config.Seed + 7*unit, sc.ReqError, sc.ReqHang, 0),
+		Plan:  core.ChaosPlan(s.Config.Seed+7*unit, sc.ReqError, sc.ReqHang, 0),
 	}
 	optChaos := &core.ChaosCollector{
 		Inner: &core.SimCollector{Env: h.Env()},

@@ -1,0 +1,5 @@
+//go:build !race
+
+package tree
+
+const raceEnabled = false

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzMetricName holds SanitizeName to its contract on arbitrary input:
+// the output always passes CheckName, sanitizing is idempotent, and a name
+// that was already valid passes through unchanged.
+func FuzzMetricName(f *testing.F) {
+	for _, seed := range []string{
+		"", "a", "9", "iotsid_authz_decisions_total", "bad-name", "with space",
+		"üñïçødé", "trailing_", "_leading", "colon:ok", "new\nline", "quote\"inside",
+		"back\\slash", "mixed-1.2.3", "\x00\xff",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		got := SanitizeName(s)
+		if err := CheckName(got); err != nil {
+			t.Fatalf("SanitizeName(%q) = %q, still invalid: %v", s, got, err)
+		}
+		if again := SanitizeName(got); again != got {
+			t.Fatalf("SanitizeName not idempotent: %q → %q → %q", s, got, again)
+		}
+		if CheckName(s) == nil && got != s {
+			t.Fatalf("SanitizeName mangled already-valid %q into %q", s, got)
+		}
+	})
+}
+
+// FuzzLabelEscape feeds arbitrary bytes (quotes, newlines, invalid UTF-8)
+// through the exposition encoder's label escaping and asserts the escape /
+// unescape round trip, that the escaped form never leaks a raw newline or
+// unescaped quote (which would corrupt the line-oriented format), and that
+// a registry holding the value still renders line-by-line parseable text.
+func FuzzLabelEscape(f *testing.F) {
+	for _, seed := range []string{
+		"", "plain", `say "hi"`, "line\nbreak", `trailing\`, `\\`, `\n`,
+		"üñïçødé \"mixed\"\n\\", "\x00\x01\xfe\xff", `a="b",c="d"`, "\r\t",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		esc := escapeLabelValue(s)
+		if strings.ContainsRune(esc, '\n') {
+			t.Fatalf("escaped %q contains a raw newline: %q", s, esc)
+		}
+		for i := 0; i < len(esc); i++ {
+			if esc[i] == '"' && (i == 0 || esc[i-1] != '\\' || !oddBackslashRun(esc, i)) {
+				t.Fatalf("escaped %q contains an unescaped quote at %d: %q", s, i, esc)
+			}
+		}
+		if back := unescapeLabelValue(esc); back != s {
+			t.Fatalf("round trip broke: %q → %q → %q", s, esc, back)
+		}
+		// End to end: the rendered exposition stays one-sample-per-line and
+		// scrape-parseable around the hostile value.
+		r := NewRegistry()
+		r.NewCounterVec("fuzz_total", "h", "v").With(s).Inc()
+		var buf bytes.Buffer
+		if err := r.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+		if len(lines) != 3 { // HELP, TYPE, sample
+			t.Fatalf("value %q broke line framing: %q", s, buf.String())
+		}
+		sample := lines[2]
+		if !strings.HasPrefix(sample, `fuzz_total{v="`) || !strings.HasSuffix(sample, `"} 1`) {
+			t.Fatalf("sample line malformed for %q: %q", s, sample)
+		}
+		inner := strings.TrimSuffix(strings.TrimPrefix(sample, `fuzz_total{v="`), `"} 1`)
+		if got := unescapeLabelValue(inner); got != s {
+			t.Fatalf("rendered label does not round trip: %q → %q", s, got)
+		}
+	})
+}
+
+// oddBackslashRun reports whether the backslash run ending just before
+// index i has odd length — i.e. the byte at i is escaped.
+func oddBackslashRun(s string, i int) bool {
+	n := 0
+	for j := i - 1; j >= 0 && s[j] == '\\'; j-- {
+		n++
+	}
+	return n%2 == 1
+}

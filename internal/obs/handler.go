@@ -1,0 +1,25 @@
+package obs
+
+import "net/http"
+
+// contentType is the text exposition content type scrapers negotiate.
+const contentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler serves the registry in the Prometheus text exposition format —
+// mount it at GET /metrics. The handler is unauthenticated by convention
+// (scrapers and load balancers expect that); nothing security-sensitive is
+// exposed beyond aggregate counts.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", contentType)
+		if req.Method == http.MethodHead {
+			return
+		}
+		_ = r.WriteText(w)
+	})
+}

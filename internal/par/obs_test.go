@@ -1,0 +1,102 @@
+package par
+
+import (
+	"errors"
+	"testing"
+
+	"iotsid/internal/obs"
+)
+
+// poolCounters reads the pool metrics off the default registry
+// (registration is idempotent, so this is also how the production series
+// are addressed).
+func poolCounters() (runs, tasks *obs.Counter, busy *obs.Gauge) {
+	return poolMetrics()
+}
+
+// TestPoolMetricsCountRunsAndTasks: the default-registry series advance by
+// exactly one run and n tasks per fan-out, for both the serial and the
+// parallel shape, and the busy gauge settles back to zero. Deltas, not
+// absolutes — other tests in the binary share the process registry.
+func TestPoolMetricsCountRunsAndTasks(t *testing.T) {
+	runs, tasks, busy := poolCounters()
+	r0, t0 := runs.Value(), tasks.Value()
+	if err := Do(17, 4, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := Do(5, 1, func(i int) error { return nil }); err != nil { // serial shape
+		t.Fatal(err)
+	}
+	if _, err := Map(9, 3, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := runs.Value() - r0; got != 3 {
+		t.Fatalf("runs delta %d, want 3", got)
+	}
+	if got := tasks.Value() - t0; got != 17+5+9 {
+		t.Fatalf("tasks delta %d, want %d", got, 17+5+9)
+	}
+	if got := busy.Value(); got != 0 {
+		t.Fatalf("busy gauge %d after all fan-outs drained, want 0", got)
+	}
+}
+
+// TestPoolMetricsOnError: a failing fan-out still flushes its attempted
+// task count and releases every worker.
+func TestPoolMetricsOnError(t *testing.T) {
+	runs, tasks, busy := poolCounters()
+	r0, t0 := runs.Value(), tasks.Value()
+	boom := errors.New("boom")
+	if err := Do(8, 2, func(i int) error {
+		if i == 3 {
+			return boom
+		}
+		return nil
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := runs.Value() - r0; got != 1 {
+		t.Fatalf("runs delta %d, want 1", got)
+	}
+	// Attempted units: at least the failing index's serial prefix ran; the
+	// exact count depends on scheduling, but it is bounded by n and the
+	// counter must have moved.
+	if got := tasks.Value() - t0; got == 0 || got > 8 {
+		t.Fatalf("tasks delta %d, want 1..8", got)
+	}
+	if got := busy.Value(); got != 0 {
+		t.Fatalf("busy gauge %d after failed fan-out, want 0", got)
+	}
+}
+
+// TestPoolBusyGaugeTracksActiveWorkers: while units are blocked inside the
+// pool, the busy gauge reports the worker count; it returns to zero after.
+func TestPoolBusyGaugeTracksActiveWorkers(t *testing.T) {
+	_, _, busy := poolCounters()
+	const workers = 3
+	hold := make(chan struct{})
+	started := make(chan struct{}, workers)
+	done := make(chan error, 1)
+	go func() {
+		done <- Do(workers, workers, func(i int) error {
+			started <- struct{}{}
+			<-hold
+			return nil
+		})
+	}()
+	for i := 0; i < workers; i++ {
+		<-started
+	}
+	if got := busy.Value(); got != workers {
+		close(hold)
+		<-done
+		t.Fatalf("busy gauge %d with %d blocked workers", got, workers)
+	}
+	close(hold)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := busy.Value(); got != 0 {
+		t.Fatalf("busy gauge %d after drain, want 0", got)
+	}
+}

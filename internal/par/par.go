@@ -16,7 +16,34 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"iotsid/internal/obs"
 )
+
+// Pool utilization metrics, registered lazily on the process-default
+// registry the first time a fan-out runs. They observe throughput only —
+// nothing in Do/Map reads them, so the deterministic-output contract is
+// untouched. Counts are accumulated per worker and flushed on exit to keep
+// the unit loop free of shared-cacheline traffic.
+var (
+	metricsOnce sync.Once
+	poolRuns    *obs.Counter
+	poolTasks   *obs.Counter
+	poolBusy    *obs.Gauge
+)
+
+func poolMetrics() (runs, tasks *obs.Counter, busy *obs.Gauge) {
+	metricsOnce.Do(func() {
+		reg := obs.Default()
+		poolRuns = reg.NewCounter("iotsid_par_runs_total",
+			"Worker-pool fan-outs started (Do/Map calls).")
+		poolTasks = reg.NewCounter("iotsid_par_tasks_total",
+			"Units executed across all worker-pool fan-outs.")
+		poolBusy = reg.NewGauge("iotsid_par_workers_busy",
+			"Worker goroutines currently executing pool units.")
+	})
+	return poolRuns, poolTasks, poolBusy
+}
 
 // Workers resolves a worker-count knob: n if positive, otherwise
 // runtime.GOMAXPROCS(0). Configs throughout the repo carry a `Workers int`
@@ -43,12 +70,21 @@ func Do(n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	runs, tasks, busy := poolMetrics()
+	runs.Inc()
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
 	}
 	if workers == 1 {
+		busy.Add(1)
+		done := uint64(0)
+		defer func() {
+			tasks.Add(done)
+			busy.Add(-1)
+		}()
 		for i := 0; i < n; i++ {
+			done++
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -69,6 +105,12 @@ func Do(n, workers int, fn func(i int) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			busy.Add(1)
+			done := uint64(0)
+			defer func() {
+				tasks.Add(done)
+				busy.Add(-1)
+			}()
 			for {
 				i := next.Add(1) - 1
 				if i >= int64(n) {
@@ -80,6 +122,7 @@ func Do(n, workers int, fn func(i int) error) error {
 				if i > minFailed.Load() {
 					continue
 				}
+				done++
 				if e := fn(int(i)); e != nil {
 					mu.Lock()
 					if int(i) < errIdx {

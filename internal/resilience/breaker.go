@@ -61,6 +61,12 @@ type BreakerConfig struct {
 	// Now is the breaker's clock; defaults to time.Now. Injectable so fault
 	// campaigns replay deterministically.
 	Now func() time.Time
+	// OnStateChange, when non-nil, is called on every state transition
+	// (closed→open, open→half-open, half-open→open, half-open→closed) —
+	// the observability layer counts transitions through it. It runs with
+	// the breaker's lock held: it must be fast and must not call back into
+	// the breaker.
+	OnStateChange func(from, to State)
 }
 
 // Breaker is a per-source circuit breaker: consecutive failures trip it
@@ -94,11 +100,24 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 	return &Breaker{cfg: cfg}
 }
 
+// setStateLocked moves the state machine and fires the transition hook.
+// Callers hold b.mu.
+func (b *Breaker) setStateLocked(to State) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	if b.cfg.OnStateChange != nil {
+		b.cfg.OnStateChange(from, to)
+	}
+}
+
 // state transitions open→half-open once the open timeout has elapsed.
 // Callers hold b.mu.
 func (b *Breaker) resolveLocked() State {
 	if b.state == StateOpen && b.cfg.Now().Sub(b.openedAt) >= b.cfg.OpenTimeout {
-		b.state = StateHalfOpen
+		b.setStateLocked(StateHalfOpen)
 		b.successes = 0
 	}
 	return b.state
@@ -137,19 +156,19 @@ func (b *Breaker) Record(err error) {
 		}
 		b.failures++
 		if b.failures >= b.cfg.FailureThreshold {
-			b.state = StateOpen
+			b.setStateLocked(StateOpen)
 			b.openedAt = b.cfg.Now()
 		}
 	case StateHalfOpen:
 		if err != nil {
-			b.state = StateOpen
+			b.setStateLocked(StateOpen)
 			b.openedAt = b.cfg.Now()
 			b.failures = b.cfg.FailureThreshold
 			return
 		}
 		b.successes++
 		if b.successes >= b.cfg.HalfOpenSuccesses {
-			b.state = StateClosed
+			b.setStateLocked(StateClosed)
 			b.failures = 0
 		}
 	case StateOpen:

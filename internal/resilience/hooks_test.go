@@ -1,0 +1,115 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBreakerOnStateChangeSeesEveryTransition drives the full state machine
+// and checks the hook observes each edge exactly once, in order.
+func TestBreakerOnStateChangeSeesEveryTransition(t *testing.T) {
+	type edge struct{ from, to State }
+	var got []edge
+	clk := &fakeClock{t: time.Unix(1700000000, 0)}
+	b := NewBreaker(BreakerConfig{
+		Name: "src", FailureThreshold: 2, OpenTimeout: time.Minute, HalfOpenSuccesses: 1,
+		Now:           clk.now,
+		OnStateChange: func(from, to State) { got = append(got, edge{from, to}) },
+	})
+	boom := errors.New("boom")
+	b.Record(boom)
+	b.Record(boom) // closed → open
+	clk.advance(2 * time.Minute)
+	b.State()      // open → half-open
+	b.Record(boom) // half-open → open (failed probe)
+	clk.advance(2 * time.Minute)
+	b.State()     // open → half-open
+	b.Record(nil) // half-open → closed
+	want := []edge{
+		{StateClosed, StateOpen},
+		{StateOpen, StateHalfOpen},
+		{StateHalfOpen, StateOpen},
+		{StateOpen, StateHalfOpen},
+		{StateHalfOpen, StateClosed},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("saw %d transitions %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("transition %d = %v→%v, want %v→%v",
+				i, got[i].from, got[i].to, want[i].from, want[i].to)
+		}
+	}
+}
+
+// TestBreakerOnStateChangeNotFiredWithoutTransition: repeated failures past
+// the threshold and repeated successes must not re-fire the hook.
+func TestBreakerOnStateChangeNotFiredWithoutTransition(t *testing.T) {
+	fired := 0
+	clk := &fakeClock{t: time.Unix(1700000000, 0)}
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 1, OpenTimeout: time.Minute,
+		Now:           clk.now,
+		OnStateChange: func(from, to State) { fired++ },
+	})
+	b.Record(nil)
+	b.Record(nil) // closed stays closed
+	if fired != 0 {
+		t.Fatalf("hook fired %d times on steady closed state", fired)
+	}
+	b.Record(errors.New("boom")) // trips
+	b.Record(errors.New("boom")) // already open: no edge
+	if fired != 1 {
+		t.Fatalf("hook fired %d times, want 1", fired)
+	}
+}
+
+// TestRetryOnAttemptCountsEveryTry: the hook sees each attempt index in
+// order, before the attempt runs, on both failing and succeeding runs.
+func TestRetryOnAttemptCountsEveryTry(t *testing.T) {
+	var seen []int
+	p := Policy{MaxAttempts: 3, Sleep: noSleep,
+		OnAttempt: func(attempt int) { seen = append(seen, attempt) }}
+	calls := 0
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 || seen[0] != 0 || seen[1] != 1 || seen[2] != 2 {
+		t.Fatalf("attempt indices %v, want [0 1 2]", seen)
+	}
+	// A first-try success fires the hook exactly once with index 0.
+	seen = nil
+	if err := p.Do(context.Background(), func(ctx context.Context) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 || seen[0] != 0 {
+		t.Fatalf("attempt indices %v, want [0]", seen)
+	}
+}
+
+// TestRetryOnAttemptOnExhaustion: every attempt of an always-failing run is
+// observed even though Do returns an error.
+func TestRetryOnAttemptOnExhaustion(t *testing.T) {
+	fired := 0
+	p := Policy{MaxAttempts: 4, Sleep: noSleep,
+		OnAttempt: func(int) { fired++ }}
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		return errors.New("always")
+	})
+	if err == nil {
+		t.Fatal("expected exhaustion error")
+	}
+	if fired != 4 {
+		t.Fatalf("hook fired %d times, want 4", fired)
+	}
+}

@@ -37,6 +37,11 @@ type Policy struct {
 	// Sleep overrides the inter-attempt wait (tests); nil sleeps for real,
 	// honouring ctx cancellation.
 	Sleep func(ctx context.Context, d time.Duration) error
+	// OnAttempt, when non-nil, is observability's tap on the loop: it is
+	// called immediately before each try with the 0-based attempt index
+	// (so index > 0 means a retry). It must be fast and must not call back
+	// into the policy; it has no effect on Schedule or the retry timing.
+	OnAttempt func(attempt int)
 }
 
 func (p Policy) withDefaults() Policy {
@@ -101,6 +106,9 @@ func (p Policy) Do(ctx context.Context, op func(ctx context.Context) error) erro
 				return fmt.Errorf("%w (after %d attempts: %v)", err, attempt, lastErr)
 			}
 			return err
+		}
+		if p.OnAttempt != nil {
+			p.OnAttempt(attempt)
 		}
 		attemptCtx := ctx
 		var cancel context.CancelFunc

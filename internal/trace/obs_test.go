@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"iotsid/internal/obs"
+)
+
+// counterValue reads one unlabeled counter back out of a registry by
+// re-registering it (registration is idempotent).
+func counterValue(reg *obs.Registry, name, help string) uint64 {
+	return reg.NewCounter(name, help).Value()
+}
+
+// TestTraceEvictionCounterMatchesObservedDrops drives the bounded ring past
+// capacity and checks the counters agree with the log's own accounting:
+// appends == Total(), evictions == Total() - Len() == Dropped(). The ring's
+// only loss mode is overwriting its oldest event, and before these counters
+// that loss was silent.
+func TestTraceEvictionCounterMatchesObservedDrops(t *testing.T) {
+	clock := time.Unix(1700000000, 0)
+	l := NewLog(16, WithClock(func() time.Time { return clock }))
+	reg := obs.NewRegistry()
+	l.Instrument(reg)
+	const n = 57 // capacity 16 → 41 evictions
+	for i := 0; i < n; i++ {
+		l.Append(Event{Kind: KindDecision, DeviceID: fmt.Sprintf("dev-%d", i), Outcome: "allowed"})
+	}
+	appends := counterValue(reg, "iotsid_trace_appends_total",
+		"Events appended to the bounded audit trace.")
+	evictions := counterValue(reg, "iotsid_trace_evictions_total",
+		"Oldest audit events overwritten (dropped) by the trace's bounded ring.")
+	if appends != uint64(l.Total()) || appends != n {
+		t.Fatalf("appends counter %d, Total() %d, want %d", appends, l.Total(), n)
+	}
+	wantDrops := l.Total() - uint64(l.Len())
+	if evictions != wantDrops {
+		t.Fatalf("eviction counter %d, want Total-Len = %d", evictions, wantDrops)
+	}
+	if got := l.Dropped(); got != wantDrops {
+		t.Fatalf("Dropped() %d, want %d", got, wantDrops)
+	}
+	if evictions != n-16 {
+		t.Fatalf("eviction counter %d, want %d", evictions, n-16)
+	}
+}
+
+// TestTraceUninstrumentedAppendIsNoop: a log without Instrument still works
+// (the counters are nil-safe no-ops).
+func TestTraceUninstrumentedAppendIsNoop(t *testing.T) {
+	l := NewLog(16)
+	for i := 0; i < 20; i++ {
+		l.Append(Event{Kind: KindLifecycle})
+	}
+	if l.Len() != 16 || l.Total() != 20 || l.Dropped() != 4 {
+		t.Fatalf("len %d total %d dropped %d", l.Len(), l.Total(), l.Dropped())
+	}
+}

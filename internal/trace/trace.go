@@ -12,6 +12,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"iotsid/internal/obs"
 )
 
 // Kind classifies events.
@@ -67,6 +69,12 @@ type Log struct {
 	next   uint64
 	cap    int
 	now    func() time.Time
+
+	// appends/evictions make the ring's only loss mode — overwriting the
+	// oldest audit event — observable; before these counters an overflowing
+	// trace dropped history silently. Nil (no-op) until Instrument is called.
+	appends   *obs.Counter
+	evictions *obs.Counter
 }
 
 // Option customises a Log.
@@ -89,6 +97,30 @@ func NewLog(capacity int, opts ...Option) *Log {
 	return l
 }
 
+// Instrument registers the log's append/eviction counters with reg and
+// starts counting. A nil registry is a no-op.
+func (l *Log) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	appends := reg.NewCounter("iotsid_trace_appends_total",
+		"Events appended to the bounded audit trace.")
+	evictions := reg.NewCounter("iotsid_trace_evictions_total",
+		"Oldest audit events overwritten (dropped) by the trace's bounded ring.")
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.appends = appends
+	l.evictions = evictions
+}
+
+// Dropped returns how many events the bounded ring has evicted — the audit
+// history that is no longer reconstructible from this log.
+func (l *Log) Dropped() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.next - uint64(l.size)
+}
+
 // Append records one event, stamping sequence and (if zero) time, and
 // returns the stored record.
 func (l *Log) Append(e Event) Event {
@@ -100,13 +132,18 @@ func (l *Log) Append(e Event) Event {
 		e.At = l.now()
 	}
 	idx := (l.head + l.size) % l.cap
-	if l.size == l.cap {
+	evicted := l.size == l.cap
+	if evicted {
 		// Evict the oldest.
 		l.events[l.head] = e
 		l.head = (l.head + 1) % l.cap
 	} else {
 		l.events[idx] = e
 		l.size++
+	}
+	l.appends.Inc()
+	if evicted {
+		l.evictions.Inc()
 	}
 	return e
 }

@@ -19,6 +19,28 @@ go test -race -count=1 -run 'Fault' ./internal/eval/
 go test -race -count=1 -run 'Call|Retry|Timeout|Permanent|Context' ./internal/miio/ ./internal/smartthings/
 go test -race -count=1 -run 'Healthz|RetryAfter|ContextTimeout' ./internal/cloud/
 
+# Observability gate: the metrics registry is lock-free hot-path code wired
+# into every subsystem — run its suite focused under the race detector
+# (concurrent-hammer + golden-exposition tests), then smoke the fuzz targets
+# that guard the Prometheus name/label encoding against hostile input.
+go test -race -count=1 ./internal/obs/
+go test -count=1 -run '^$' -fuzz '^FuzzMetricName$' -fuzztime 10s ./internal/obs/
+go test -count=1 -run '^$' -fuzz '^FuzzLabelEscape$' -fuzztime 10s ./internal/obs/
+
+# Coverage gate: no package may fall below its recorded floor
+# (coverage_floors.txt; internal/obs carries a hard 90% minimum). The race
+# detector is off here so the allocation-count gates run too.
+cov="$(mktemp)"
+go test -count=1 -cover ./internal/... | tee "$cov"
+awk 'NR==FNR { if ($1 !~ /^#/ && NF >= 2) floor[$1]=$2; next }
+     $1=="ok" && $4=="coverage:" && ($2 in floor) {
+       pct=$5; sub(/%/, "", pct); seen[$2]=1
+       if (pct+0 < floor[$2]+0) { printf "coverage regression: %s %s%% < floor %s%%\n", $2, pct, floor[$2]; bad=1 }
+     }
+     END { for (p in floor) if (!(p in seen)) { printf "coverage gate: no result for %s\n", p; bad=1 } exit bad }' \
+    coverage_floors.txt "$cov"
+rm -f "$cov"
+
 # Deterministic-parallelism gate: the serial-vs-parallel golden-equality
 # tests (Train, BuildAll, CrossValidate, forest.Fit, suite/campaign, the
 # fault campaign, seeded retry jitter) must pass both under the default

@@ -612,7 +612,7 @@ func BenchmarkExtensionCampaign(b *testing.B) {
 	s := sharedSuite(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := s.Campaign(10)
+		r, err := s.Campaign(context.Background(), 10)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -37,7 +38,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	out, err := s.RenderCampaign(*rounds)
+	out, err := s.RenderCampaign(context.Background(), *rounds)
 	if err != nil {
 		return err
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -111,7 +112,7 @@ func run() error {
 			return err
 		}
 		fmt.Println(transferOut)
-		campaignOut, err := s.RenderCampaign(60)
+		campaignOut, err := s.RenderCampaign(context.Background(), 60)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,63 @@
+// Command iotlint runs iotsid's repo-specific static analyzers (DESIGN
+// §10) over go package patterns and reports invariant violations:
+//
+//	go run ./cmd/iotlint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 operational error. Output is sorted
+// by file/line/column/analyzer and byte-identical across runs, so both
+// the text and -json forms diff cleanly in CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"iotsid/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable driver body.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("iotlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	dir := fs.String("dir", "", "directory to resolve package patterns from (default current)")
+	list := fs.Bool("analyzers", false, "list the analyzer suite and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stderr, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	res, err := analysis.Run(analysis.Config{
+		Dir:       *dir,
+		Patterns:  fs.Args(),
+		Allowlist: analysis.DefaultAllowlist(),
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if *jsonOut {
+		err = analysis.WriteJSON(stdout, res.Diagnostics)
+	} else {
+		err = analysis.WriteText(stdout, res.Diagnostics)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if len(res.Diagnostics) > 0 {
+		fmt.Fprintf(stderr, "iotlint: %d finding(s)\n", len(res.Diagnostics))
+		return 1
+	}
+	return 0
+}

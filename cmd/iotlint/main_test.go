@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+const (
+	fixtureDir = "../../internal/analysis/testdata/fixturemod"
+	goldenPath = "../../internal/analysis/testdata/fixture.golden.json"
+)
+
+// TestDriverJSONGolden: findings over the fixture module exit 1 and the
+// -json rendering is byte-identical to the committed golden file and
+// across repeated runs.
+func TestDriverJSONGolden(t *testing.T) {
+	var out1, out2, errb bytes.Buffer
+	if code := run([]string{"-dir", fixtureDir, "-json", "./..."}, &out1, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out1.Bytes(), golden) {
+		t.Errorf("JSON drifted from golden:\n%s", out1.String())
+	}
+	if code := run([]string{"-dir", fixtureDir, "-json", "./..."}, &out2, &errb); code != 1 {
+		t.Fatalf("second run exit = %d, want 1", code)
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Error("JSON output not byte-stable across runs")
+	}
+}
+
+// TestDriverTextSorted: the human rendering is sorted by file/line and
+// every seeded analyzer appears exactly once.
+func TestDriverTextSorted(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-dir", fixtureDir, "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimSuffix(out.String(), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want 5 findings, got %d:\n%s", len(lines), out.String())
+	}
+	if !sort.StringsAreSorted(lines) {
+		t.Errorf("text findings not sorted:\n%s", out.String())
+	}
+	for _, a := range []string{"nodeterm", "hotalloc", "sleepban", "ctxrule", "errcheck"} {
+		if n := strings.Count(out.String(), " "+a+": "); n != 1 {
+			t.Errorf("analyzer %s: want exactly 1 finding in text output, got %d", a, n)
+		}
+	}
+	if !strings.Contains(errb.String(), "5 finding(s)") {
+		t.Errorf("stderr missing finding count: %s", errb.String())
+	}
+}
+
+// TestDriverCleanTree: a pattern with no findings exits 0 and prints
+// nothing.
+func TestDriverCleanTree(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-dir", fixtureDir, "./cmd/..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run must print nothing, got %q", out.String())
+	}
+}
+
+// TestDriverOperationalError: an unresolvable pattern is exit 2, distinct
+// from findings.
+func TestDriverOperationalError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-dir", fixtureDir, "./no-such-dir/..."}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if errb.Len() == 0 {
+		t.Error("operational error must explain itself on stderr")
+	}
+}
+
+func TestDriverAnalyzerList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-analyzers"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, a := range []string{"nodeterm", "hotalloc", "sleepban", "ctxrule", "errcheck"} {
+		if !strings.Contains(errb.String(), a) {
+			t.Errorf("analyzer listing missing %s", a)
+		}
+	}
+}
+
+func TestDriverBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

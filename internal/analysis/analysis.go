@@ -1,0 +1,196 @@
+// Package analysis is iotsid's stdlib-only static-analysis engine. It
+// machine-enforces the invariants the earlier PRs established by
+// convention and runtime gate: bit-identical training/eval at any worker
+// count (no wall clock or global rand in deterministic packages), a
+// zero-allocation authorization fast path (no fmt / string building /
+// interface boxing in //iot:hotpath functions), injectable sleeps,
+// context hygiene, and checked errors in library code.
+//
+// The engine deliberately uses nothing outside the standard library:
+// package discovery runs `go list -deps -export -json` through os/exec,
+// parsing is go/parser, and type information comes from go/types with the
+// gc export-data importer fed by the paths `go list -export` reports. The
+// module's require block stays empty.
+//
+// Findings are suppressed line-by-line with
+//
+//	//iot:allow <analyzer> <reason>
+//
+// where the reason is mandatory — a bare //iot:allow is itself a
+// diagnostic. A trailing comment suppresses its own line; a standalone
+// comment line suppresses the line below it. Engine-level allowlists
+// (Config.Allowlist) exempt whole directories from specific analyzers —
+// the vendor-I/O files under internal/miio and internal/smartthings,
+// where wall-clock deadlines on sockets are legitimate, are the canonical
+// entry.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Diagnostic is one finding. File is relative to the module root so output
+// is byte-identical regardless of where the checkout lives.
+type Diagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// String renders the human one-liner form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// less orders diagnostics by file, line, column, analyzer, message — the
+// total order that makes iotlint output deterministic.
+func (d Diagnostic) less(o Diagnostic) bool {
+	if d.File != o.File {
+		return d.File < o.File
+	}
+	if d.Line != o.Line {
+		return d.Line < o.Line
+	}
+	if d.Col != o.Col {
+		return d.Col < o.Col
+	}
+	if d.Analyzer != o.Analyzer {
+		return d.Analyzer < o.Analyzer
+	}
+	return d.Message < o.Message
+}
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	// Name is the identifier used in output and //iot:allow comments.
+	Name string
+	// Doc is the one-line description shown by `iotlint -analyzers`.
+	Doc string
+	// Run inspects the package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass is the per-(analyzer, package) view handed to Analyzer.Run.
+type Pass struct {
+	Analyzer *Analyzer
+	// Path is the package import path ("iotsid/internal/eval").
+	Path string
+	Fset *token.FileSet
+	// Files are the parsed non-test sources. Test files are out of scope
+	// for every analyzer, so the loader never parses them.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	// relFile maps fset absolute filenames to module-relative paths.
+	relFile func(string) string
+	report  func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Diagnostic{
+		File:     p.relFile(position.Filename),
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// FuncObj resolves a call or identifier use to the *types.Func it names,
+// or nil when it is not a direct function reference.
+func (p *Pass) FuncObj(e ast.Expr) *types.Func {
+	switch e := e.(type) {
+	case *ast.Ident:
+		f, _ := p.Info.Uses[e].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := p.Info.Uses[e.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isPkgFunc reports whether obj is the package-level function pkgPath.name
+// (methods have a receiver and never match).
+func isPkgFunc(obj *types.Func, pkgPath, name string) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	if obj.Pkg().Path() != pkgPath || obj.Name() != name {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// pathHasSegs reports whether the contiguous segment sequence seg (e.g.
+// "internal/dataset") occurs at segment boundaries anywhere in the import
+// path. Matching segments rather than string prefixes keeps the scope
+// rules module-name-agnostic: "iotsid/internal/dataset",
+// "fixture/internal/dataset" and a bare "internal/dataset" all match.
+func pathHasSegs(path, seg string) bool {
+	ps := strings.Split(path, "/")
+	ss := strings.Split(seg, "/")
+	if len(ss) == 0 || len(ss) > len(ps) {
+		return false
+	}
+	for i := 0; i+len(ss) <= len(ps); i++ {
+		match := true
+		for j := range ss {
+			if ps[i+j] != ss[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// deterministicScopes are the packages whose outputs must be bit-identical
+// at any worker count (DESIGN §5): the dataset builder, every learner, the
+// evaluation sweeps, the worker pool, the survey synthesis and the home
+// simulator.
+var deterministicScopes = []string{
+	"internal/dataset",
+	"internal/mlearn",
+	"internal/eval",
+	"internal/par",
+	"internal/survey",
+	"internal/home",
+}
+
+// inDeterministicScope reports whether the import path falls under a
+// deterministic package root.
+func inDeterministicScope(path string) bool {
+	for _, s := range deterministicScopes {
+		if pathHasSegs(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// inInternal reports whether the import path is library code under an
+// internal/ tree.
+func inInternal(path string) bool { return pathHasSegs(path, "internal") }
+
+// inCmd reports whether the import path is a main-package tree under cmd/.
+func inCmd(path string) bool { return pathHasSegs(path, "cmd") }
+
+// errorType is the universe error interface, for errcheck result matching.
+var errorType = types.Universe.Lookup("error").Type()
+
+// isErrorType reports whether t is exactly the built-in error type.
+func isErrorType(t types.Type) bool { return t != nil && types.Identical(t, errorType) }

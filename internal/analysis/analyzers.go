@@ -1,0 +1,16 @@
+package analysis
+
+// All returns the full analyzer suite in stable (alphabetical) order.
+func All() []*Analyzer {
+	return []*Analyzer{CtxRule, ErrCheck, HotAlloc, NoDeterm, SleepBan}
+}
+
+// ByName resolves one analyzer, or nil when unknown.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

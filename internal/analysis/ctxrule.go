@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxRule enforces context hygiene everywhere: a context.Context parameter
+// must come first in any signature (function, method, literal or
+// interface method), a Context must never be stored in a struct field,
+// and context.Background()/context.TODO() are forbidden outside cmd/
+// binaries — library code receives its context from the caller so
+// cancellation and deadlines actually propagate. Test files are outside
+// every analyzer's scope.
+var CtxRule = &Analyzer{
+	Name: "ctxrule",
+	Doc:  "context.Context first parameter only, never a struct field, no Background/TODO outside cmd/",
+	Run:  runCtxRule,
+}
+
+func runCtxRule(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncType:
+				checkCtxParams(pass, n)
+			case *ast.StructType:
+				checkCtxFields(pass, n)
+			case *ast.Ident:
+				checkCtxFresh(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCtxParams reports context.Context parameters at any position but
+// the first.
+func checkCtxParams(pass *Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range ft.Params.List {
+		width := len(field.Names)
+		if width == 0 {
+			width = 1
+		}
+		if isContextType(pass, field.Type) && pos != 0 {
+			pass.Reportf(field.Pos(), "context.Context must be the first parameter")
+		}
+		pos += width
+	}
+}
+
+// checkCtxFields reports struct fields of type context.Context; contexts
+// are call-scoped, not object state.
+func checkCtxFields(pass *Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if isContextType(pass, field.Type) {
+			pass.Reportf(field.Pos(), "context.Context stored in struct field: pass it per call instead")
+		}
+	}
+}
+
+// checkCtxFresh reports context.Background/TODO in library code. Binaries
+// — anything under cmd/ and the example mains — are exempt: a process
+// entry point is exactly where a root context is born.
+func checkCtxFresh(pass *Pass, id *ast.Ident) {
+	if inCmd(pass.Path) || pass.Pkg.Name() == "main" {
+		return
+	}
+	obj, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok {
+		return
+	}
+	switch {
+	case isPkgFunc(obj, "context", "Background"):
+		pass.Reportf(id.Pos(), "context.Background in library code: accept a ctx from the caller")
+	case isPkgFunc(obj, "context", "TODO"):
+		pass.Reportf(id.Pos(), "context.TODO in library code: accept a ctx from the caller")
+	}
+}
+
+// isContextType reports whether the type expression denotes
+// context.Context.
+func isContextType(pass *Pass, e ast.Expr) bool {
+	t := typeOf(pass, e)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

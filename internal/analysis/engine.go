@@ -1,0 +1,274 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// allowTag is the line-suppression marker: //iot:allow <analyzer> <reason>.
+const allowTag = "//iot:allow"
+
+// Config describes one engine run.
+type Config struct {
+	// Dir is where `go list` runs; "" means the current directory.
+	Dir string
+	// Patterns are go package patterns; empty means ./...
+	Patterns []string
+	// Analyzers to run; empty means All().
+	Analyzers []*Analyzer
+	// Allowlist maps an analyzer name to module-relative directory
+	// prefixes whose files it must skip. DefaultAllowlist covers the
+	// vendor-I/O packages.
+	Allowlist map[string][]string
+}
+
+// DefaultAllowlist exempts the vendor-I/O client code — real sockets with
+// real read deadlines — from the wall-clock analyzers. Everything else
+// (errcheck, ctxrule, hotalloc) still applies there.
+func DefaultAllowlist() map[string][]string {
+	return map[string][]string{
+		"nodeterm": {"internal/miio", "internal/smartthings"},
+		"sleepban": {"internal/miio", "internal/smartthings"},
+	}
+}
+
+// Result is one engine run's outcome.
+type Result struct {
+	// Diagnostics are the active findings, sorted.
+	Diagnostics []Diagnostic
+	// Suppressed are findings silenced by an //iot:allow comment, sorted;
+	// kept so callers can audit what the tree tolerates.
+	Suppressed []Diagnostic
+	// Allowlisted are findings dropped by Config.Allowlist, sorted.
+	Allowlisted []Diagnostic
+}
+
+// Run loads the requested packages and applies every analyzer.
+func Run(cfg Config) (*Result, error) {
+	pkgs, err := Load(cfg.Dir, cfg.Patterns)
+	if err != nil {
+		return nil, err
+	}
+	analyzers := cfg.Analyzers
+	if len(analyzers) == 0 {
+		analyzers = All()
+	}
+	res := &Result{}
+	for _, pkg := range pkgs {
+		diags, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		res.merge(splitSuppressed(pkg, diags, cfg.Allowlist))
+	}
+	res.sort()
+	return res, nil
+}
+
+// RunPackage applies the analyzers to one loaded package and returns the
+// raw findings — including any malformed //iot:allow diagnostics — before
+// suppression or allowlist filtering. The self-test harness calls this
+// directly.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	rel := func(abs string) string { return relPath(pkg.ModDir, abs) }
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Path:     pkg.Path,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Pkg,
+			Info:     pkg.Info,
+			relFile:  rel,
+			report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	diags = append(diags, malformedAllows(pkg)...)
+	return diags, nil
+}
+
+// relPath makes abs relative to root, falling back to the absolute path
+// when it escapes the module (it never should).
+func relPath(root, abs string) string {
+	r, err := filepath.Rel(root, abs)
+	if err != nil {
+		return abs
+	}
+	return filepath.ToSlash(r)
+}
+
+// merge folds one package's filtered findings into the result.
+func (r *Result) merge(active, suppressed, allowlisted []Diagnostic) {
+	r.Diagnostics = append(r.Diagnostics, active...)
+	r.Suppressed = append(r.Suppressed, suppressed...)
+	r.Allowlisted = append(r.Allowlisted, allowlisted...)
+}
+
+func (r *Result) sort() {
+	sortDiags(r.Diagnostics)
+	sortDiags(r.Suppressed)
+	sortDiags(r.Allowlisted)
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool { return ds[i].less(ds[j]) })
+}
+
+// suppression is one parsed //iot:allow comment.
+type suppression struct {
+	analyzer string
+	// line is the comment's own line; standalone comments also cover the
+	// following line.
+	line       int
+	standalone bool
+}
+
+// splitSuppressed partitions raw findings into active, //iot:allow'd and
+// allowlisted.
+func splitSuppressed(pkg *Package, diags []Diagnostic, allowlist map[string][]string) (active, suppressed, allowlisted []Diagnostic) {
+	sups := scanSuppressions(pkg)
+	for _, d := range diags {
+		switch {
+		case underAllowlist(d, allowlist):
+			allowlisted = append(allowlisted, d)
+		case suppressedBy(d, sups[d.File]):
+			suppressed = append(suppressed, d)
+		default:
+			active = append(active, d)
+		}
+	}
+	return active, suppressed, allowlisted
+}
+
+func suppressedBy(d Diagnostic, sups []suppression) bool {
+	for _, s := range sups {
+		if s.analyzer != d.Analyzer {
+			continue
+		}
+		if d.Line == s.line || (s.standalone && d.Line == s.line+1) {
+			return true
+		}
+	}
+	return false
+}
+
+// underAllowlist reports whether the diagnostic's file sits under a
+// directory prefix allowlisted for its analyzer.
+func underAllowlist(d Diagnostic, allowlist map[string][]string) bool {
+	for _, prefix := range allowlist[d.Analyzer] {
+		prefix = filepath.ToSlash(prefix)
+		if d.File == prefix || strings.HasPrefix(d.File, prefix+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// scanSuppressions collects well-formed //iot:allow comments per
+// module-relative file.
+func scanSuppressions(pkg *Package) map[string][]suppression {
+	out := make(map[string][]suppression)
+	eachAllow(pkg, func(file string, c *ast.Comment, fields []string, standalone bool) {
+		if len(fields) < 2 {
+			return // malformedAllows reports these
+		}
+		out[file] = append(out[file], suppression{
+			analyzer:   fields[0],
+			line:       pkg.Fset.Position(c.Pos()).Line,
+			standalone: standalone,
+		})
+	})
+	return out
+}
+
+// malformedAllows reports //iot:allow comments missing the mandatory
+// analyzer name or reason — a suppression with no recorded justification
+// is itself a finding.
+func malformedAllows(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	eachAllow(pkg, func(file string, c *ast.Comment, fields []string, standalone bool) {
+		if len(fields) >= 2 {
+			return
+		}
+		pos := pkg.Fset.Position(c.Pos())
+		out = append(out, Diagnostic{
+			File:     file,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Analyzer: "iotlint",
+			Message:  "malformed //iot:allow: want \"//iot:allow <analyzer> <reason>\" with a non-empty reason",
+		})
+	})
+	return out
+}
+
+// eachAllow walks every comment in the package and invokes fn for each
+// //iot:allow marker with its whitespace-split payload and whether the
+// comment stands alone on its line.
+func eachAllow(pkg *Package, fn func(file string, c *ast.Comment, fields []string, standalone bool)) {
+	for _, f := range pkg.Files {
+		abs := pkg.Fset.Position(f.Pos()).Filename
+		file := relPath(pkg.ModDir, abs)
+		src := pkg.Src[abs]
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowTag)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				fn(file, c, strings.Fields(rest), standaloneComment(pkg, src, c))
+			}
+		}
+	}
+}
+
+// standaloneComment reports whether nothing but whitespace precedes the
+// comment on its line — a standalone comment suppresses the line below,
+// while a trailing comment suppresses only its own.
+func standaloneComment(pkg *Package, src []byte, c *ast.Comment) bool {
+	tf := pkg.Fset.File(c.Pos())
+	if tf == nil || src == nil {
+		return false
+	}
+	start := tf.Offset(tf.LineStart(pkg.Fset.Position(c.Pos()).Line))
+	end := tf.Offset(c.Pos())
+	if start < 0 || end > len(src) || start > end {
+		return false
+	}
+	return strings.TrimSpace(string(src[start:end])) == ""
+}
+
+// WriteText renders findings in the human `file:line:col: analyzer:
+// message` form, one per line.
+func WriteText(w io.Writer, ds []Diagnostic) error {
+	for _, d := range ds {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders findings as an indented JSON array (an empty slice
+// renders as []), byte-stable for golden comparison.
+func WriteJSON(w io.Writer, ds []Diagnostic) error {
+	if ds == nil {
+		ds = []Diagnostic{}
+	}
+	b, err := json.MarshalIndent(ds, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestMalformedAllow: a reason-less or analyzer-less //iot:allow is itself
+// a diagnostic and suppresses nothing; a well-formed one suppresses the
+// line below.
+func TestMalformedAllow(t *testing.T) {
+	pkg, err := LoadDir("testdata/src/malformed", "iotsid/internal/svc/fix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunPackage(pkg, []*Analyzer{SleepBan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	active, suppressed, _ := splitSuppressed(pkg, diags, nil)
+
+	var malformed, sleeps int
+	for _, d := range active {
+		switch d.Analyzer {
+		case "iotlint":
+			malformed++
+			if !strings.Contains(d.Message, "malformed //iot:allow") {
+				t.Errorf("unexpected iotlint message: %s", d.Message)
+			}
+		case "sleepban":
+			sleeps++
+		}
+	}
+	if malformed != 2 {
+		t.Errorf("want 2 malformed-allow diagnostics, got %d", malformed)
+	}
+	if sleeps != 2 {
+		t.Errorf("want 2 active sleepban findings under malformed allows, got %d", sleeps)
+	}
+	if len(suppressed) != 1 || suppressed[0].Analyzer != "sleepban" {
+		t.Errorf("want exactly the well-formed allow to suppress one finding, got %v", suppressed)
+	}
+}
+
+// TestRunFixtureModule drives the full engine (go list, type-check,
+// suppression, allowlist) over the fixture module.
+func TestRunFixtureModule(t *testing.T) {
+	res, err := Run(Config{
+		Dir:       "testdata/fixturemod",
+		Allowlist: DefaultAllowlist(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perAnalyzer := map[string]int{}
+	for _, d := range res.Diagnostics {
+		perAnalyzer[d.Analyzer]++
+	}
+	for _, a := range All() {
+		if perAnalyzer[a.Name] != 1 {
+			t.Errorf("analyzer %s: want exactly 1 fixture finding, got %d", a.Name, perAnalyzer[a.Name])
+		}
+	}
+	if len(res.Suppressed) != 1 || res.Suppressed[0].Analyzer != "sleepban" {
+		t.Errorf("want one suppressed sleepban finding, got %v", res.Suppressed)
+	}
+	if len(res.Allowlisted) != 1 || res.Allowlisted[0].File != "internal/miio/io.go" {
+		t.Errorf("want one allowlisted miio finding, got %v", res.Allowlisted)
+	}
+	for i := 1; i < len(res.Diagnostics); i++ {
+		if res.Diagnostics[i].less(res.Diagnostics[i-1]) {
+			t.Errorf("diagnostics out of order at %d: %v after %v", i, res.Diagnostics[i], res.Diagnostics[i-1])
+		}
+	}
+}
+
+// TestRunRepeatable: two engine runs over the same tree render
+// byte-identical text and JSON.
+func TestRunRepeatable(t *testing.T) {
+	render := func() (string, string) {
+		res, err := Run(Config{Dir: "testdata/fixturemod", Allowlist: DefaultAllowlist()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var txt, js bytes.Buffer
+		if err := WriteText(&txt, res.Diagnostics); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteJSON(&js, res.Diagnostics); err != nil {
+			t.Fatal(err)
+		}
+		return txt.String(), js.String()
+	}
+	t1, j1 := render()
+	t2, j2 := render()
+	if t1 != t2 {
+		t.Errorf("text output drifted between runs:\n%s\nvs\n%s", t1, t2)
+	}
+	if j1 != j2 {
+		t.Errorf("JSON output drifted between runs:\n%s\nvs\n%s", j1, j2)
+	}
+	if !strings.HasPrefix(t1, "internal/dataset/gen.go:") {
+		t.Errorf("unexpected first text line:\n%s", t1)
+	}
+}
+
+func TestWriteJSONEmpty(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteJSON(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "[]\n" {
+		t.Errorf("empty diagnostics must render as []\\n, got %q", b.String())
+	}
+}
+
+func TestUnderAllowlist(t *testing.T) {
+	al := DefaultAllowlist()
+	cases := []struct {
+		file, analyzer string
+		want           bool
+	}{
+		{"internal/miio/client.go", "sleepban", true},
+		{"internal/miio/client.go", "nodeterm", true},
+		{"internal/miio/client.go", "errcheck", false},
+		{"internal/miio2/client.go", "sleepban", false},
+		{"internal/smartthings/server.go", "nodeterm", true},
+		{"internal/core/framework.go", "sleepban", false},
+	}
+	for _, c := range cases {
+		d := Diagnostic{File: c.file, Analyzer: c.analyzer}
+		if got := underAllowlist(d, al); got != c.want {
+			t.Errorf("underAllowlist(%s, %s) = %v, want %v", c.file, c.analyzer, got, c.want)
+		}
+	}
+}
+
+func TestDiagnosticOrderAndString(t *testing.T) {
+	ds := []Diagnostic{
+		{File: "b.go", Line: 1, Col: 1, Analyzer: "x", Message: "m"},
+		{File: "a.go", Line: 2, Col: 1, Analyzer: "x", Message: "m"},
+		{File: "a.go", Line: 1, Col: 2, Analyzer: "x", Message: "m"},
+		{File: "a.go", Line: 1, Col: 1, Analyzer: "y", Message: "m"},
+		{File: "a.go", Line: 1, Col: 1, Analyzer: "x", Message: "n"},
+		{File: "a.go", Line: 1, Col: 1, Analyzer: "x", Message: "m"},
+	}
+	sortDiags(ds)
+	want := []string{
+		"a.go:1:1: x: m",
+		"a.go:1:1: x: n",
+		"a.go:1:1: y: m",
+		"a.go:1:2: x: m",
+		"a.go:2:1: x: m",
+		"b.go:1:1: x: m",
+	}
+	for i, w := range want {
+		if ds[i].String() != w {
+			t.Errorf("position %d: got %s, want %s", i, ds[i].String(), w)
+		}
+	}
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	if _, err := LoadDir("testdata/src/does-not-exist", "x"); err == nil {
+		t.Error("missing dir must error")
+	}
+	if _, err := LoadDir("testdata", "x"); err == nil {
+		t.Error("dir with no Go files must error")
+	}
+}
+
+func TestLoadBadPattern(t *testing.T) {
+	if _, err := Load("testdata/fixturemod", []string{"./nonexistent/..."}); err == nil {
+		t.Error("bad pattern must error")
+	}
+}

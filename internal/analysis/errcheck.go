@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCheck reports error-returning calls in internal/ code whose result is
+// silently dropped: bare expression statements, `go` statements and
+// deferred calls. An explicit blank assignment (`_ = f()`) is the
+// sanctioned way to document a deliberate discard, so it is not flagged —
+// the analyzer's job is to make every discard visible in the diff, not to
+// forbid discarding.
+//
+// Writers whose error contract makes checking meaningless are excluded:
+// strings.Builder and bytes.Buffer never return a non-nil error,
+// hash.Hash.Write is documented to never fail, and bufio.Writer latches
+// its first error so correctness lives in the Flush check (Flush itself
+// stays flagged when dropped). fmt.Fprint* into those writer types is
+// excluded for the same reason.
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "report dropped error results in internal/ code",
+	Run:  runErrCheck,
+}
+
+func runErrCheck(pass *Pass) error {
+	if !inInternal(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					reportDropped(pass, call, "unchecked error from")
+				}
+			case *ast.GoStmt:
+				reportDropped(pass, n.Call, "dropped error from go statement calling")
+			case *ast.DeferStmt:
+				reportDropped(pass, n.Call, "dropped error from deferred call to")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// reportDropped flags the call when any of its results is an error.
+func reportDropped(pass *Pass, call *ast.CallExpr, what string) {
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	if !returnsError(pass, call) || infallibleWrite(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s %s: handle it or assign to _ deliberately", what, callName(call))
+}
+
+// infallibleWrite reports whether the call's dropped error is dead by
+// contract: Write* methods on strings.Builder / bytes.Buffer (never fail),
+// bufio.Writer (sticky error, surfaced by Flush) and hash.Hash (documented
+// to never fail), plus fmt.Fprint* aimed at one of those writers.
+func infallibleWrite(pass *Pass, call *ast.CallExpr) bool {
+	if obj := pass.FuncObj(call.Fun); obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "fmt" && strings.HasPrefix(obj.Name(), "Fprint") {
+		return len(call.Args) > 0 && infallibleWriterType(typeOf(pass, call.Args[0]))
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !strings.HasPrefix(sel.Sel.Name, "Write") {
+		return false
+	}
+	return infallibleWriterType(typeOf(pass, sel.X))
+}
+
+// infallibleWriterType matches the receiver types of the exclusion set.
+func infallibleWriterType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer", "bufio.Writer", "hash.Hash":
+		return true
+	}
+	return false
+}
+
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+// callName renders a readable name for the called expression.
+func callName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		if x, ok := fn.X.(*ast.Ident); ok {
+			return x.Name + "." + fn.Sel.Name
+		}
+		return fn.Sel.Name
+	default:
+		return "call"
+	}
+}

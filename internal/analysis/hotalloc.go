@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hotpathTag marks a function whose steady-state path must not allocate.
+const hotpathTag = "//iot:hotpath"
+
+// HotAlloc is the static twin of the AllocsPerRun gates: inside functions
+// annotated //iot:hotpath it forbids the three allocation sources that
+// have historically crept into the fast path — fmt calls (every variadic
+// ...any argument boxes), string concatenation with + (non-constant), and
+// conversions of non-pointer-shaped concrete values to interface{}/any.
+// Error paths that genuinely never run steady-state carry //iot:allow
+// hotalloc suppressions with the reason spelled out.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid fmt calls, string building and interface boxing in //iot:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			checkHotBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isHotpath reports whether the function's doc comment carries the
+// //iot:hotpath directive.
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == hotpathTag || strings.HasPrefix(c.Text, hotpathTag+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, name, n)
+		case *ast.BinaryExpr:
+			checkHotConcat(pass, name, n)
+		}
+		return true
+	})
+}
+
+// checkHotCall flags fmt calls, explicit conversions to interface types
+// and implicit boxing of call arguments into interface{} parameters.
+func checkHotCall(pass *Pass, fn string, call *ast.CallExpr) {
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		// Explicit conversion T(x).
+		if isBoxing(tv.Type, argType(pass, call.Args)) {
+			pass.Reportf(call.Pos(), "conversion to %s allocates in hot path %s", tv.Type, fn)
+		}
+		return
+	}
+	if obj := pass.FuncObj(call.Fun); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s allocates in hot path %s", obj.Name(), fn)
+		return
+	}
+	sig, ok := typeOf(pass, call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramTypeAt(sig, i, call.Ellipsis.IsValid())
+		if pt == nil {
+			continue
+		}
+		at := typeOf(pass, arg)
+		if isEmptyInterface(pt) && isBoxing(pt, at) {
+			pass.Reportf(arg.Pos(), "argument boxes %s into interface{} in hot path %s", at, fn)
+		}
+	}
+}
+
+// checkHotConcat flags non-constant string concatenation.
+func checkHotConcat(pass *Pass, fn string, e *ast.BinaryExpr) {
+	if e.Op.String() != "+" {
+		return
+	}
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value != nil { // constant-folded concatenation is free
+		return
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		pass.Reportf(e.Pos(), "string concatenation allocates in hot path %s", fn)
+	}
+}
+
+func typeOf(pass *Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// argType returns the sole conversion operand's type, if there is one.
+func argType(pass *Pass, args []ast.Expr) types.Type {
+	if len(args) != 1 {
+		return nil
+	}
+	return typeOf(pass, args[0])
+}
+
+// paramTypeAt resolves the parameter type an argument lands in,
+// unwrapping the variadic tail. hasEllipsis marks f(xs...) calls, where
+// the final slice passes through without boxing.
+func paramTypeAt(sig *types.Signature, i int, hasEllipsis bool) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		if hasEllipsis {
+			return nil
+		}
+		s, ok := sig.Params().At(n - 1).Type().(*types.Slice)
+		if !ok {
+			return nil
+		}
+		return s.Elem()
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+func isEmptyInterface(t types.Type) bool {
+	i, ok := t.Underlying().(*types.Interface)
+	return ok && i.Empty()
+}
+
+// isBoxing reports whether converting from into to allocates: to must be
+// an interface and from a concrete type that is not pointer-shaped
+// (pointers, channels, maps, funcs and unsafe.Pointer fit in the
+// interface word without an allocation).
+func isBoxing(to, from types.Type) bool {
+	if from == nil || to == nil {
+		return false
+	}
+	if _, ok := to.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	switch u := from.Underlying().(type) {
+	case *types.Interface:
+		return false // interface-to-interface carries the existing box
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UnsafePointer && u.Kind() != types.UntypedNil
+	default:
+		return true
+	}
+}

@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+	Module     *struct{ Dir string }
+}
+
+// Package is one parsed, type-checked target package.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// Src holds raw file bytes keyed by absolute path, for the
+	// suppression scanner's trailing-vs-standalone comment test.
+	Src map[string][]byte
+	// ModDir is the module root that diagnostics are reported relative to.
+	ModDir string
+}
+
+// Load discovers patterns with `go list -deps -export -json` run in dir,
+// parses every target package's non-test sources and type-checks them
+// against the export data the go command reports for their dependencies.
+// Packages come back sorted by import path.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	metas, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(metas))
+	var targets []*listPkg
+	for _, m := range metas {
+		if m.Error != nil {
+			return nil, fmt.Errorf("analysis: go list: package %s: %s", m.ImportPath, m.Error.Err)
+		}
+		if m.Export != "" {
+			exports[m.ImportPath] = m.Export
+		}
+		if !m.DepOnly {
+			targets = append(targets, m)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		modDir := dir
+		if t.Module != nil && t.Module.Dir != "" {
+			modDir = t.Module.Dir
+		}
+		pkg, err := checkPackage(fset, imp, t, modDir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// goList runs the go command and decodes its JSON package stream.
+func goList(dir string, patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var metas []*listPkg
+	for {
+		var m listPkg
+		if err := dec.Decode(&m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %w", err)
+		}
+		metas = append(metas, &m)
+	}
+	return metas, nil
+}
+
+// exportImporter builds a go/types importer that resolves every import
+// from the export data files `go list -export` reported. The gc importer
+// caches loaded packages, so one importer serves the whole run.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// checkPackage parses and type-checks one target package.
+func checkPackage(fset *token.FileSet, imp types.Importer, meta *listPkg, modDir string) (*Package, error) {
+	files, src, err := parseDir(fset, meta.Dir, meta.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp, FakeImportC: true}
+	tpkg, err := conf.Check(meta.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %w", meta.ImportPath, err)
+	}
+	return &Package{
+		Path:   meta.ImportPath,
+		Fset:   fset,
+		Files:  files,
+		Pkg:    tpkg,
+		Info:   info,
+		Src:    src,
+		ModDir: modDir,
+	}, nil
+}
+
+// parseDir parses the named files under dir with comments retained.
+func parseDir(fset *token.FileSet, dir string, names []string) ([]*ast.File, map[string][]byte, error) {
+	files := make([]*ast.File, 0, len(names))
+	src := make(map[string][]byte, len(names))
+	for _, name := range names {
+		full := filepath.Join(dir, name)
+		b, err := os.ReadFile(full)
+		if err != nil {
+			return nil, nil, fmt.Errorf("analysis: %w", err)
+		}
+		f, err := parser.ParseFile(fset, full, b, parser.ParseComments)
+		if err != nil {
+			return nil, nil, fmt.Errorf("analysis: parse %s: %w", full, err)
+		}
+		files = append(files, f)
+		src[full] = b
+	}
+	return files, src, nil
+}
+
+// newInfo allocates the full set of type-information maps the analyzers
+// consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// LoadDir parses and type-checks a single directory of Go files outside
+// any module context — the self-test harness uses it to check testdata
+// fixture packages under a synthetic import path whose segments place the
+// fixture in the scope under test (e.g. "iotsid/internal/dataset/fix").
+// Imports are resolved by asking the go command for export data for
+// exactly the paths the fixture files mention.
+func LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	files, src, err := parseDir(fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	imports := make(map[string]bool)
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			p := strings.Trim(spec.Path.Value, `"`)
+			if p != "unsafe" {
+				imports[p] = true
+			}
+		}
+	}
+	exports := make(map[string]string)
+	if len(imports) > 0 {
+		paths := make([]string, 0, len(imports))
+		for p := range imports {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		metas, err := goList(dir, paths)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range metas {
+			if m.Error != nil {
+				return nil, fmt.Errorf("analysis: go list: package %s: %s", m.ImportPath, m.Error.Err)
+			}
+			if m.Export != "" {
+				exports[m.ImportPath] = m.Export
+			}
+		}
+	}
+	info := newInfo()
+	conf := types.Config{Importer: exportImporter(fset, exports), FakeImportC: true}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %w", importPath, err)
+	}
+	return &Package{
+		Path:   importPath,
+		Fset:   fset,
+		Files:  files,
+		Pkg:    tpkg,
+		Info:   info,
+		Src:    src,
+		ModDir: dir,
+	}, nil
+}

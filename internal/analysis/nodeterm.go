@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoDeterm forbids wall-clock and global-rand dependencies in the
+// deterministic packages (DESIGN §5): time.Now, time.Since (which reads
+// the wall clock implicitly) and the top-level math/rand convenience
+// functions that draw from the shared global source. Seeded *rand.Rand
+// values stay legal — they are exactly how those packages are supposed to
+// get randomness — as do the rand.New/NewSource constructors that build
+// them. Both references and calls are flagged: storing time.Now into a
+// clock field is as nondeterministic as calling it.
+var NoDeterm = &Analyzer{
+	Name: "nodeterm",
+	Doc:  "forbid time.Now/time.Since and global math/rand functions in deterministic packages",
+	Run:  runNoDeterm,
+}
+
+// globalRandBanned is the denylist of math/rand (and math/rand/v2)
+// package-level functions that consult the process-global source.
+// Constructors (New, NewSource, NewZipf, NewPCG, NewChaCha8) are not
+// listed: they are the sanctioned path to seeded determinism.
+var globalRandBanned = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "IntN": true, "N": true,
+	"Uint": true, "Uint32": true, "Uint32N": true, "Uint64": true,
+	"Uint64N": true, "UintN": true, "Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true, "Perm": true,
+	"Shuffle": true, "Seed": true, "Read": true, "Text": true,
+}
+
+func runNoDeterm(pass *Pass) error {
+	if !inDeterministicScope(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Info.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			switch {
+			case isPkgFunc(obj, "time", "Now"):
+				pass.Reportf(id.Pos(), "time.Now in deterministic package %s: inject a clock instead", pass.Path)
+			case isPkgFunc(obj, "time", "Since"):
+				pass.Reportf(id.Pos(), "time.Since reads the wall clock; deterministic package %s must difference injected times", pass.Path)
+			case isGlobalRand(obj):
+				pass.Reportf(id.Pos(), "global math/rand.%s in deterministic package %s: use a seeded *rand.Rand", obj.Name(), pass.Path)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isGlobalRand reports whether obj is a banned package-level function of
+// math/rand or math/rand/v2.
+func isGlobalRand(obj *types.Func) bool {
+	if obj.Pkg() == nil || !globalRandBanned[obj.Name()] {
+		return false
+	}
+	p := obj.Pkg().Path()
+	if p != "math/rand" && p != "math/rand/v2" {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

@@ -1,0 +1,37 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SleepBan forbids raw time.Sleep in internal/ library code. Waits must go
+// through the resilience layer's injectable sleep (Policy.Sleep /
+// Policy.sleep's timer+context select) so tests and the fault campaign can
+// run them on a synthetic clock and a shutdown can interrupt them. Both
+// calls and stored references are flagged.
+var SleepBan = &Analyzer{
+	Name: "sleepban",
+	Doc:  "forbid raw time.Sleep in internal/ code; waits go through the injectable resilience sleep",
+	Run:  runSleepBan,
+}
+
+func runSleepBan(pass *Pass) error {
+	if !inInternal(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Info.Uses[id].(*types.Func)
+			if ok && isPkgFunc(obj, "time", "Sleep") {
+				pass.Reportf(id.Pos(), "raw time.Sleep in %s: use the resilience layer's injectable sleep", pass.Path)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+// Command app is the fixture binary: a root context and an unchecked
+// fmt.Println are both legal outside internal/.
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"fixture/internal/svc"
+)
+
+func main() {
+	ctx := context.Background()
+	fmt.Println(svc.Ping(ctx))
+}

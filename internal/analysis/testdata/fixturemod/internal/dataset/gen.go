@@ -1,0 +1,7 @@
+// Package dataset sits in nodeterm's deterministic scope.
+package dataset
+
+import "time"
+
+// Stamp seeds the fixture's nodeterm violation.
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,9 @@
+// Package hot seeds the fixture's hotalloc violation.
+package hot
+
+import "fmt"
+
+// Render formats in an annotated hot path.
+//
+//iot:hotpath
+func Render(n int) string { return fmt.Sprintf("%d", n) }

@@ -1,0 +1,8 @@
+// Package miio matches the driver's vendor-I/O allowlist: the raw sleep
+// below must not surface as a finding.
+package miio
+
+import "time"
+
+// Settle would violate sleepban anywhere else.
+func Settle() { time.Sleep(time.Millisecond) }

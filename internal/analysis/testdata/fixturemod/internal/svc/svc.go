@@ -1,0 +1,34 @@
+// Package svc seeds the fixture's sleepban, errcheck and ctxrule
+// violations, plus one suppression the driver must honor.
+package svc
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Ping is the clean path the fixture binary calls.
+func Ping(ctx context.Context) string {
+	_ = ctx
+	return "pong"
+}
+
+// Wait seeds the sleepban violation.
+func Wait() { time.Sleep(time.Millisecond) }
+
+func touch() error { return errors.New("boom") }
+
+// Fire seeds the errcheck violation.
+func Fire() {
+	touch()
+}
+
+// Root seeds the ctxrule violation.
+func Root() context.Context { return context.Background() }
+
+// Allowed exercises the suppression grammar end to end.
+func Allowed() {
+	//iot:allow sleepban fixture exercises suppression through the driver
+	time.Sleep(time.Millisecond)
+}

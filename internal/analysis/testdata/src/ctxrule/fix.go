@@ -1,0 +1,46 @@
+// Package fix seeds ctxrule violations: a stored context, misplaced
+// parameters and fresh root contexts in library code.
+package fix
+
+import "context"
+
+type store struct {
+	name string
+	ctx  context.Context // want "context.Context stored in struct field"
+}
+
+func bad(name string, ctx context.Context) error { // want "context.Context must be the first parameter"
+	_ = name
+	_ = ctx
+	return nil
+}
+
+func good(ctx context.Context, name string) error {
+	_ = ctx
+	_ = name
+	return nil
+}
+
+type api interface {
+	Fetch(id int, ctx context.Context) error // want "context.Context must be the first parameter"
+}
+
+var _ = func(n int, ctx context.Context) { _ = n; _ = ctx } // want "context.Context must be the first parameter"
+
+func fresh() context.Context {
+	return context.Background() // want "context.Background in library code"
+}
+
+func todo() context.Context {
+	return context.TODO() // want "context.TODO in library code"
+}
+
+func allowed() context.Context {
+	//iot:allow ctxrule fixture demonstrates suppression
+	return context.Background()
+}
+
+var _ = store{}
+var _ = bad
+var _ = good
+var _ api

@@ -1,0 +1,46 @@
+// Package fix seeds errcheck violations and exercises every exclusion:
+// blank assignment, infallible writers and fmt.Fprint* into them.
+package fix
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func fail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func clean() int { return 1 }
+
+func drop() {
+	fail()    // want "unchecked error from fail"
+	pair()    // want "unchecked error from pair"
+	go fail() // want "dropped error from go statement"
+	clean()   // no error result: no diagnostic
+	_ = fail()
+	if err := fail(); err != nil {
+		_ = err
+	}
+	defer fail() // want "dropped error from deferred call"
+}
+
+func builders() string {
+	var b strings.Builder
+	var buf bytes.Buffer
+	h := sha256.New()
+	b.WriteString("ok")
+	buf.WriteByte('x')
+	h.Write([]byte("ok"))
+	fmt.Fprintf(&b, "%d", 1)
+	fmt.Fprintln(&buf, "x")
+	return b.String() + buf.String()
+}
+
+func allowed() {
+	//iot:allow errcheck fixture demonstrates suppression
+	fail()
+}

@@ -1,0 +1,41 @@
+// Package fix seeds hotalloc violations inside annotated functions and
+// proves unannotated functions stay out of scope.
+package fix
+
+import "fmt"
+
+//iot:hotpath
+func Hot(op string, n int) string {
+	s := fmt.Sprintf("%s:%d", op, n) // want "fmt.Sprintf allocates in hot path Hot"
+	s = s + op                       // want "string concatenation allocates in hot path Hot"
+	sink(n)                          // want "boxes int into interface"
+	_ = any(n)                       // want "conversion to .* allocates in hot path Hot"
+	return s
+}
+
+func sink(v any) {}
+
+// HotOK allocates nothing: pointer-shaped values cross into interfaces
+// without boxing, and constant concatenation folds at compile time.
+//
+//iot:hotpath
+func HotOK(xs []int) int {
+	const greeting = "hello" + " world"
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	sink(&total)
+	return total
+}
+
+//iot:hotpath
+func HotAllowed(op string) string {
+	//iot:allow hotalloc error path in fixture, demonstrates suppression
+	return fmt.Sprintf("%s!", op)
+}
+
+// Cold is unannotated, so the same calls are legal here.
+func Cold(op string) string {
+	return fmt.Sprintf("%s!", op)
+}

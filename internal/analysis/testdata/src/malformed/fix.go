@@ -1,0 +1,21 @@
+// Package fix carries //iot:allow comments that violate the suppression
+// grammar: a missing reason and a missing analyzer. Both must surface as
+// iotlint diagnostics, and neither suppresses the finding below it.
+package fix
+
+import "time"
+
+func reasonless() {
+	//iot:allow sleepban
+	time.Sleep(time.Millisecond)
+}
+
+func bare() {
+	//iot:allow
+	time.Sleep(time.Millisecond)
+}
+
+func wellFormed() {
+	//iot:allow sleepban a reason that satisfies the grammar
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,43 @@
+// Package fix seeds nodeterm violations; the harness checks it under a
+// deterministic-scope import path.
+package fix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want "time.Now in deterministic package"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since reads the wall clock"
+}
+
+func draw() int {
+	return rand.Intn(6) // want "global math/rand.Intn"
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand.Shuffle"
+}
+
+// defaultClock stores the wall clock, which is as nondeterministic as
+// calling it.
+var defaultClock = time.Now // want "time.Now in deterministic package"
+
+// seeded is the sanctioned pattern: a constructor-built *rand.Rand.
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+func allowed() time.Time {
+	//iot:allow nodeterm fixture demonstrates a standalone suppression
+	return time.Now()
+}
+
+func allowedTrailing() int {
+	return rand.Int() //iot:allow nodeterm fixture demonstrates a trailing suppression
+}

@@ -1,0 +1,19 @@
+// Package fix carries violations of every scoped analyzer but no want
+// comments: checked under a non-internal, non-deterministic import path,
+// all of them must stay silent.
+package fix
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+func fail() error { return errors.New("boom") }
+
+func outOfScope() time.Time {
+	time.Sleep(time.Millisecond)
+	fail()
+	_ = rand.Intn(6)
+	return time.Now()
+}

@@ -1,0 +1,18 @@
+// Package fix seeds sleepban violations; the harness checks it under an
+// internal/ import path.
+package fix
+
+import "time"
+
+func waitabit() {
+	time.Sleep(time.Millisecond) // want "raw time.Sleep"
+}
+
+// sleeper stores the raw sleep, which smuggles it past a call-site-only
+// check.
+var sleeper = time.Sleep // want "raw time.Sleep"
+
+func allowed() {
+	//iot:allow sleepban fixture demonstrates suppression
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// This file is the stdlib-only stand-in for golang.org/x/tools'
+// analysistest: fixture packages under testdata/ carry
+//
+//	// want "regexp" ["regexp" ...]
+//
+// comments, and RunWant asserts that the diagnostics the analyzers emit
+// on each line match those expectations exactly — every want must be
+// matched by a diagnostic and every diagnostic by a want. Suppressed
+// (//iot:allow) findings must NOT carry a want: the harness runs the same
+// suppression pass as the engine, so fixtures double as tests of the
+// suppression grammar.
+
+// wantTag introduces an expectation comment.
+const wantTag = "// want "
+
+// wantRE extracts the quoted regexps from a want comment.
+var wantRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// want is one expectation at a file line.
+type want struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// RunWant loads the fixture directory under the synthetic import path
+// (whose segments select the analyzer scopes, e.g.
+// "iotsid/internal/dataset/fix"), runs the analyzers, and diffs the
+// findings against the fixture's want comments.
+func RunWant(t *testing.T, dir, importPath string, analyzers ...*Analyzer) {
+	t.Helper()
+	pkg, err := LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	diags, err := RunPackage(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("run analyzers on %s: %v", dir, err)
+	}
+	active, _, _ := splitSuppressed(pkg, diags, nil)
+
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatalf("parse want comments in %s: %v", dir, err)
+	}
+	for _, d := range active {
+		if !matchWant(wants[lineKey{d.File, d.Line}], d.Message) {
+			t.Errorf("unexpected diagnostic %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matched want %s", key.file, key.line, w.raw)
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// collectWants parses every want comment in the fixture package.
+func collectWants(pkg *Package) (map[lineKey][]*want, error) {
+	out := make(map[lineKey][]*want)
+	for _, f := range pkg.Files {
+		abs := pkg.Fset.Position(f.Pos()).Filename
+		file := relPath(pkg.ModDir, abs)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, wantTag)
+				if idx < 0 {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				raws := wantRE.FindAllString(c.Text[idx+len(wantTag):], -1)
+				if len(raws) == 0 {
+					return nil, fmt.Errorf("%s:%d: want comment with no quoted regexp", file, line)
+				}
+				for _, raw := range raws {
+					pat, err := strconv.Unquote(raw)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: unquote %s: %w", file, line, raw, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: compile %s: %w", file, line, raw, err)
+					}
+					out[lineKey{file, line}] = append(out[lineKey{file, line}], &want{re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// matchWant consumes the first unmatched want whose regexp matches msg.
+func matchWant(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

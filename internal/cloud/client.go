@@ -99,7 +99,7 @@ func (c *Client) do(method, path string, body, out any) error {
 	if err != nil {
 		return fmt.Errorf("cloud: %s %s: %w", method, path, err)
 	}
-	defer resp.Body.Close()
+	defer func() { _ = resp.Body.Close() }() // best-effort: read errors surface via the decoder
 	if resp.StatusCode != http.StatusOK {
 		var eb errorBody
 		msg := resp.Status

@@ -110,10 +110,13 @@ func (f *Framework) Detector() *Detector { return f.detector }
 // an explicit rejection while non-sensitive instructions still judge
 // against the partial context — the explicit choice between bounded
 // staleness and failing closed, never crashing open.
+//
+//iot:hotpath
 func (f *Framework) Authorize(ctx context.Context, in instr.Instruction) (Decision, error) {
 	start := f.now()
 	snap, prov, err := f.collect(ctx)
 	if err != nil {
+		//iot:allow hotalloc error path, never taken steady-state; the AllocsPerRun gate proves the allow path is 0-alloc
 		return Decision{}, fmt.Errorf("core: collect context: %w", err)
 	}
 	if dec, failed := f.failClosed(in, prov, snap); failed {

@@ -136,6 +136,8 @@ func (j *Judger) outOfScopeReason(c instr.Category) string {
 // Judge decides one instruction against a sensor context. The steady-state
 // allow path allocates nothing: reasons are interned per opcode, the
 // feature vector is pooled, and the compiled tree walks a flat node slice.
+//
+//iot:hotpath
 func (j *Judger) Judge(in instr.Instruction, ctx sensor.Snapshot) (Decision, error) {
 	if !j.detector.IsSensitive(in) {
 		return Decision{

@@ -272,15 +272,19 @@ func (fm *FeatureMemory) Models() []dataset.Model {
 // allocation-free: the feature vector comes from the entry's buffer pool,
 // FeaturizeInto fills it in place, and the flattened tree is walked without
 // pointer chasing. Use JudgeExplain when the decision path is wanted.
+//
+//iot:hotpath
 func (fm *FeatureMemory) Judge(m dataset.Model, ctx sensor.Snapshot) (bool, error) {
 	e, ok := fm.Entry(m)
 	if !ok {
+		//iot:allow hotalloc error path, never taken steady-state; the AllocsPerRun gate proves the allow path is 0-alloc
 		return false, fmt.Errorf("core: no trained model for %s", m)
 	}
 	bufp := e.bufs.Get().(*[]float64)
 	err := m.FeaturizeInto(ctx, *bufp)
 	if err != nil {
 		e.bufs.Put(bufp)
+		//iot:allow hotalloc error path, never taken steady-state; the AllocsPerRun gate proves the allow path is 0-alloc
 		return false, fmt.Errorf("core: featurize context for %s: %w", m, err)
 	}
 	legal := e.compiled.Predict(*bufp) == 1

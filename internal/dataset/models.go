@@ -198,24 +198,30 @@ func (m Model) Featurize(snap sensor.Snapshot) ([]float64, error) {
 // FeaturizeInto encodes a snapshot into a caller-provided buffer — the
 // allocation-free form of Featurize for the inference fast path. buf must
 // have exactly the model's FeatureWidth.
+//
+//iot:hotpath
 func (m Model) FeaturizeInto(snap sensor.Snapshot, buf []float64) error {
 	specs, ok := modelSpecs[m]
 	if !ok {
+		//iot:allow hotalloc error path, never taken steady-state; the AllocsPerRun gate proves the allow path is 0-alloc
 		return fmt.Errorf("dataset: unknown model %q", m)
 	}
 	if len(buf) != len(specs) {
+		//iot:allow hotalloc error path, never taken steady-state; the AllocsPerRun gate proves the allow path is 0-alloc
 		return fmt.Errorf("dataset: feature buffer %d, model %s needs %d", len(buf), m, len(specs))
 	}
 	for i := range specs {
 		s := &specs[i]
 		v, ok := snap.Get(s.feat)
 		if !ok {
+			//iot:allow hotalloc error path, never taken steady-state; the AllocsPerRun gate proves the allow path is 0-alloc
 			return fmt.Errorf("dataset: snapshot missing feature %q for model %s", s.feat, m)
 		}
 		switch s.typ {
 		case sensor.TypeBool:
 			b, isBool := v.Bool()
 			if !isBool {
+				//iot:allow hotalloc error path, never taken steady-state; the AllocsPerRun gate proves the allow path is 0-alloc
 				return fmt.Errorf("dataset: feature %q not boolean", s.feat)
 			}
 			if b {
@@ -226,6 +232,7 @@ func (m Model) FeaturizeInto(snap sensor.Snapshot, buf []float64) error {
 		case sensor.TypeLabel:
 			l, isLabel := v.Label()
 			if !isLabel {
+				//iot:allow hotalloc error path, never taken steady-state; the AllocsPerRun gate proves the allow path is 0-alloc
 				return fmt.Errorf("dataset: feature %q not a label", s.feat)
 			}
 			idx := -1
@@ -236,12 +243,14 @@ func (m Model) FeaturizeInto(snap sensor.Snapshot, buf []float64) error {
 				}
 			}
 			if idx < 0 {
+				//iot:allow hotalloc error path, never taken steady-state; the AllocsPerRun gate proves the allow path is 0-alloc
 				return fmt.Errorf("dataset: feature %q label %q outside domain", s.feat, l)
 			}
 			buf[i] = float64(idx)
 		default:
 			n, isNum := v.Number()
 			if !isNum {
+				//iot:allow hotalloc error path, never taken steady-state; the AllocsPerRun gate proves the allow path is 0-alloc
 				return fmt.Errorf("dataset: feature %q not numeric", s.feat)
 			}
 			buf[i] = n

@@ -103,7 +103,10 @@ type roundOutcome struct {
 // outcomes land in index slots, merged in round order. The tally is
 // therefore identical for every worker count (and rounds no longer leak
 // device state into each other through the shared environment).
-func (s *Suite) Campaign(rounds int) (CampaignResult, error) {
+//
+// ctx bounds every Authorize call; the campaign aborts on the first
+// judgment error, so cancellation propagates between rounds too.
+func (s *Suite) Campaign(ctx context.Context, rounds int) (CampaignResult, error) {
 	if rounds <= 0 {
 		return CampaignResult{}, fmt.Errorf("eval: rounds must be positive")
 	}
@@ -127,13 +130,13 @@ func (s *Suite) Campaign(rounds int) (CampaignResult, error) {
 			return roundOutcome{}, err
 		}
 		rng := rand.New(rand.NewSource(s.Config.Seed + 202 + int64(round)))
-		fire := func(op, device string, ctx sensor.Snapshot) (blocked bool, err error) {
-			h.Env().Apply(ctx)
+		fire := func(op, device string, scene sensor.Snapshot) (blocked bool, err error) {
+			h.Env().Apply(scene)
 			in, err := registry.Build(op, device, instr.OriginUnknown, nil)
 			if err != nil {
 				return false, err
 			}
-			dec, err := framework.Authorize(context.Background(), in)
+			dec, err := framework.Authorize(ctx, in)
 			if err != nil {
 				return false, err
 			}
@@ -193,8 +196,8 @@ func (s *Suite) Campaign(rounds int) (CampaignResult, error) {
 }
 
 // RenderCampaign formats the campaign outcome.
-func (s *Suite) RenderCampaign(rounds int) (string, error) {
-	r, err := s.Campaign(rounds)
+func (s *Suite) RenderCampaign(ctx context.Context, rounds int) (string, error) {
+	r, err := s.Campaign(ctx, rounds)
 	if err != nil {
 		return "", err
 	}

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"testing"
 )
@@ -56,11 +57,11 @@ func TestCampaignDeterminism(t *testing.T) {
 	parallel := *s
 	parallel.Config.Workers = 8
 
-	a, err := serial.Campaign(12)
+	a, err := serial.Campaign(context.Background(), 12)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := parallel.Campaign(12)
+	b, err := parallel.Campaign(context.Background(), 12)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -406,7 +407,7 @@ func TestPreventionComparison(t *testing.T) {
 
 func TestCampaign(t *testing.T) {
 	s := suiteForTest(t)
-	r, err := s.Campaign(40)
+	r, err := s.Campaign(context.Background(), 40)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -437,10 +438,10 @@ func TestCampaign(t *testing.T) {
 	if r.FalseBlockRate() > 0.15 {
 		t.Errorf("false block rate = %v", r.FalseBlockRate())
 	}
-	if _, err := s.RenderCampaign(5); err != nil {
+	if _, err := s.RenderCampaign(context.Background(), 5); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Campaign(0); err == nil {
+	if _, err := s.Campaign(context.Background(), 0); err == nil {
 		t.Error("want rounds error")
 	}
 }

@@ -136,13 +136,13 @@ func (sc FaultScenario) optPlan(seed int64) func(int) core.FaultKind {
 // framework, fake clock, chaos plans and scene generator, all seeded from
 // the unit index before the fan-out — so the tables are identical at any
 // worker count.
-func (s *Suite) FaultCampaign(rounds int) ([]FaultScenarioResult, error) {
-	return s.FaultCampaignScenarios(DefaultFaultScenarios(), rounds)
+func (s *Suite) FaultCampaign(ctx context.Context, rounds int) ([]FaultScenarioResult, error) {
+	return s.FaultCampaignScenarios(ctx, DefaultFaultScenarios(), rounds)
 }
 
 // FaultCampaignScenarios is FaultCampaign over a caller-supplied scenario
-// list.
-func (s *Suite) FaultCampaignScenarios(scenarios []FaultScenario, rounds int) ([]FaultScenarioResult, error) {
+// list. ctx is the parent of every per-call timeout the rounds impose.
+func (s *Suite) FaultCampaignScenarios(ctx context.Context, scenarios []FaultScenario, rounds int) ([]FaultScenarioResult, error) {
 	if rounds <= 0 {
 		return nil, fmt.Errorf("eval: rounds must be positive")
 	}
@@ -151,7 +151,7 @@ func (s *Suite) FaultCampaignScenarios(scenarios []FaultScenario, rounds int) ([
 	}
 	units := len(scenarios) * rounds
 	outcomes, err := par.Map(units, s.Config.Workers, func(u int) (FaultScenarioResult, error) {
-		return s.faultRound(scenarios[u/rounds], int64(u))
+		return s.faultRound(ctx, scenarios[u/rounds], int64(u))
 	})
 	if err != nil {
 		return nil, err
@@ -167,7 +167,7 @@ func (s *Suite) FaultCampaignScenarios(scenarios []FaultScenario, rounds int) ([
 }
 
 // faultRound runs one self-contained round of one scenario.
-func (s *Suite) faultRound(sc FaultScenario, unit int64) (FaultScenarioResult, error) {
+func (s *Suite) faultRound(ctx context.Context, sc FaultScenario, unit int64) (FaultScenarioResult, error) {
 	h, err := home.NewStandard(home.EnvConfig{Seed: s.Config.Seed + 303})
 	if err != nil {
 		return FaultScenarioResult{}, err
@@ -238,8 +238,8 @@ func (s *Suite) faultRound(sc FaultScenario, unit int64) (FaultScenarioResult, e
 			return false, false, err
 		}
 		now = now.Add(5 * time.Second)
-		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
-		dec, err := framework.Authorize(ctx, in)
+		callCtx, cancel := context.WithTimeout(ctx, time.Second)
+		dec, err := framework.Authorize(callCtx, in)
 		cancel()
 		if err != nil {
 			res.CollectErrors++
@@ -309,8 +309,8 @@ func (s *Suite) faultRound(sc FaultScenario, unit int64) (FaultScenarioResult, e
 
 // RenderFaultCampaign formats the availability-versus-safety table of the
 // fault campaign.
-func (s *Suite) RenderFaultCampaign(rounds int) (string, error) {
-	results, err := s.FaultCampaign(rounds)
+func (s *Suite) RenderFaultCampaign(ctx context.Context, rounds int) (string, error) {
+	results, err := s.FaultCampaign(ctx, rounds)
 	if err != nil {
 		return "", err
 	}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -9,7 +10,7 @@ import (
 func faultResults(t *testing.T, rounds int) map[string]FaultScenarioResult {
 	t.Helper()
 	s := suiteForTest(t)
-	results, err := s.FaultCampaign(rounds)
+	results, err := s.FaultCampaign(context.Background(), rounds)
 	if err != nil {
 		t.Fatalf("FaultCampaign: %v", err)
 	}
@@ -106,11 +107,11 @@ func TestFaultCampaignDeterminism(t *testing.T) {
 	parallel := *s
 	parallel.Config.Workers = 8
 
-	a, err := serial.FaultCampaign(3)
+	a, err := serial.FaultCampaign(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := parallel.FaultCampaign(3)
+	b, err := parallel.FaultCampaign(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestFaultCampaignDeterminism(t *testing.T) {
 // TestRenderFaultCampaign: the table renders one row per scenario.
 func TestRenderFaultCampaign(t *testing.T) {
 	s := suiteForTest(t)
-	out, err := s.RenderFaultCampaign(2)
+	out, err := s.RenderFaultCampaign(context.Background(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,10 +140,10 @@ func TestRenderFaultCampaign(t *testing.T) {
 // TestFaultCampaignValidation covers the argument checks.
 func TestFaultCampaignValidation(t *testing.T) {
 	s := suiteForTest(t)
-	if _, err := s.FaultCampaign(0); err == nil {
+	if _, err := s.FaultCampaign(context.Background(), 0); err == nil {
 		t.Error("want rounds error")
 	}
-	if _, err := s.FaultCampaignScenarios(nil, 2); err == nil {
+	if _, err := s.FaultCampaignScenarios(context.Background(), nil, 2); err == nil {
 		t.Error("want empty-scenarios error")
 	}
 }

@@ -123,6 +123,7 @@ func (c *Client) handshake() error {
 // Call issues one encrypted method call and decodes the result into a raw
 // JSON message. RPC-level errors surface as *RPCError.
 func (c *Client) Call(method string, params any) (json.RawMessage, error) {
+	//iot:allow ctxrule Call is the context-free compat API; the client's own call budget still bounds it
 	return c.CallContext(context.Background(), method, params)
 }
 

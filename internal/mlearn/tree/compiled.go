@@ -73,6 +73,8 @@ func (c *Compiled) NodeCount() int { return len(c.nodes) }
 
 // Predict labels one example. It allocates nothing and matches
 // Tree.Predict exactly.
+//
+//iot:hotpath
 func (c *Compiled) Predict(x []float64) int {
 	nodes := c.nodes
 	i := int32(0)
@@ -101,8 +103,11 @@ func (c *Compiled) Predict(x []float64) int {
 // PredictInto labels a batch into a caller-provided buffer (the
 // allocation-free batch form). out must be at least as long as xs; the
 // filled prefix is returned.
+//
+//iot:hotpath
 func (c *Compiled) PredictInto(xs [][]float64, out []int) ([]int, error) {
 	if len(out) < len(xs) {
+		//iot:allow hotalloc error path, never taken steady-state; the AllocsPerRun gate proves the allow path is 0-alloc
 		return nil, fmt.Errorf("tree: predict buffer %d short of batch %d", len(out), len(xs))
 	}
 	for i, x := range xs {

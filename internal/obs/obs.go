@@ -34,6 +34,8 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//iot:hotpath
 func (c *Counter) Inc() {
 	if c == nil {
 		return
@@ -43,6 +45,8 @@ func (c *Counter) Inc() {
 
 // Add adds n. Counters are monotonic; negative deltas are a programmer
 // error and are ignored.
+//
+//iot:hotpath
 func (c *Counter) Add(n uint64) {
 	if c == nil {
 		return
@@ -65,6 +69,8 @@ type Gauge struct {
 }
 
 // Set stores the value.
+//
+//iot:hotpath
 func (g *Gauge) Set(v int64) {
 	if g == nil {
 		return
@@ -73,6 +79,8 @@ func (g *Gauge) Set(v int64) {
 }
 
 // Add moves the gauge by delta (negative to decrease).
+//
+//iot:hotpath
 func (g *Gauge) Add(delta int64) {
 	if g == nil {
 		return
@@ -118,6 +126,8 @@ func newHistogram(bounds []float64) (*Histogram, error) {
 }
 
 // Observe records one sample.
+//
+//iot:hotpath
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return

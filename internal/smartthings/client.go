@@ -139,7 +139,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte
 	if err != nil {
 		return fmt.Errorf("smartthings: %s %s: %w", method, path, err)
 	}
-	defer resp.Body.Close()
+	defer func() { _ = resp.Body.Close() }() // best-effort: read errors surface via the decoder
 	if resp.StatusCode != http.StatusOK {
 		var apiErr apiError
 		msg := resp.Status

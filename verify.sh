@@ -6,6 +6,33 @@ set -eux
 
 go build ./...
 go vet ./...
+
+# Formatting gate: the whole tree (fixtures included) must be gofmt-clean.
+fmt_drift="$(gofmt -l .)"
+if [ -n "$fmt_drift" ]; then
+    printf 'gofmt gate: files need reformatting:\n%s\n' "$fmt_drift" >&2
+    exit 1
+fi
+
+# Dependency-hygiene gate: the module is stdlib-only and its require block
+# is empty by policy — any tidy drift means a dependency (or stale
+# directive) snuck into go.mod.
+if ! go mod tidy -diff; then
+    echo 'go mod tidy gate: go.mod is not tidy — run "go mod tidy" and inspect the diff' >&2
+    exit 1
+fi
+
+# Static-analysis gate: iotlint (cmd/iotlint, DESIGN.md section 10)
+# machine-enforces the repo invariants — no wall clock or global rand in
+# deterministic packages, no allocation in //iot:hotpath functions, no raw
+# time.Sleep in internal/, context.Context discipline, no silently dropped
+# errors. Findings exit non-zero; suppress only with
+# "//iot:allow <analyzer> <reason>".
+if ! go run ./cmd/iotlint ./...; then
+    echo 'iotlint gate: invariant violation — fix it or add "//iot:allow <analyzer> <reason>"' >&2
+    exit 1
+fi
+
 go test -race ./...
 
 # Resilience gate: the retry/breaker/health machinery, the degraded-mode

@@ -15,6 +15,7 @@ import (
 	"iotsid/internal/bridge"
 	"iotsid/internal/core"
 	"iotsid/internal/dataset"
+	"iotsid/internal/epoch"
 	"iotsid/internal/eval"
 	"iotsid/internal/home"
 	"iotsid/internal/instr"
@@ -344,6 +345,99 @@ func BenchmarkAuthorizeInstrumented(b *testing.B) {
 			i++
 		}
 	})
+}
+
+// BenchmarkAuthorizeEpoch is the event-driven twin of
+// BenchmarkAuthorizeInstrumented: the same legal-scene workload and full
+// metrics registry, but the context comes from an epoch store published by
+// a (pre-benchmark) push instead of a TTL-cached poll — steady-state
+// Authorize is a pointer read. Acceptance bars: 0 allocs/op, and within
+// ~2× of BenchmarkOverheadJudge (EXPERIMENTS.md records the head-to-head
+// vs the cached collector).
+func BenchmarkAuthorizeEpoch(b *testing.B) {
+	s := sharedSuite(b)
+	snap, err := dataset.LegalSceneSeeded(dataset.ModelWindow, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	store, err := epoch.NewStore(epoch.Config{Metrics: reg},
+		epoch.SourceConfig{Name: "sim", Required: true, FreshFor: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := store.Push("sim", snap); err != nil {
+		b.Fatal(err)
+	}
+	coll, err := core.NewEpochCollector(core.EpochCollectorConfig{}, store)
+	if err != nil {
+		b.Fatal(err)
+	}
+	det, err := core.DefaultDetector()
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := core.New(core.Config{Detector: det, Collector: coll, Memory: s.Memory, Metrics: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ins := make([]instr.Instruction, 8)
+	for i := range ins {
+		in, err := instr.BuiltinRegistry().Build("window.open", fmt.Sprintf("window-%d", i+1), instr.OriginUser, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ins[i] = in
+	}
+	// Warm the feature-buffer pool and the reason table.
+	if _, err := f.Authorize(context.Background(), ins[0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			dec, err := f.Authorize(context.Background(), ins[i%len(ins)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !dec.Allowed {
+				b.Fatal("legal scene must be allowed")
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkEpochCollectDetailed isolates the event-driven collection step
+// Authorize runs per decision: one atomic pointer load plus a per-source
+// push-age check against the precomputed freshness budget.
+func BenchmarkEpochCollectDetailed(b *testing.B) {
+	snap, err := dataset.LegalSceneSeeded(dataset.ModelWindow, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := epoch.NewStore(epoch.Config{},
+		epoch.SourceConfig{Name: "sim", Required: true, FreshFor: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := store.Push("sim", snap); err != nil {
+		b.Fatal(err)
+	}
+	coll, err := core.NewEpochCollector(core.EpochCollectorConfig{}, store)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := coll.CollectDetailed(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkAuthorizeBatch measures the collect-once batch path against the

@@ -10,7 +10,7 @@
 //
 //	iotsidd [-hours 24] [-step 1m] [-seed 7] [-attack-every 4h]
 //	        [-miio-addr 127.0.0.1:0] [-st-addr 127.0.0.1:0] [-token HEX32]
-//	        [-aux-fault 0.2] [-aux-staleness 30s]
+//	        [-aux-fault 0.2] [-aux-staleness 30s] [-collection poll|push]
 package main
 
 import (
@@ -28,6 +28,7 @@ import (
 	"iotsid/internal/bridge"
 	"iotsid/internal/core"
 	"iotsid/internal/dataset"
+	"iotsid/internal/epoch"
 	"iotsid/internal/home"
 	"iotsid/internal/instr"
 	"iotsid/internal/miio"
@@ -60,6 +61,7 @@ func run() error {
 	loadMemory := flag.String("load-memory", "", "load a previously trained feature memory instead of training")
 	auxFault := flag.Float64("aux-fault", 0.2, "per-poll error probability of the optional aux sensor feed (0 disables chaos)")
 	auxStaleness := flag.Duration("aux-staleness", 30*time.Second, "budget for serving the aux feed's last-good snapshot after a failed poll")
+	collection := flag.String("collection", "poll", "sensor collection mode: poll (resilient multi-source polling) or push (event-driven epoch store)")
 	metricsAddr := flag.String("metrics-addr", "", "serve GET /metrics (Prometheus text), /healthz and /debug/pprof on this address (empty = disabled)")
 	dumpMetrics := flag.Bool("dump-metrics", false, "print the final metrics exposition to stdout on exit")
 	flag.Parse()
@@ -115,39 +117,70 @@ func run() error {
 		}
 		fmt.Printf("feature memory written to %s\n", *saveMemory)
 	}
-	// Sensor context: a resilient two-source collector. The sim feed is the
+	// Sensor context: two selectable collection paths.
+	//
+	// poll (default): a resilient two-source collector. The sim feed is the
 	// required vendor gateway — if it cannot answer, sensitive instructions
 	// fail closed. The aux feed is optional and chaos-wrapped, exercising
 	// degraded mode (retry, breaker, bounded-stale fallback) in a live run.
 	// It is declared first so the fresh required feed wins shared-feature
 	// merges.
+	//
+	// push: an epoch store fed by the simulator's event stream (plus a
+	// poll-to-push SmartThings adapter), so each Authorize is a pointer read
+	// of the latest published view instead of a fan-out poll.
 	health := resilience.NewRegistry()
-	auxRetry := resilience.Policy{MaxAttempts: 2, BaseDelay: time.Millisecond, Seed: *seed}
-	auxChaos := &core.ChaosCollector{Inner: &core.SimCollector{Env: h.Env()}, Plan: core.ChaosPlan(*seed, *auxFault, 0, 0)}
-	collector, err := core.NewMultiCollector(
-		core.MultiConfig{Health: health, Metrics: metrics},
-		core.Source{
-			Name:      "aux",
-			Collector: auxChaos,
-			Staleness: *auxStaleness,
-			Retry:     &auxRetry,
-			Breaker: resilience.NewBreaker(resilience.BreakerConfig{
-				Name: "aux", FailureThreshold: 5, OpenTimeout: 2 * time.Second,
-				OnStateChange: core.BreakerTransitionHook(metrics, "aux"),
-			}),
-		},
-		core.Source{
-			Name:      "sim",
-			Collector: &core.SimCollector{Env: h.Env()},
-			Required:  true,
-			Breaker: resilience.NewBreaker(resilience.BreakerConfig{
-				Name:          "sim",
-				OnStateChange: core.BreakerTransitionHook(metrics, "sim"),
-			}),
-		},
+	var (
+		collector core.DetailedCollector
+		auxChaos  *core.ChaosCollector
+		store     *epoch.Store
 	)
-	if err != nil {
-		return err
+	switch *collection {
+	case "poll":
+		auxRetry := resilience.Policy{MaxAttempts: 2, BaseDelay: time.Millisecond, Seed: *seed}
+		auxChaos = &core.ChaosCollector{Inner: &core.SimCollector{Env: h.Env()}, Plan: core.ChaosPlan(*seed, *auxFault, 0, 0)}
+		collector, err = core.NewMultiCollector(
+			core.MultiConfig{Health: health, Metrics: metrics},
+			core.Source{
+				Name:      "aux",
+				Collector: auxChaos,
+				Staleness: *auxStaleness,
+				Retry:     &auxRetry,
+				Breaker: resilience.NewBreaker(resilience.BreakerConfig{
+					Name: "aux", FailureThreshold: 5, OpenTimeout: 2 * time.Second,
+					OnStateChange: core.BreakerTransitionHook(metrics, "aux"),
+				}),
+			},
+			core.Source{
+				Name:      "sim",
+				Collector: &core.SimCollector{Env: h.Env()},
+				Required:  true,
+				Breaker: resilience.NewBreaker(resilience.BreakerConfig{
+					Name:          "sim",
+					OnStateChange: core.BreakerTransitionHook(metrics, "sim"),
+				}),
+			},
+		)
+		if err != nil {
+			return err
+		}
+	case "push":
+		// The sim source is pushed every step; the SmartThings source is
+		// refreshed by the poll-to-push adapter on the same cadence. Both get
+		// a two-step freshness budget so one missed refresh degrades rather
+		// than fails.
+		store, err = epoch.NewStore(epoch.Config{Now: h.Env().Now, Metrics: metrics},
+			epoch.SourceConfig{Name: "sim", Required: true, FreshFor: 2 * *step},
+			epoch.SourceConfig{Name: "smartthings", FreshFor: 2 * *step})
+		if err != nil {
+			return err
+		}
+		collector, err = core.NewEpochCollector(core.EpochCollectorConfig{Now: h.Env().Now}, store)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -collection mode %q (want poll or push)", *collection)
 	}
 	framework, err := core.New(core.Config{
 		Detector:  detector,
@@ -216,6 +249,20 @@ func run() error {
 	fmt.Printf("miio gateway listening on %s (token %s)\n", gw.Addr(), token)
 	fmt.Printf("smartthings bridge on %s (token llat-iotsidd)\n", st.URL())
 
+	// Push mode: adapt the poll-only SmartThings bridge into the epoch store
+	// by polling it over its real REST surface and pushing the decoded delta.
+	var stPoller *bridge.STPoller
+	if store != nil {
+		stClient, err := smartthings.NewClient(st.URL(), "llat-iotsidd")
+		if err != nil {
+			return err
+		}
+		stPoller, err = bridge.NewSTPoller(stClient, store, "smartthings")
+		if err != nil {
+			return err
+		}
+	}
+
 	// Developer-mode event channel: pushes every sensor change to
 	// subscribers, as the vendor gateway's plaintext side channel does.
 	var pump *bridge.EventPump
@@ -271,6 +318,20 @@ func run() error {
 	var degradedSteps, staleServes, contextOutages int
 	for i := 0; i < steps; i++ {
 		h.Env().Step(*step)
+		if store != nil {
+			// Event delivery: the simulator pushes its post-step state and the
+			// SmartThings adapter re-polls the bridge, each publishing a new
+			// epoch for the collector's pointer-read hot path.
+			if err := store.Push("sim", h.Env().Snapshot()); err != nil {
+				return err
+			}
+			pctx, pcancel := context.WithTimeout(context.Background(), time.Second)
+			_, perr := stPoller.Poll(pctx)
+			pcancel()
+			if perr != nil {
+				return fmt.Errorf("smartthings poll-to-push: %w", perr)
+			}
+		}
 		// Refresh the merged sensor context through the resilient collector —
 		// the same collect a live cloud command would trigger — so the retry,
 		// breaker and staleness machinery (and the health registry) run hot
@@ -322,27 +383,33 @@ func run() error {
 	fmt.Printf("camera warnings by trigger: %v\n", warner.Stats())
 	fmt.Printf("sensor context: %d/%d collects degraded (%d stale fallbacks, %d full outages)\n",
 		degradedSteps, steps, staleServes, contextOutages)
-	fmt.Printf("aux feed: %d poll attempts across %d collects — the surplus is faults absorbed by retry\n",
-		auxChaos.Calls(), steps)
-	fmt.Println("source health at shutdown:")
-	for _, row := range health.Snapshot() {
-		role := "optional"
-		if row.Required {
-			role = "required"
+	if auxChaos != nil {
+		fmt.Printf("aux feed: %d poll attempts across %d collects — the surplus is faults absorbed by retry\n",
+			auxChaos.Calls(), steps)
+		fmt.Println("source health at shutdown:")
+		for _, row := range health.Snapshot() {
+			role := "optional"
+			if row.Required {
+				role = "required"
+			}
+			line := fmt.Sprintf("  %-4s %-8s state=%-8s", row.Name, role, row.State)
+			if row.Breaker != "" {
+				line += " breaker=" + row.Breaker
+			}
+			if row.LastError != "" {
+				line += " last_error=" + row.LastError
+			}
+			fmt.Println(line)
 		}
-		line := fmt.Sprintf("  %-4s %-8s state=%-8s", row.Name, role, row.State)
-		if row.Breaker != "" {
-			line += " breaker=" + row.Breaker
+		if health.Healthy() {
+			fmt.Println("  overall: healthy")
+		} else {
+			fmt.Println("  overall: DEGRADED — sensitive instructions fail closed")
 		}
-		if row.LastError != "" {
-			line += " last_error=" + row.LastError
-		}
-		fmt.Println(line)
 	}
-	if health.Healthy() {
-		fmt.Println("  overall: healthy")
-	} else {
-		fmt.Println("  overall: DEGRADED — sensitive instructions fail closed")
+	if store != nil {
+		fmt.Printf("epoch store: %d epochs published across %d steps (2 sources per step)\n",
+			store.View().Epoch, steps)
 	}
 	if devmode != nil {
 		fmt.Printf("devmode subscribers at shutdown: %d\n", devmode.Subscribers())

@@ -58,8 +58,12 @@ func TestRunFixtureModule(t *testing.T) {
 		perAnalyzer[d.Analyzer]++
 	}
 	for _, a := range All() {
-		if perAnalyzer[a.Name] != 1 {
-			t.Errorf("analyzer %s: want exactly 1 fixture finding, got %d", a.Name, perAnalyzer[a.Name])
+		want := 1
+		if a.Name == "hotalloc" {
+			want = 2 // the fixture seeds both a fmt call and a closure
+		}
+		if perAnalyzer[a.Name] != want {
+			t.Errorf("analyzer %s: want exactly %d fixture findings, got %d", a.Name, want, perAnalyzer[a.Name])
 		}
 	}
 	if len(res.Suppressed) != 1 || res.Suppressed[0].Analyzer != "sleepban" {

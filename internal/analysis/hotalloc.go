@@ -10,15 +10,17 @@ import (
 const hotpathTag = "//iot:hotpath"
 
 // HotAlloc is the static twin of the AllocsPerRun gates: inside functions
-// annotated //iot:hotpath it forbids the three allocation sources that
+// annotated //iot:hotpath it forbids the four allocation sources that
 // have historically crept into the fast path — fmt calls (every variadic
-// ...any argument boxes), string concatenation with + (non-constant), and
-// conversions of non-pointer-shaped concrete values to interface{}/any.
-// Error paths that genuinely never run steady-state carry //iot:allow
-// hotalloc suppressions with the reason spelled out.
+// ...any argument boxes), string concatenation with + (non-constant),
+// conversions of non-pointer-shaped concrete values to interface{}/any,
+// and function literals (a capturing closure escapes and allocates; even
+// a non-capturing one costs an escape-analysis gamble the hot path must
+// not take). Error paths that genuinely never run steady-state carry
+// //iot:allow hotalloc suppressions with the reason spelled out.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
-	Doc:  "forbid fmt calls, string building and interface boxing in //iot:hotpath functions",
+	Doc:  "forbid fmt calls, string building, interface boxing and closures in //iot:hotpath functions",
 	Run:  runHotAlloc,
 }
 
@@ -57,6 +59,9 @@ func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
 			checkHotCall(pass, name, n)
 		case *ast.BinaryExpr:
 			checkHotConcat(pass, name, n)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure allocates in hot path %s", name)
+			return false // the literal's own body is cold by definition
 		}
 		return true
 	})

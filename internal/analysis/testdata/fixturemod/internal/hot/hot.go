@@ -7,3 +7,15 @@ import "fmt"
 //
 //iot:hotpath
 func Render(n int) string { return fmt.Sprintf("%d", n) }
+
+// Sum folds through a closure in an annotated hot path.
+//
+//iot:hotpath
+func Sum(xs []int) int {
+	add := func(a, b int) int { return a + b }
+	total := 0
+	for _, x := range xs {
+		total = add(total, x)
+	}
+	return total
+}

@@ -13,6 +13,16 @@ func Hot(op string, n int) string {
 	return s
 }
 
+//iot:hotpath
+func HotClosure(xs []int) int {
+	total := 0
+	visit := func(x int) { total += x } // want "closure allocates in hot path HotClosure"
+	for _, x := range xs {
+		visit(x)
+	}
+	return total
+}
+
 func sink(v any) {}
 
 // HotOK allocates nothing: pointer-shaped values cross into interfaces

@@ -72,12 +72,18 @@ type Config struct {
 	// Gate is the optional IDS hook.
 	Gate Gate
 	// Context supplies the snapshot the gate judges against; required
-	// when Gate is set.
+	// when Gate is set (unless Collector is set instead).
 	Context ContextSource
+	// Collector, when non-nil, supplies the gate's context instead of
+	// Context — wire an event-driven core.EpochCollector here. It takes
+	// precedence over Context and is never TTL-wrapped: an epoch read is
+	// already a pointer dereference, caching it would only add staleness.
+	Collector core.Collector
 	// ContextTTL, when positive, caches the gate's sensor context for
 	// that long and single-flights concurrent collections, so a burst of
 	// commands shares one collector round trip instead of issuing one
-	// each. Zero keeps every command collecting fresh context.
+	// each. Zero keeps every command collecting fresh context. Ignored
+	// when Collector is set.
 	ContextTTL time.Duration
 	// ContextTimeout bounds each command's context collection (default 10s)
 	// — a hung gateway turns into a 503, not a wedged handler.
@@ -131,8 +137,12 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Forward == nil {
 		return nil, fmt.Errorf("cloud: server needs a forwarder")
 	}
-	if cfg.Gate != nil && cfg.Context == nil {
-		return nil, fmt.Errorf("cloud: a gate needs a context source")
+	if cfg.Gate != nil && cfg.Context == nil && cfg.Collector == nil {
+		return nil, fmt.Errorf("cloud: a gate needs a context source or a collector")
+	}
+	if cfg.Collector != nil {
+		cfg.Context = cfg.Collector.Collect
+		cfg.ContextTTL = 0
 	}
 	if cfg.Context != nil && cfg.ContextTTL > 0 {
 		cached, err := core.NewCachedCollector(core.CollectorFunc(cfg.Context), cfg.ContextTTL)

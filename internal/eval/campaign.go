@@ -86,10 +86,31 @@ func (r CampaignResult) FalseBlockRate() float64 {
 }
 
 // roundOutcome records one campaign round: per attack index, whether the
-// staged attack and the interleaved legitimate command were blocked.
+// staged attack and the interleaved legitimate command were blocked, plus
+// the full decisions so collection paths can be compared bit-for-bit.
 type roundOutcome struct {
-	attackBlocked []bool
-	legitBlocked  []bool
+	attackBlocked   []bool
+	legitBlocked    []bool
+	attackDecisions []core.Decision
+	legitDecisions  []core.Decision
+}
+
+// campaignMode parameterizes a campaign run over the collection path. The
+// setup hook builds one round's collector over its private home and
+// returns an optional sync hook the round runner calls after every scene
+// Apply — the push-mode bridge between staging a scene and deciding
+// against it (nil for paths that read the environment directly).
+type campaignMode struct {
+	setup func(h *home.Home) (core.Collector, func() error, error)
+}
+
+// polledMode is the baseline: every Authorize polls the environment.
+func polledMode() campaignMode {
+	return campaignMode{
+		setup: func(h *home.Home) (core.Collector, func() error, error) {
+			return &core.SimCollector{Env: h.Env()}, nil, nil
+		},
+	}
 }
 
 // Campaign runs a mixed attack campaign against a live deployment: per
@@ -107,76 +128,102 @@ type roundOutcome struct {
 // ctx bounds every Authorize call; the campaign aborts on the first
 // judgment error, so cancellation propagates between rounds too.
 func (s *Suite) Campaign(ctx context.Context, rounds int) (CampaignResult, error) {
-	if rounds <= 0 {
-		return CampaignResult{}, fmt.Errorf("eval: rounds must be positive")
-	}
-	detector, err := core.DefaultDetector()
+	outcomes, err := s.runCampaign(ctx, rounds, polledMode())
 	if err != nil {
 		return CampaignResult{}, err
 	}
+	return tallyCampaign(outcomes), nil
+}
+
+// runCampaign executes the round fan-out for one collection mode and
+// returns the per-round outcomes in round order.
+func (s *Suite) runCampaign(ctx context.Context, rounds int, mode campaignMode) ([]roundOutcome, error) {
+	if rounds <= 0 {
+		return nil, fmt.Errorf("eval: rounds must be positive")
+	}
+	detector, err := core.DefaultDetector()
+	if err != nil {
+		return nil, err
+	}
 	registry := instr.BuiltinRegistry()
 
-	outcomes, err := par.Map(rounds, s.Config.Workers, func(round int) (roundOutcome, error) {
+	return par.Map(rounds, s.Config.Workers, func(round int) (roundOutcome, error) {
 		h, err := home.NewStandard(home.EnvConfig{Seed: s.Config.Seed + 101})
+		if err != nil {
+			return roundOutcome{}, err
+		}
+		collector, sync, err := mode.setup(h)
 		if err != nil {
 			return roundOutcome{}, err
 		}
 		framework, err := core.New(core.Config{
 			Detector:  detector,
-			Collector: &core.SimCollector{Env: h.Env()},
+			Collector: collector,
 			Memory:    s.Memory,
 		})
 		if err != nil {
 			return roundOutcome{}, err
 		}
 		rng := rand.New(rand.NewSource(s.Config.Seed + 202 + int64(round)))
-		fire := func(op, device string, scene sensor.Snapshot) (blocked bool, err error) {
+		fire := func(op, device string, scene sensor.Snapshot) (core.Decision, error) {
 			h.Env().Apply(scene)
+			if sync != nil {
+				if err := sync(); err != nil {
+					return core.Decision{}, err
+				}
+			}
 			in, err := registry.Build(op, device, instr.OriginUnknown, nil)
 			if err != nil {
-				return false, err
+				return core.Decision{}, err
 			}
 			dec, err := framework.Authorize(ctx, in)
 			if err != nil {
-				return false, err
+				return core.Decision{}, err
 			}
 			if dec.Allowed {
 				// The instruction executes — the attack (or legit command)
 				// reaches the device.
 				if err := h.Execute(in); err != nil {
-					return false, err
+					return core.Decision{}, err
 				}
 			}
-			return !dec.Allowed, nil
+			return dec, nil
 		}
 
 		out := roundOutcome{
-			attackBlocked: make([]bool, len(campaignAttacks)),
-			legitBlocked:  make([]bool, len(campaignAttacks)),
+			attackBlocked:   make([]bool, len(campaignAttacks)),
+			legitBlocked:    make([]bool, len(campaignAttacks)),
+			attackDecisions: make([]core.Decision, len(campaignAttacks)),
+			legitDecisions:  make([]core.Decision, len(campaignAttacks)),
 		}
 		for i, a := range campaignAttacks {
 			ctx, err := dataset.AttackScene(a.Model, rng)
 			if err != nil {
 				return roundOutcome{}, err
 			}
-			if out.attackBlocked[i], err = fire(a.Op, a.Device, ctx); err != nil {
+			dec, err := fire(a.Op, a.Device, ctx)
+			if err != nil {
 				return roundOutcome{}, err
 			}
+			out.attackDecisions[i] = dec
+			out.attackBlocked[i] = !dec.Allowed
 			// A legitimate use of the same instruction, from a legal scene.
 			legalCtx, err := dataset.LegalScene(a.Model, rng)
 			if err != nil {
 				return roundOutcome{}, err
 			}
-			if out.legitBlocked[i], err = fire(a.Op, a.Device, legalCtx); err != nil {
+			if dec, err = fire(a.Op, a.Device, legalCtx); err != nil {
 				return roundOutcome{}, err
 			}
+			out.legitDecisions[i] = dec
+			out.legitBlocked[i] = !dec.Allowed
 		}
 		return out, nil
 	})
-	if err != nil {
-		return CampaignResult{}, err
-	}
+}
 
+// tallyCampaign folds per-round outcomes into the campaign tally.
+func tallyCampaign(outcomes []roundOutcome) CampaignResult {
 	res := CampaignResult{PerType: make(map[AttackType]CampaignCounts, len(campaignAttacks))}
 	for _, out := range outcomes {
 		for i, a := range campaignAttacks {
@@ -192,7 +239,7 @@ func (s *Suite) Campaign(ctx context.Context, rounds int) (CampaignResult, error
 			}
 		}
 	}
-	return res, nil
+	return res
 }
 
 // RenderCampaign formats the campaign outcome.

@@ -1,0 +1,101 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"iotsid/internal/core"
+	"iotsid/internal/epoch"
+	"iotsid/internal/home"
+)
+
+// epochMode runs the campaign over the event-driven path: each round owns
+// an epoch store clocked by its home's simulated time, and every staged
+// scene is pushed into the store before the decision fires — the
+// experiment's stand-in for the vendor event stream. The push budget is
+// generous (an hour of sim time) because scene staging never advances the
+// clock; staleness behaviour has its own tests, this mode measures
+// decision equivalence.
+func epochMode() campaignMode {
+	return campaignMode{
+		setup: func(h *home.Home) (core.Collector, func() error, error) {
+			now := h.Env().Now
+			store, err := epoch.NewStore(epoch.Config{Now: now},
+				epoch.SourceConfig{Name: "sim", Required: true, FreshFor: time.Hour})
+			if err != nil {
+				return nil, nil, err
+			}
+			collector, err := core.NewEpochCollector(core.EpochCollectorConfig{Now: now}, store)
+			if err != nil {
+				return nil, nil, err
+			}
+			sync := func() error { return store.Push("sim", h.Env().Snapshot()) }
+			return collector, sync, nil
+		},
+	}
+}
+
+// CampaignComparison is the head-to-head outcome of the same seeded
+// campaign run through the polled and the event-driven collection paths.
+type CampaignComparison struct {
+	Polled CampaignResult `json:"polled"`
+	Epoch  CampaignResult `json:"epoch"`
+	// Identical reports whether every decision — not just the tallies —
+	// matched bit-for-bit between the two paths.
+	Identical bool `json:"identical"`
+	// Divergences counts decision slots where the paths disagreed.
+	Divergences int `json:"divergences"`
+}
+
+// CampaignCompare runs the same seeded campaign through both collection
+// paths and compares the full decision streams element-wise. Both runs use
+// the suite's seed, so the scenes, instruction order and device state are
+// identical; any divergence is the collection path's doing.
+func (s *Suite) CampaignCompare(ctx context.Context, rounds int) (CampaignComparison, error) {
+	polled, err := s.runCampaign(ctx, rounds, polledMode())
+	if err != nil {
+		return CampaignComparison{}, fmt.Errorf("eval: polled campaign: %w", err)
+	}
+	epochOut, err := s.runCampaign(ctx, rounds, epochMode())
+	if err != nil {
+		return CampaignComparison{}, fmt.Errorf("eval: epoch campaign: %w", err)
+	}
+	cmp := CampaignComparison{
+		Polled: tallyCampaign(polled),
+		Epoch:  tallyCampaign(epochOut),
+	}
+	for r := range polled {
+		for i := range polled[r].attackDecisions {
+			if polled[r].attackDecisions[i] != epochOut[r].attackDecisions[i] {
+				cmp.Divergences++
+			}
+			if polled[r].legitDecisions[i] != epochOut[r].legitDecisions[i] {
+				cmp.Divergences++
+			}
+		}
+	}
+	cmp.Identical = cmp.Divergences == 0
+	return cmp, nil
+}
+
+// RenderCampaignCompare formats the comparison.
+func (s *Suite) RenderCampaignCompare(ctx context.Context, rounds int) (string, error) {
+	cmp, err := s.CampaignCompare(ctx, rounds)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Collection-path comparison — %d rounds, polled vs. event-driven\n", rounds)
+	fmt.Fprintf(&b, "  polled: interception %.1f%%, false blocks %.1f%%\n",
+		100*cmp.Polled.BlockRate(), 100*cmp.Polled.FalseBlockRate())
+	fmt.Fprintf(&b, "  epoch:  interception %.1f%%, false blocks %.1f%%\n",
+		100*cmp.Epoch.BlockRate(), 100*cmp.Epoch.FalseBlockRate())
+	if cmp.Identical {
+		fmt.Fprintf(&b, "  decision streams identical (every decision bit-for-bit equal)\n")
+	} else {
+		fmt.Fprintf(&b, "  DIVERGED: %d decision slots differ\n", cmp.Divergences)
+	}
+	return b.String(), nil
+}

@@ -16,9 +16,10 @@ import (
 // the gateway pushes {"cmd":"report",...} datagrams on sensor changes, and
 // subscriptions expire unless refreshed.
 
-// Report is one developer-mode push.
+// Report is one developer-mode push: a change report ("report") or the
+// gateway's periodic full-state keep-alive ("heartbeat").
 type Report struct {
-	Cmd   string          `json:"cmd"` // always "report"
+	Cmd   string          `json:"cmd"` // "report" or "heartbeat"
 	Model string          `json:"model"`
 	SID   string          `json:"sid"` // subdevice ID
 	Data  json.RawMessage `json:"data"`
@@ -145,13 +146,25 @@ func (d *DevMode) serve() {
 	}
 }
 
-// Push sends a report to every live subscriber and reaps expired ones.
+// Push sends a change report to every live subscriber and reaps expired
+// ones.
 func (d *DevMode) Push(model, sid string, data any) error {
+	return d.push("report", model, sid, data)
+}
+
+// Heartbeat sends the gateway's periodic full-state keep-alive — same
+// delivery as Push, tagged "heartbeat" so listeners can tell a
+// resynchronisation frame from an incremental change.
+func (d *DevMode) Heartbeat(model, sid string, data any) error {
+	return d.push("heartbeat", model, sid, data)
+}
+
+func (d *DevMode) push(cmd, model, sid string, data any) error {
 	raw, err := json.Marshal(data)
 	if err != nil {
 		return fmt.Errorf("miio: devmode marshal data: %w", err)
 	}
-	payload, err := json.Marshal(Report{Cmd: "report", Model: model, SID: sid, Data: raw})
+	payload, err := json.Marshal(Report{Cmd: cmd, Model: model, SID: sid, Data: raw})
 	if err != nil {
 		return fmt.Errorf("miio: devmode marshal report: %w", err)
 	}
@@ -246,7 +259,7 @@ func (l *DevModeListener) listen() {
 			return
 		}
 		var r Report
-		if err := json.Unmarshal(buf[:n], &r); err != nil || r.Cmd != "report" {
+		if err := json.Unmarshal(buf[:n], &r); err != nil || (r.Cmd != "report" && r.Cmd != "heartbeat") {
 			continue
 		}
 		select {

@@ -46,6 +46,17 @@ go test -race -count=1 -run 'Fault' ./internal/eval/
 go test -race -count=1 -run 'Call|Retry|Timeout|Permanent|Context' ./internal/miio/ ./internal/smartthings/
 go test -race -count=1 -run 'Healthz|RetryAfter|ContextTimeout' ./internal/cloud/
 
+# Event-driven collection gate: the epoch store's writers and the
+# pointer-read hot path are concurrent by construction — run the push-path
+# suites focused under the race detector. The polled-vs-epoch decision
+# equivalence and its worker-count independence run here too (and
+# TestEpochCampaignDeterminism is picked up again by the Determinism gate
+# below, serial and pinned to one P).
+go test -race -count=1 ./internal/epoch/
+go test -race -count=1 -run 'Epoch' ./internal/core/ ./internal/cloud/
+go test -race -count=1 -run 'EventPump|DevModeFeed|STPoller' ./internal/bridge/
+go test -count=1 -run 'EpochCampaign' ./internal/eval/
+
 # Observability gate: the metrics registry is lock-free hot-path code wired
 # into every subsystem — run its suite focused under the race detector
 # (concurrent-hammer + golden-exposition tests), then smoke the fuzz targets

@@ -1,0 +1,368 @@
+// Command fleetload is the closed-loop load generator for the multi-tenant
+// fleet: it trains the IDS once, registers a configurable population of
+// homes behind an in-process cloud, then drives seeded per-home instruction
+// streams through POST /v1/fleet/authorize from concurrent closed-loop
+// workers (each waits for its batch's response before sending the next).
+//
+// The run is deterministic: every home owns an exclusive RNG derived from
+// -seed, sensitive instructions carry their (legal or attack) sensor scene
+// inline, and the decision stream folds into a per-home FNV-64 digest
+// combined in home order — the printed digest is bit-identical at any
+// -workers, -shards, or -batch setting. Throughput and latency, of course,
+// are not; those are what the knobs are for.
+//
+// Usage:
+//
+//	fleetload [-homes 10000] [-shards 16] [-workers 4] [-server-workers 0]
+//	          [-steps 5] [-batch 256] [-sensitive 0.7] [-attack 0.3]
+//	          [-seed 1] [-profile 127.0.0.1:0] [-out BENCH_fleet.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"iotsid/internal/cloud"
+	"iotsid/internal/core"
+	"iotsid/internal/dataset"
+	"iotsid/internal/fleet"
+	"iotsid/internal/instr"
+	"iotsid/internal/obs"
+	"iotsid/internal/sensor"
+
+	"math/rand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetload:", err)
+		os.Exit(1)
+	}
+}
+
+// modelOps maps each evaluated device model to one sensitive control op —
+// the device mix every home draws from.
+var modelOps = map[dataset.Model]struct{ op, device string }{
+	dataset.ModelWindow:  {"window.open", "win-1"},
+	dataset.ModelAircon:  {"aircon.on", "ac-1"},
+	dataset.ModelLight:   {"light.on", "lamp-1"},
+	dataset.ModelCurtain: {"curtain.open", "cur-1"},
+	dataset.ModelTV:      {"tv.on", "tv-1"},
+	dataset.ModelKitchen: {"cooker.start", "rc-1"},
+}
+
+type report struct {
+	Homes         int     `json:"homes"`
+	Shards        int     `json:"shards"`
+	Workers       int     `json:"workers"`
+	ServerWorkers int     `json:"server_workers"`
+	Steps         int     `json:"steps"`
+	Batch         int     `json:"batch"`
+	Sensitive     float64 `json:"sensitive_ratio"`
+	Attack        float64 `json:"attack_ratio"`
+	Seed          int64   `json:"seed"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+
+	Decisions   int     `json:"decisions"`
+	Allowed     int     `json:"allowed"`
+	Rejected    int     `json:"rejected"`
+	Requests    int     `json:"requests"`
+	WallSeconds float64 `json:"wall_seconds"`
+	DecPerSec   float64 `json:"decisions_per_sec"`
+	ReqPerSec   float64 `json:"requests_per_sec"`
+
+	P50Ms  float64 `json:"latency_p50_ms"`
+	P95Ms  float64 `json:"latency_p95_ms"`
+	P99Ms  float64 `json:"latency_p99_ms"`
+	MaxMs  float64 `json:"latency_max_ms"`
+	Digest string  `json:"digest"`
+}
+
+func run() error {
+	homes := flag.Int("homes", 10000, "home population")
+	shards := flag.Int("shards", 16, "fleet shard count")
+	workers := flag.Int("workers", 4, "closed-loop client workers")
+	serverWorkers := flag.Int("server-workers", 0, "per-request shard fan-out on the server (0 = GOMAXPROCS)")
+	steps := flag.Int("steps", 5, "instruction rounds per home")
+	batch := flag.Int("batch", 256, "items per /v1/fleet/authorize request")
+	sensitiveRatio := flag.Float64("sensitive", 0.7, "probability a step issues a sensitive control op (rest are status reads)")
+	attackRatio := flag.Float64("attack", 0.3, "probability a sensitive op carries an attack scene instead of a legal one")
+	seed := flag.Int64("seed", 1, "load seed (same seed ⇒ same digest at any worker/shard/batch count)")
+	profileAddr := flag.String("profile", "", "serve /metrics and /debug/pprof on this address during the run (empty = disabled)")
+	outPath := flag.String("out", "", "write the JSON report to this file")
+	flag.Parse()
+	if *homes <= 0 || *steps <= 0 || *batch <= 0 || *workers <= 0 {
+		return fmt.Errorf("-homes, -steps, -batch and -workers must be positive")
+	}
+
+	metrics := obs.Default()
+
+	fmt.Printf("training feature memory (corpus seed 1, build 42, train 9)...\n")
+	corpus, err := dataset.Corpus(dataset.CorpusConfig{Seed: 1})
+	if err != nil {
+		return err
+	}
+	memory, err := core.Train(corpus, dataset.BuildConfig{Seed: 42}, core.TrainConfig{Seed: 9})
+	if err != nil {
+		return err
+	}
+	detector, err := core.DefaultDetector()
+	if err != nil {
+		return err
+	}
+	registry, err := fleet.NewModelRegistry(memory)
+	if err != nil {
+		return err
+	}
+	fl, err := fleet.New(fleet.Config{
+		Detector: detector,
+		Models:   registry,
+		Shards:   *shards,
+		Metrics:  metrics,
+	})
+	if err != nil {
+		return err
+	}
+	ids := make([]string, *homes)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("home-%06d", i)
+		if _, err := fl.AddHome(fleet.HomeConfig{ID: ids[i]}); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("fleet: %d homes across %d shards, %d shared compiled models\n",
+		fl.HomeCount(), fl.ShardCount(), fl.Registry().Len())
+
+	srv, err := cloud.NewServer(cloud.Config{
+		Users:        map[string]string{"gateway": "loadtest"},
+		Registry:     instr.BuiltinRegistry(),
+		Forward:      func(in instr.Instruction) error { return nil },
+		Fleet:        fl,
+		FleetWorkers: *serverWorkers,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = srv.Close() }()
+
+	if *profileAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ln, err := net.Listen("tcp", *profileAddr)
+		if err != nil {
+			return fmt.Errorf("profile listener: %w", err)
+		}
+		ps := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() { _ = ps.Serve(ln) }()
+		defer func() { _ = ps.Close() }()
+		fmt.Printf("profiling: http://%s/debug/pprof/ and /metrics\n", ln.Addr())
+	}
+
+	// Per-home exclusive state: RNG and decision digest. Worker w owns
+	// homes with index i ≡ w (mod workers), so no per-home state is ever
+	// shared across workers and the digest needs no locks.
+	rngs := make([]*rand.Rand, *homes)
+	digests := make([]uint64, *homes)
+	for i := range rngs {
+		rngs[i] = rand.New(rand.NewSource(*seed + 9973*int64(i)))
+		digests[i] = 14695981039346656037 // FNV-64 offset basis
+	}
+	models := dataset.Models()
+
+	type workerStats struct {
+		latencies []time.Duration
+		requests  int
+		decisions int
+		allowed   int
+		rejected  int
+		err       error
+	}
+	stats := make([]workerStats, *workers)
+
+	fmt.Printf("load: %d steps × %d homes, %d workers, batch %d, %.0f%% sensitive / %.0f%% attack\n",
+		*steps, *homes, *workers, *batch, *sensitiveRatio*100, *attackRatio*100)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &stats[w]
+			c, err := cloud.NewClient(srv.URL())
+			if err == nil {
+				err = c.Login("gateway", "loadtest")
+			}
+			if err != nil {
+				st.err = err
+				return
+			}
+			items := make([]cloud.FleetBatchItem, 0, *batch)
+			owners := make([]int, 0, *batch) // home index per queued item
+			flush := func() error {
+				if len(items) == 0 {
+					return nil
+				}
+				t0 := time.Now()
+				results, err := c.FleetAuthorize(items)
+				if err != nil {
+					return err
+				}
+				st.latencies = append(st.latencies, time.Since(t0))
+				st.requests++
+				if len(results) != len(items) {
+					return fmt.Errorf("batch returned %d results for %d items", len(results), len(items))
+				}
+				for k, res := range results {
+					if res.Error != "" {
+						return fmt.Errorf("item %d (%s): %s", k, items[k].Home, res.Error)
+					}
+					st.decisions++
+					if res.Allowed {
+						st.allowed++
+					} else {
+						st.rejected++
+					}
+					// Fold (allowed, sensitive) into the owning home's
+					// digest — FNV-64a over two tag bytes.
+					i := owners[k]
+					d := digests[i]
+					b0, b1 := byte('d'), byte('n')
+					if res.Allowed {
+						b0 = 'a'
+					}
+					if res.Sensitive {
+						b1 = 's'
+					}
+					d = (d ^ uint64(b0)) * 1099511628211
+					d = (d ^ uint64(b1)) * 1099511628211
+					digests[i] = d
+				}
+				items = items[:0]
+				owners = owners[:0]
+				return nil
+			}
+			for s := 0; s < *steps; s++ {
+				for i := w; i < *homes; i += *workers {
+					rng := rngs[i]
+					if rng.Float64() < *sensitiveRatio {
+						m := models[rng.Intn(len(models))]
+						spec := modelOps[m]
+						var snap sensor.Snapshot
+						var err error
+						if rng.Float64() < *attackRatio {
+							snap, err = dataset.AttackScene(m, rng)
+						} else {
+							snap, err = dataset.LegalScene(m, rng)
+						}
+						if err != nil {
+							st.err = err
+							return
+						}
+						items = append(items, cloud.FleetItem(ids[i], spec.op, spec.device, &snap))
+					} else {
+						items = append(items, cloud.FleetItem(ids[i], "light.get_state", "lamp-1", nil))
+					}
+					owners = append(owners, i)
+					if len(items) == *batch {
+						if err := flush(); err != nil {
+							st.err = err
+							return
+						}
+					}
+				}
+				// Flush at step boundaries so each home's stream stays
+				// ordered and the digest is schedule-independent.
+				if err := flush(); err != nil {
+					st.err = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := report{
+		Homes: *homes, Shards: *shards, Workers: *workers, ServerWorkers: *serverWorkers,
+		Steps: *steps, Batch: *batch, Sensitive: *sensitiveRatio, Attack: *attackRatio,
+		Seed: *seed, GOMAXPROCS: runtime.GOMAXPROCS(0),
+		WallSeconds: wall.Seconds(),
+	}
+	var lats []time.Duration
+	for w := range stats {
+		if stats[w].err != nil {
+			return fmt.Errorf("worker %d: %w", w, stats[w].err)
+		}
+		rep.Requests += stats[w].requests
+		rep.Decisions += stats[w].decisions
+		rep.Allowed += stats[w].allowed
+		rep.Rejected += stats[w].rejected
+		lats = append(lats, stats[w].latencies...)
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		k := int(p * float64(len(lats)-1))
+		return float64(lats[k]) / float64(time.Millisecond)
+	}
+	rep.P50Ms, rep.P95Ms, rep.P99Ms = pct(0.50), pct(0.95), pct(0.99)
+	if len(lats) > 0 {
+		rep.MaxMs = float64(lats[len(lats)-1]) / float64(time.Millisecond)
+	}
+	rep.DecPerSec = float64(rep.Decisions) / wall.Seconds()
+	rep.ReqPerSec = float64(rep.Requests) / wall.Seconds()
+
+	// Combine the per-home digests in home-index order: the stream digest.
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, d := range digests {
+		for b := 0; b < 8; b++ {
+			buf[b] = byte(d >> (8 * b))
+		}
+		_, _ = h.Write(buf[:])
+	}
+	rep.Digest = fmt.Sprintf("%016x", h.Sum64())
+
+	fmt.Printf("\n%-22s %12s\n", "metric", "value")
+	fmt.Printf("%-22s %12d\n", "decisions", rep.Decisions)
+	fmt.Printf("%-22s %12d\n", "  allowed", rep.Allowed)
+	fmt.Printf("%-22s %12d\n", "  rejected", rep.Rejected)
+	fmt.Printf("%-22s %12d\n", "requests", rep.Requests)
+	fmt.Printf("%-22s %12.2f\n", "wall seconds", rep.WallSeconds)
+	fmt.Printf("%-22s %12.0f\n", "decisions/sec", rep.DecPerSec)
+	fmt.Printf("%-22s %12.0f\n", "requests/sec", rep.ReqPerSec)
+	fmt.Printf("%-22s %12.2f\n", "latency p50 (ms)", rep.P50Ms)
+	fmt.Printf("%-22s %12.2f\n", "latency p95 (ms)", rep.P95Ms)
+	fmt.Printf("%-22s %12.2f\n", "latency p99 (ms)", rep.P99Ms)
+	fmt.Printf("%-22s %12.2f\n", "latency max (ms)", rep.MaxMs)
+	fmt.Printf("%-22s %12s\n", "digest", rep.Digest)
+
+	if *outPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", *outPath)
+	}
+	return nil
+}

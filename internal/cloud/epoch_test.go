@@ -40,10 +40,6 @@ func TestCloudGateEpochCollector(t *testing.T) {
 		Forward:   fwd.forward,
 		Gate:      gate,
 		Collector: coll,
-		// ContextTTL must be ignored when Collector is set: were it
-		// honoured, the third command below would still see the cached
-		// smoke-free view and wrongly pass the gate.
-		ContextTTL: time.Hour,
 	})
 	if err != nil {
 		t.Fatal(err)

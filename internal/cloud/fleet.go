@@ -1,0 +1,222 @@
+package cloud
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"iotsid/internal/fleet"
+	"iotsid/internal/instr"
+	"iotsid/internal/sensor"
+)
+
+// Fleet endpoints: the multi-tenant face of the cloud. A gateway batches
+// many homes' traffic into one round trip; the cloud fans it out across the
+// fleet's shards and answers per item, so one tenant's bad request never
+// aborts another tenant's instructions.
+
+// FleetBatchItem is one instruction in a fleet batch. Context, when
+// present, is pushed as the home's newest sensor snapshot before judging
+// ("push before judge" — the gateway ships state and commands together).
+type FleetBatchItem struct {
+	Home     string           `json:"home"`
+	Op       string           `json:"op"`
+	DeviceID string           `json:"device_id"`
+	Args     map[string]any   `json:"args,omitempty"`
+	Context  *sensor.Snapshot `json:"context,omitempty"`
+}
+
+type fleetAuthorizeRequest struct {
+	Items []FleetBatchItem `json:"items"`
+}
+
+// FleetResult mirrors one item: either a decision or a per-item
+// error string (unknown home, unknown opcode, judge failure).
+type FleetResult struct {
+	Allowed   bool   `json:"allowed"`
+	Sensitive bool   `json:"sensitive"`
+	Model     string `json:"model,omitempty"`
+	Reason    string `json:"reason,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+type fleetAuthorizeResponse struct {
+	Results []FleetResult `json:"results"`
+}
+
+// maxFleetBatch bounds one request's item count — a fleet batch is a
+// decision window's traffic, not a bulk import.
+const maxFleetBatch = 65536
+
+func (s *Server) handleFleetAuthorize(w http.ResponseWriter, r *http.Request) {
+	if s.sessionUser(r) == "" {
+		writeJSON(w, http.StatusUnauthorized, errorBody{Error: "login required"})
+		return
+	}
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	var req fleetAuthorizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid JSON body"})
+		return
+	}
+	if len(req.Items) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "empty batch"})
+		return
+	}
+	if len(req.Items) > maxFleetBatch {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("batch exceeds %d items", maxFleetBatch)})
+		return
+	}
+	results := make([]FleetResult, len(req.Items))
+	// Build the instructions first; items that fail to build get their
+	// error recorded in place and the survivors keep their positions via
+	// the index map.
+	items := make([]fleet.BatchItem, 0, len(req.Items))
+	idxs := make([]int, 0, len(req.Items))
+	for i, it := range req.Items {
+		in, err := s.cfg.Registry.Build(it.Op, it.DeviceID, instr.OriginUser, it.Args)
+		if err != nil {
+			results[i] = FleetResult{Error: err.Error()}
+			continue
+		}
+		items = append(items, fleet.BatchItem{Home: it.Home, In: in, Context: it.Context})
+		idxs = append(idxs, i)
+	}
+	out, err := s.cfg.Fleet.AuthorizeBatch(r.Context(), items, s.cfg.FleetWorkers)
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	}
+	for k, res := range out {
+		i := idxs[k]
+		if res.Err != "" {
+			results[i] = FleetResult{Error: res.Err}
+			continue
+		}
+		results[i] = FleetResult{
+			Allowed:   res.Decision.Allowed,
+			Sensitive: res.Decision.Sensitive,
+			Model:     string(res.Decision.Model),
+			Reason:    res.Decision.Reason,
+		}
+	}
+	writeJSON(w, http.StatusOK, fleetAuthorizeResponse{Results: results})
+}
+
+// fleetContextPush is one home's snapshot in a context-push batch.
+type fleetContextPush struct {
+	Home    string          `json:"home"`
+	Context sensor.Snapshot `json:"context"`
+}
+
+type fleetContextRequest struct {
+	Pushes []fleetContextPush `json:"pushes"`
+}
+
+type fleetContextResponse struct {
+	Accepted int      `json:"accepted"`
+	Errors   []string `json:"errors,omitempty"`
+}
+
+func (s *Server) handleFleetContext(w http.ResponseWriter, r *http.Request) {
+	if s.sessionUser(r) == "" {
+		writeJSON(w, http.StatusUnauthorized, errorBody{Error: "login required"})
+		return
+	}
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	var req fleetContextRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid JSON body"})
+		return
+	}
+	if len(req.Pushes) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "empty push batch"})
+		return
+	}
+	if len(req.Pushes) > maxFleetBatch {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("batch exceeds %d pushes", maxFleetBatch)})
+		return
+	}
+	resp := fleetContextResponse{}
+	for _, p := range req.Pushes {
+		if err := s.cfg.Fleet.PushContext(p.Home, p.Context); err != nil {
+			resp.Errors = append(resp.Errors, err.Error())
+			continue
+		}
+		resp.Accepted++
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// FleetAuthorize submits a mixed-home batch and returns the per-item
+// results (client side of POST /v1/fleet/authorize).
+func (c *Client) FleetAuthorize(items []FleetBatchItem) ([]FleetResult, error) {
+	var resp fleetAuthorizeResponse
+	if err := c.do(http.MethodPost, "/v1/fleet/authorize", fleetAuthorizeRequest{Items: items}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}
+
+// FleetItem builds one batch item for FleetAuthorize.
+func FleetItem(home, op, deviceID string, ctx *sensor.Snapshot) FleetBatchItem {
+	return FleetBatchItem{Home: home, Op: op, DeviceID: deviceID, Context: ctx}
+}
+
+// FleetPushContext pushes per-home snapshots (POST /v1/fleet/context).
+func (c *Client) FleetPushContext(pushes map[string]sensor.Snapshot) (int, error) {
+	req := fleetContextRequest{Pushes: make([]fleetContextPush, 0, len(pushes))}
+	for home, snap := range pushes {
+		req.Pushes = append(req.Pushes, fleetContextPush{Home: home, Context: snap})
+	}
+	var resp fleetContextResponse
+	if err := c.do(http.MethodPost, "/v1/fleet/context", req, &resp); err != nil {
+		return 0, err
+	}
+	if len(resp.Errors) > 0 {
+		return resp.Accepted, fmt.Errorf("cloud: %d of %d pushes rejected (first: %s)",
+			len(resp.Errors), len(req.Pushes), resp.Errors[0])
+	}
+	return resp.Accepted, nil
+}
+
+// FleetStats reads the fleet summary (GET /v1/fleet/stats).
+func (c *Client) FleetStats() (homes, shards int, models []string, err error) {
+	var resp fleetStatsResponse
+	if err := c.do(http.MethodGet, "/v1/fleet/stats", nil, &resp); err != nil {
+		return 0, 0, nil, err
+	}
+	return resp.Homes, resp.Shards, resp.Models, nil
+}
+
+type fleetStatsResponse struct {
+	Homes  int      `json:"homes"`
+	Shards int      `json:"shards"`
+	Models []string `json:"models"`
+}
+
+func (s *Server) handleFleetStats(w http.ResponseWriter, r *http.Request) {
+	if s.sessionUser(r) == "" {
+		writeJSON(w, http.StatusUnauthorized, errorBody{Error: "login required"})
+		return
+	}
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
+		return
+	}
+	f := s.cfg.Fleet
+	resp := fleetStatsResponse{
+		Homes:  f.HomeCount(),
+		Shards: f.ShardCount(),
+	}
+	for _, m := range f.Registry().Models() {
+		resp.Models = append(resp.Models, string(m))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,262 @@
+package cloud
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"iotsid/internal/core"
+	"iotsid/internal/dataset"
+	"iotsid/internal/fleet"
+	"iotsid/internal/instr"
+	"iotsid/internal/sensor"
+)
+
+// fleetTrainedMemory caches one trained memory for the fleet tests.
+var fleetTrainedMemory *core.FeatureMemory
+
+func fleetMemory(t *testing.T) *core.FeatureMemory {
+	t.Helper()
+	if fleetTrainedMemory != nil {
+		return fleetTrainedMemory
+	}
+	corpus, err := dataset.Corpus(dataset.CorpusConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, err := core.Train(corpus, dataset.BuildConfig{Seed: 42}, core.TrainConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleetTrainedMemory = fm
+	return fm
+}
+
+func fleetForCloudTest(t *testing.T, homes int) *fleet.Fleet {
+	t.Helper()
+	reg, err := fleet.NewModelRegistry(fleetMemory(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := core.DefaultDetector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fleet.New(fleet.Config{Detector: det, Models: reg, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < homes; i++ {
+		if _, err := f.AddHome(fleet.HomeConfig{ID: fmt.Sprintf("home-%02d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func startFleetCloud(t *testing.T, homes int) (*Server, *fleet.Fleet) {
+	t.Helper()
+	fl := fleetForCloudTest(t, homes)
+	fwd := &captureForwarder{}
+	srv, err := NewServer(Config{
+		Users:    map[string]string{"gateway": "s3cret"},
+		Registry: instr.BuiltinRegistry(),
+		Forward:  fwd.forward,
+		Fleet:    fl,
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, fl
+}
+
+// TestFleetConfigCollectorContextConflict pins the explicit-conflict
+// contract: a config wiring both Collector and Context, or TTL-wrapping a
+// Collector, is rejected at construction instead of silently resolved.
+func TestFleetConfigCollectorContextConflict(t *testing.T) {
+	coll := core.CollectorFunc(func(ctx context.Context) (sensor.Snapshot, error) {
+		return sensor.Snapshot{}, nil
+	})
+	src := func(ctx context.Context) (sensor.Snapshot, error) { return sensor.Snapshot{}, nil }
+	gate := func(in instr.Instruction, ctx sensor.Snapshot) error { return nil }
+	base := Config{
+		Users:    map[string]string{"a": "b"},
+		Registry: instr.BuiltinRegistry(),
+		Forward:  func(in instr.Instruction) error { return nil },
+		Gate:     gate,
+	}
+
+	both := base
+	both.Collector = coll
+	both.Context = src
+	if _, err := NewServer(both); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("Collector+Context = %v, want mutual-exclusion error", err)
+	}
+
+	ttl := base
+	ttl.Collector = coll
+	ttl.ContextTTL = time.Hour
+	if _, err := NewServer(ttl); err == nil || !strings.Contains(err.Error(), "ContextTTL") {
+		t.Fatalf("Collector+ContextTTL = %v, want TTL-conflict error", err)
+	}
+
+	// Each alone still constructs.
+	one := base
+	one.Collector = coll
+	srv, err := NewServer(one)
+	if err != nil {
+		t.Fatalf("Collector alone: %v", err)
+	}
+	_ = srv.Close()
+	two := base
+	two.Context = src
+	two.ContextTTL = time.Hour
+	srv, err = NewServer(two)
+	if err != nil {
+		t.Fatalf("Context+TTL: %v", err)
+	}
+	_ = srv.Close()
+}
+
+func TestFleetEndpointsRequireSession(t *testing.T) {
+	srv, _ := startFleetCloud(t, 1)
+	c, err := NewClient(srv.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FleetAuthorize([]FleetBatchItem{FleetItem("home-00", "window.open", "w", nil)}); err == nil {
+		t.Fatal("unauthenticated FleetAuthorize succeeded")
+	}
+	if _, err := c.FleetPushContext(map[string]sensor.Snapshot{"home-00": {}}); err == nil {
+		t.Fatal("unauthenticated FleetPushContext succeeded")
+	}
+	if _, _, _, err := c.FleetStats(); err == nil {
+		t.Fatal("unauthenticated FleetStats succeeded")
+	}
+}
+
+func TestFleetAuthorizeEndpoint(t *testing.T) {
+	srv, _ := startFleetCloud(t, 4)
+	c := login(t, srv, "gateway", "s3cret")
+
+	legal, err := dataset.LegalScene(dataset.ModelWindow, rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack, err := dataset.AttackScene(dataset.ModelWindow, rand.New(rand.NewSource(78)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	results, err := c.FleetAuthorize([]FleetBatchItem{
+		FleetItem("home-00", "window.open", "win-1", &legal),
+		FleetItem("home-01", "window.open", "win-1", &attack),
+		FleetItem("home-02", "light.get_state", "lamp-1", nil),
+		FleetItem("ghost", "window.open", "win-1", &legal),
+		FleetItem("home-03", "no.such_op", "x", nil),
+	})
+	if err != nil {
+		t.Fatalf("FleetAuthorize: %v", err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("got %d results, want 5", len(results))
+	}
+	if !results[0].Allowed || !results[0].Sensitive || results[0].Model != "window" {
+		t.Fatalf("legal scene: %+v", results[0])
+	}
+	if results[1].Allowed || results[1].Error != "" {
+		t.Fatalf("attack scene: %+v", results[1])
+	}
+	if !results[2].Allowed || results[2].Sensitive {
+		t.Fatalf("status op: %+v", results[2])
+	}
+	if results[3].Error == "" || !strings.Contains(results[3].Error, "unknown home") {
+		t.Fatalf("ghost home: %+v", results[3])
+	}
+	if results[4].Error == "" || !strings.Contains(results[4].Error, "unknown opcode") {
+		t.Fatalf("bad opcode: %+v", results[4])
+	}
+}
+
+func TestFleetContextAndStatsEndpoints(t *testing.T) {
+	srv, fl := startFleetCloud(t, 3)
+	c := login(t, srv, "gateway", "s3cret")
+
+	legal, err := dataset.LegalScene(dataset.ModelWindow, rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted, err := c.FleetPushContext(map[string]sensor.Snapshot{
+		"home-00": legal,
+		"home-01": legal,
+	})
+	if err != nil || accepted != 2 {
+		t.Fatalf("FleetPushContext = %d, %v; want 2 accepted", accepted, err)
+	}
+	// A push batch with an unknown home reports the rejection but still
+	// lands the valid pushes.
+	accepted, err = c.FleetPushContext(map[string]sensor.Snapshot{
+		"home-02": legal,
+		"ghost":   legal,
+	})
+	if err == nil || accepted != 1 {
+		t.Fatalf("mixed push batch = %d, %v; want 1 accepted + error", accepted, err)
+	}
+
+	// The pushed context now judges a sensitive op without inline context.
+	results, err := c.FleetAuthorize([]FleetBatchItem{
+		FleetItem("home-00", "window.open", "win-1", nil),
+	})
+	if err != nil || len(results) != 1 || !results[0].Allowed {
+		t.Fatalf("authorize after push = %+v, %v; want allow", results, err)
+	}
+
+	homes, shards, models, err := c.FleetStats()
+	if err != nil {
+		t.Fatalf("FleetStats: %v", err)
+	}
+	if homes != fl.HomeCount() || shards != fl.ShardCount() || len(models) != fl.Registry().Len() {
+		t.Fatalf("stats = %d homes / %d shards / %d models, want %d/%d/%d",
+			homes, shards, len(models), fl.HomeCount(), fl.ShardCount(), fl.Registry().Len())
+	}
+}
+
+func TestFleetEndpointMethodsAndBodies(t *testing.T) {
+	srv, _ := startFleetCloud(t, 1)
+	c := login(t, srv, "gateway", "s3cret")
+
+	for _, tc := range []struct {
+		method, path string
+		body         any
+		wantStatus   int
+	}{
+		{http.MethodGet, "/v1/fleet/authorize", nil, http.StatusMethodNotAllowed},
+		{http.MethodGet, "/v1/fleet/context", nil, http.StatusMethodNotAllowed},
+		{http.MethodPost, "/v1/fleet/stats", nil, http.StatusMethodNotAllowed},
+		{http.MethodPost, "/v1/fleet/authorize", fleetAuthorizeRequest{}, http.StatusBadRequest},
+		{http.MethodPost, "/v1/fleet/context", fleetContextRequest{}, http.StatusBadRequest},
+	} {
+		err := c.do(tc.method, tc.path, tc.body, nil)
+		apiErr, ok := err.(*APIError)
+		if !ok || apiErr.StatusCode != tc.wantStatus {
+			t.Errorf("%s %s = %v, want HTTP %d", tc.method, tc.path, err, tc.wantStatus)
+		}
+	}
+}
+
+// TestFleetEndpointsAbsentWithoutFleet pins that a fleet-less cloud does
+// not mount the endpoints at all.
+func TestFleetEndpointsAbsentWithoutFleet(t *testing.T) {
+	srv, _ := startCloud(t, nil)
+	c := login(t, srv, "alice", "s3cret")
+	err := c.do(http.MethodGet, "/v1/fleet/stats", nil, nil)
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.StatusCode != http.StatusNotFound {
+		t.Fatalf("fleet route on fleet-less cloud = %v, want 404", err)
+	}
+}

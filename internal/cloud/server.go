@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"iotsid/internal/core"
+	"iotsid/internal/fleet"
 	"iotsid/internal/instr"
 	"iotsid/internal/obs"
 	"iotsid/internal/resilience"
@@ -75,16 +76,26 @@ type Config struct {
 	// when Gate is set (unless Collector is set instead).
 	Context ContextSource
 	// Collector, when non-nil, supplies the gate's context instead of
-	// Context — wire an event-driven core.EpochCollector here. It takes
-	// precedence over Context and is never TTL-wrapped: an epoch read is
-	// already a pointer dereference, caching it would only add staleness.
+	// Context — wire an event-driven core.EpochCollector here. It is
+	// mutually exclusive with Context and with ContextTTL: an epoch read
+	// is already a pointer dereference, caching it would only add
+	// staleness, so a config asking for both is rejected rather than
+	// silently resolved.
 	Collector core.Collector
 	// ContextTTL, when positive, caches the gate's sensor context for
 	// that long and single-flights concurrent collections, so a burst of
 	// commands shares one collector round trip instead of issuing one
-	// each. Zero keeps every command collecting fresh context. Ignored
-	// when Collector is set.
+	// each. Zero keeps every command collecting fresh context. Only valid
+	// with Context (not Collector).
 	ContextTTL time.Duration
+	// Fleet, when non-nil, mounts the multi-tenant endpoints:
+	// POST /v1/fleet/authorize (batch authorization across homes),
+	// POST /v1/fleet/context (per-home context pushes), and
+	// GET /v1/fleet/stats. All three require a session.
+	Fleet *fleet.Fleet
+	// FleetWorkers bounds the per-request shard fan-out of
+	// /v1/fleet/authorize; 0 means GOMAXPROCS.
+	FleetWorkers int
 	// ContextTimeout bounds each command's context collection (default 10s)
 	// — a hung gateway turns into a 503, not a wedged handler.
 	ContextTimeout time.Duration
@@ -140,9 +151,18 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Gate != nil && cfg.Context == nil && cfg.Collector == nil {
 		return nil, fmt.Errorf("cloud: a gate needs a context source or a collector")
 	}
+	// Collector and Context are two answers to the same question; a config
+	// supplying both is ambiguous and a config TTL-wrapping a collector is
+	// asking to re-cache an epoch read. Both used to resolve silently
+	// (Collector won); now they are explicit errors.
+	if cfg.Collector != nil && cfg.Context != nil {
+		return nil, fmt.Errorf("cloud: Collector and Context are mutually exclusive — wire the gate's context through one of them")
+	}
+	if cfg.Collector != nil && cfg.ContextTTL > 0 {
+		return nil, fmt.Errorf("cloud: ContextTTL only applies to Context; a Collector (epoch read) must not be TTL-cached")
+	}
 	if cfg.Collector != nil {
 		cfg.Context = cfg.Collector.Collect
-		cfg.ContextTTL = 0
 	}
 	if cfg.Context != nil && cfg.ContextTTL > 0 {
 		cached, err := core.NewCachedCollector(core.CollectorFunc(cfg.Context), cfg.ContextTTL)
@@ -185,6 +205,11 @@ func NewServer(cfg Config) (*Server, error) {
 	mux.HandleFunc("/v1/command", s.handleCommand)
 	mux.HandleFunc("/v1/history", s.handleHistory)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	if cfg.Fleet != nil {
+		mux.HandleFunc("/v1/fleet/authorize", s.handleFleetAuthorize)
+		mux.HandleFunc("/v1/fleet/context", s.handleFleetContext)
+		mux.HandleFunc("/v1/fleet/stats", s.handleFleetStats)
+	}
 	if cfg.Metrics != nil {
 		mux.Handle("/metrics", cfg.Metrics.Handler())
 	}

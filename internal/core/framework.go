@@ -61,7 +61,13 @@ func New(cfg Config) (*Framework, error) {
 	if cfg.Collector == nil {
 		return nil, fmt.Errorf("core: framework needs a collector")
 	}
-	j, err := NewJudger(cfg.Detector, cfg.Memory)
+	// A nil *FeatureMemory must stay a nil ModelStore, not a typed-nil
+	// interface, so NewJudger's validation still fires.
+	var store ModelStore
+	if cfg.Memory != nil {
+		store = cfg.Memory
+	}
+	j, err := NewJudger(cfg.Detector, store)
 	if err != nil {
 		return nil, err
 	}

@@ -37,12 +37,25 @@ type opReasons struct {
 // fmt.Sprintf (correct, just no longer allocation-free).
 const reasonCap = 4096
 
+// ModelStore is the judger's view of wherever the trained per-device-model
+// entries live. Two implementations exist: the single-home FeatureMemory
+// (RWMutex over its entry map) and the fleet's copy-on-write ModelRegistry
+// (one atomic load, shared by every tenant). Judge must be safe for
+// concurrent use and allocation-free on the steady-state path.
+type ModelStore interface {
+	// Judge runs the model's compiled tree on a live snapshot: true means
+	// the context matches a legal activity scene.
+	Judge(m dataset.Model, ctx sensor.Snapshot) (bool, error)
+	// JudgeExplain also returns the decision path the tree took.
+	JudgeExplain(m dataset.Model, ctx sensor.Snapshot) (bool, string, error)
+}
+
 // Judger is the command determiner (§IV-D): sensitive instructions are
 // allowed only when the trained context model confirms the live sensor
 // snapshot matches a legal activity scene.
 type Judger struct {
 	detector *Detector
-	memory   *FeatureMemory
+	memory   ModelStore
 
 	// Reason interning: copy-on-write maps read via one atomic load on the
 	// hot path; the mutex only serialises writers on first sight of an op
@@ -52,15 +65,16 @@ type Judger struct {
 	outOfScope atomic.Pointer[map[instr.Category]string]
 }
 
-// NewJudger wires the determiner.
-func NewJudger(d *Detector, fm *FeatureMemory) (*Judger, error) {
+// NewJudger wires the determiner over any model store — the single-home
+// FeatureMemory or the fleet's shared registry.
+func NewJudger(d *Detector, store ModelStore) (*Judger, error) {
 	if d == nil {
 		return nil, fmt.Errorf("core: judger needs a detector")
 	}
-	if fm == nil {
-		return nil, fmt.Errorf("core: judger needs a feature memory")
+	if store == nil {
+		return nil, fmt.Errorf("core: judger needs a model store")
 	}
-	return &Judger{detector: d, memory: fm}, nil
+	return &Judger{detector: d, memory: store}, nil
 }
 
 // reasonsFor interns the per-op reason strings on first sight and serves

@@ -118,6 +118,42 @@ func (e *Entry) compile() error {
 // was never stored through the memory's API).
 func (e *Entry) Compiled() *tree.Compiled { return e.compiled }
 
+// JudgeSnapshot runs the entry's compiled tree on a live snapshot: true
+// means the context matches a legal activity scene. This is the shared
+// zero-allocation judge every model store (the single-home FeatureMemory
+// and the fleet's copy-on-write registry) dispatches to: the feature vector
+// comes from the entry's buffer pool, FeaturizeInto fills it in place, and
+// the flattened tree is walked without pointer chasing.
+//
+//iot:hotpath
+func (e *Entry) JudgeSnapshot(m dataset.Model, ctx sensor.Snapshot) (bool, error) {
+	bufp := e.bufs.Get().(*[]float64)
+	err := m.FeaturizeInto(ctx, *bufp)
+	if err != nil {
+		e.bufs.Put(bufp)
+		//iot:allow hotalloc error path, never taken steady-state; the AllocsPerRun gate proves the allow path is 0-alloc
+		return false, fmt.Errorf("core: featurize context for %s: %w", m, err)
+	}
+	legal := e.compiled.Predict(*bufp) == 1
+	e.bufs.Put(bufp)
+	return legal, nil
+}
+
+// ExplainSnapshot judges a snapshot with the explaining tree and returns
+// the decision path it took — the slow, allocating twin of JudgeSnapshot
+// used when a human will read the verdict.
+func (e *Entry) ExplainSnapshot(m dataset.Model, ctx sensor.Snapshot) (bool, string, error) {
+	x, err := m.Featurize(ctx)
+	if err != nil {
+		return false, "", fmt.Errorf("core: featurize context for %s: %w", m, err)
+	}
+	path, err := e.Tree.ExplainString(x)
+	if err != nil {
+		return false, "", err
+	}
+	return e.Tree.Predict(x) == 1, path, nil
+}
+
 // FeatureMemory is the command sensor context feature memory (§IV-C): one
 // trained decision tree per sensitive device model, with stored feature
 // weights. Safe for concurrent use.
@@ -280,16 +316,7 @@ func (fm *FeatureMemory) Judge(m dataset.Model, ctx sensor.Snapshot) (bool, erro
 		//iot:allow hotalloc error path, never taken steady-state; the AllocsPerRun gate proves the allow path is 0-alloc
 		return false, fmt.Errorf("core: no trained model for %s", m)
 	}
-	bufp := e.bufs.Get().(*[]float64)
-	err := m.FeaturizeInto(ctx, *bufp)
-	if err != nil {
-		e.bufs.Put(bufp)
-		//iot:allow hotalloc error path, never taken steady-state; the AllocsPerRun gate proves the allow path is 0-alloc
-		return false, fmt.Errorf("core: featurize context for %s: %w", m, err)
-	}
-	legal := e.compiled.Predict(*bufp) == 1
-	e.bufs.Put(bufp)
-	return legal, nil
+	return e.JudgeSnapshot(m, ctx)
 }
 
 // JudgeExplain judges a snapshot and also returns the decision path the
@@ -299,15 +326,7 @@ func (fm *FeatureMemory) JudgeExplain(m dataset.Model, ctx sensor.Snapshot) (boo
 	if !ok {
 		return false, "", fmt.Errorf("core: no trained model for %s", m)
 	}
-	x, err := m.Featurize(ctx)
-	if err != nil {
-		return false, "", fmt.Errorf("core: featurize context for %s: %w", m, err)
-	}
-	path, err := e.Tree.ExplainString(x)
-	if err != nil {
-		return false, "", err
-	}
-	return e.Tree.Predict(x) == 1, path, nil
+	return e.ExplainSnapshot(m, ctx)
 }
 
 // memoryJSON is the persistence envelope.

@@ -1,0 +1,133 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"iotsid/internal/dataset"
+	"iotsid/internal/instr"
+	"iotsid/internal/sensor"
+)
+
+// modelOps maps each evaluated device model to one sensitive control op
+// (the load mix the generator also uses).
+var modelOps = map[dataset.Model]struct{ op, device string }{
+	dataset.ModelWindow:  {"window.open", "win-1"},
+	dataset.ModelAircon:  {"aircon.on", "ac-1"},
+	dataset.ModelLight:   {"light.on", "lamp-1"},
+	dataset.ModelCurtain: {"curtain.open", "cur-1"},
+	dataset.ModelTV:      {"tv.on", "tv-1"},
+	dataset.ModelKitchen: {"cooker.start", "rc-1"},
+}
+
+// seededBatches builds a deterministic multi-home instruction stream:
+// steps × homes batch items with per-home rngs, mixing sensitive control
+// ops under legal/attack scenes with status reads. The stream depends only
+// on (seed, homes, steps) — never on fleet topology.
+func seededBatches(t testing.TB, seed int64, homes, steps int) [][]BatchItem {
+	t.Helper()
+	models := dataset.Models()
+	reg := instr.BuiltinRegistry()
+	out := make([][]BatchItem, steps)
+	rngs := make([]*rand.Rand, homes)
+	for i := range rngs {
+		rngs[i] = rand.New(rand.NewSource(seed + 9973*int64(i)))
+	}
+	for s := 0; s < steps; s++ {
+		batch := make([]BatchItem, 0, homes)
+		for i := 0; i < homes; i++ {
+			rng := rngs[i]
+			home := fmt.Sprintf("home-%04d", i)
+			if rng.Float64() < 0.7 {
+				m := models[rng.Intn(len(models))]
+				spec := modelOps[m]
+				in, err := reg.Build(spec.op, spec.device, instr.OriginUser, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var snap sensor.Snapshot
+				if rng.Float64() < 0.3 {
+					snap, err = dataset.AttackScene(m, rng)
+				} else {
+					snap, err = dataset.LegalScene(m, rng)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				batch = append(batch, BatchItem{Home: home, In: in, Context: &snap})
+			} else {
+				in, err := reg.Build("light.get_state", "lamp-1", instr.OriginUser, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				batch = append(batch, BatchItem{Home: home, In: in})
+			}
+		}
+		out[s] = batch
+	}
+	return out
+}
+
+// runStream drives the batches through a fresh fleet with the given
+// topology and flattens every decision into a comparable string stream.
+func runStream(t testing.TB, shards, workers, homes int, batches [][]BatchItem) []string {
+	t.Helper()
+	f := fleetForTest(t, Config{Shards: shards})
+	for i := 0; i < homes; i++ {
+		mustAddHome(t, f, HomeConfig{ID: fmt.Sprintf("home-%04d", i)})
+	}
+	var stream []string
+	for _, batch := range batches {
+		out, err := f.AuthorizeBatch(context.Background(), batch, workers)
+		if err != nil {
+			t.Fatalf("AuthorizeBatch: %v", err)
+		}
+		for i, r := range out {
+			stream = append(stream, fmt.Sprintf("%s %s allowed=%t sensitive=%t model=%s err=%q",
+				batch[i].Home, batch[i].In.Op,
+				r.Decision.Allowed, r.Decision.Sensitive, r.Decision.Model, r.Err))
+		}
+	}
+	return stream
+}
+
+// TestShardRebalanceDeterminism is the fleet's determinism contract: the
+// same seeded request stream produces a bit-identical decision stream at
+// shard counts 1, 4, and 16 — resharding moves homes between locks, never
+// between answers.
+func TestShardRebalanceDeterminism(t *testing.T) {
+	const homes, steps = 60, 5
+	batches := seededBatches(t, 1234, homes, steps)
+	base := runStream(t, 1, 4, homes, batches)
+	if len(base) != homes*steps {
+		t.Fatalf("stream carries %d decisions, want %d", len(base), homes*steps)
+	}
+	for _, shards := range []int{4, 16} {
+		got := runStream(t, shards, 4, homes, batches)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("shards=%d diverges at decision %d:\n  1 shard : %s\n  %d shards: %s",
+					shards, i, base[i], shards, got[i])
+			}
+		}
+	}
+}
+
+// TestWorkerCountDeterminism pins the other half of the contract: batch
+// fan-out width never changes the decisions.
+func TestWorkerCountDeterminism(t *testing.T) {
+	const homes, steps = 40, 4
+	batches := seededBatches(t, 777, homes, steps)
+	base := runStream(t, 8, 1, homes, batches)
+	for _, workers := range []int{2, 8, 32} {
+		got := runStream(t, 8, workers, homes, batches)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d diverges at decision %d:\n  1 worker : %s\n  %d workers: %s",
+					workers, i, base[i], workers, got[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,565 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"iotsid/internal/core"
+	"iotsid/internal/instr"
+	"iotsid/internal/obs"
+	"iotsid/internal/par"
+	"iotsid/internal/resilience"
+	"iotsid/internal/sensor"
+)
+
+// Fail-closed reasons are fixed strings so the degraded path stays cheap
+// and the decision stream deterministic.
+const (
+	reasonNoContext = "sensitive instruction rejected (fail closed): home has pushed no sensor context"
+	reasonStaleCtx  = "sensitive instruction rejected (fail closed): home sensor context is beyond its freshness budget"
+)
+
+// Config wires a fleet.
+type Config struct {
+	// Detector is the shared sensitive-command detector (sensitivity is a
+	// property of the instruction set, not of any one home).
+	Detector *core.Detector
+	// Models is the shared compiled-tree registry. Every home judges
+	// against the same per-device-model trees.
+	Models *ModelRegistry
+	// Shards is the number of per-home state shards (default 16). Homes
+	// are placed by a jump consistent hash of their ID, so growing the
+	// shard count moves the minimum number of homes.
+	Shards int
+	// HomeLogCapacity bounds each home's ring decision log (default 64
+	// entries — the per-tenant audit tail, not the fleet archive).
+	HomeLogCapacity int
+	// FreshFor is the default per-home context freshness budget: a pushed
+	// snapshot older than this fails sensitive instructions closed. Zero
+	// means pushes never expire (the load generator pushes fresh context
+	// with every sensitive instruction). Overridable per home.
+	FreshFor time.Duration
+	// Metrics, when non-nil, instruments the fleet: decisions by shard and
+	// outcome, context pushes, batch sizes, and (capped) per-tenant
+	// decision counters. Series are pre-registered so the hot path stays
+	// allocation-free.
+	Metrics *obs.Registry
+	// TenantMetricsLimit caps how many homes get their own labeled
+	// decision series (registered at AddHome, first come first served).
+	// Zero disables per-tenant series: an unbounded home label would make
+	// the exposition scale with the fleet.
+	TenantMetricsLimit int
+	// Now is the staleness clock; defaults to time.Now. Injectable so
+	// freshness tests are deterministic.
+	Now func() time.Time
+}
+
+// Fleet is a sharded multi-tenant authorization service: per-home state
+// spread over consistent-hash shards, one shared judger over the shared
+// model registry.
+type Fleet struct {
+	shards   []shard
+	detector *core.Detector
+	judger   *core.Judger
+	models   *ModelRegistry
+	metrics  *fleetMetrics
+	now      func() time.Time
+
+	logCap     int
+	freshFor   time.Duration
+	tenantCap  int
+	homeCount  atomic.Int64
+	tenantSeen atomic.Int64
+}
+
+// shard owns a disjoint subset of the fleet's homes. The RWMutex guards
+// only the home map (membership); per-home state has its own
+// synchronisation, so two homes in one shard still authorize concurrently.
+type shard struct {
+	mu    sync.RWMutex
+	homes map[string]*Home
+	_     [24]byte // keep neighbouring shard locks off one cache line
+}
+
+// New assembles a fleet.
+func New(cfg Config) (*Fleet, error) {
+	if cfg.Detector == nil {
+		return nil, fmt.Errorf("fleet: config needs a detector")
+	}
+	if cfg.Models == nil {
+		return nil, fmt.Errorf("fleet: config needs a model registry")
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 16
+	}
+	if cfg.Shards < 0 || cfg.Shards > 1<<16 {
+		return nil, fmt.Errorf("fleet: shard count %d outside [1, 65536]", cfg.Shards)
+	}
+	if cfg.HomeLogCapacity == 0 {
+		cfg.HomeLogCapacity = 64
+	}
+	if cfg.HomeLogCapacity < 0 {
+		return nil, fmt.Errorf("fleet: negative home log capacity %d", cfg.HomeLogCapacity)
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	j, err := core.NewJudger(cfg.Detector, cfg.Models)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet{
+		shards:    make([]shard, cfg.Shards),
+		detector:  cfg.Detector,
+		judger:    j,
+		models:    cfg.Models,
+		metrics:   newFleetMetrics(cfg.Metrics, cfg.Shards),
+		now:       cfg.Now,
+		logCap:    cfg.HomeLogCapacity,
+		freshFor:  cfg.FreshFor,
+		tenantCap: cfg.TenantMetricsLimit,
+	}
+	for i := range f.shards {
+		f.shards[i].homes = make(map[string]*Home)
+	}
+	return f, nil
+}
+
+// Registry exposes the shared compiled-model registry.
+func (f *Fleet) Registry() *ModelRegistry { return f.models }
+
+// ShardCount reports the configured shard count.
+func (f *Fleet) ShardCount() int { return len(f.shards) }
+
+// HomeCount reports the number of registered homes.
+func (f *Fleet) HomeCount() int { return int(f.homeCount.Load()) }
+
+// HomeConfig registers one tenant.
+type HomeConfig struct {
+	// ID is the tenant key; it selects the shard and must be unique.
+	ID string
+	// Collector, when non-nil, is the pull fallback: if the home's pushed
+	// context is missing or stale, the fleet collects through it (guarded
+	// by Breaker when set) instead of failing closed immediately.
+	Collector core.Collector
+	// Breaker guards Collector against a flapping gateway; optional.
+	Breaker *resilience.Breaker
+	// FreshFor overrides the fleet's default context freshness budget for
+	// this home; zero inherits the fleet default.
+	FreshFor time.Duration
+}
+
+// Home is one tenant's state: the latest pushed sensor context behind an
+// atomic pointer, a bounded ring decision log, and the optional pull path.
+type Home struct {
+	id        string
+	shardIdx  uint32
+	freshFor  time.Duration
+	view      atomic.Pointer[homeView]
+	log       homeLog
+	collector core.Collector
+	breaker   *resilience.Breaker
+
+	pushes    atomic.Uint64
+	decisions atomic.Uint64
+	tenant    [outcomeCount]*obs.Counter // nil cells when not individually instrumented
+}
+
+// homeView is one immutable published context: the snapshot plus the
+// receive stamp the freshness budget is differenced against.
+type homeView struct {
+	snap sensor.Snapshot
+	at   time.Time
+}
+
+// ID returns the home's tenant key.
+func (h *Home) ID() string { return h.id }
+
+// Pushes reports how many context pushes the home has accepted.
+func (h *Home) Pushes() uint64 { return h.pushes.Load() }
+
+// Decisions reports how many instructions the home has had judged.
+func (h *Home) Decisions() uint64 { return h.decisions.Load() }
+
+// AddHome registers a tenant and returns its handle.
+func (f *Fleet) AddHome(cfg HomeConfig) (*Home, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("fleet: home needs an ID")
+	}
+	if cfg.FreshFor == 0 {
+		cfg.FreshFor = f.freshFor
+	}
+	si := f.shardIndex(cfg.ID)
+	h := &Home{
+		id:        cfg.ID,
+		shardIdx:  si,
+		freshFor:  cfg.FreshFor,
+		collector: cfg.Collector,
+		breaker:   cfg.Breaker,
+	}
+	h.log.buf = make([]core.LogEntry, f.logCap)
+	if f.metrics != nil && f.tenantCap > 0 && f.tenantSeen.Load() < int64(f.tenantCap) {
+		if f.tenantSeen.Add(1) <= int64(f.tenantCap) {
+			h.tenant = f.metrics.tenantCells(cfg.ID)
+		}
+	}
+	s := &f.shards[si]
+	s.mu.Lock()
+	if _, dup := s.homes[cfg.ID]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("fleet: home %q already registered", cfg.ID)
+	}
+	s.homes[cfg.ID] = h
+	s.mu.Unlock()
+	f.metrics.observeHomes(f.homeCount.Add(1))
+	return h, nil
+}
+
+// RemoveHome deregisters a tenant; its in-flight authorizations complete
+// against the handle they already hold.
+func (f *Fleet) RemoveHome(id string) bool {
+	s := &f.shards[f.shardIndex(id)]
+	s.mu.Lock()
+	_, ok := s.homes[id]
+	if ok {
+		delete(s.homes, id)
+	}
+	s.mu.Unlock()
+	if ok {
+		f.metrics.observeHomes(f.homeCount.Add(-1))
+	}
+	return ok
+}
+
+// Home looks a tenant up.
+func (f *Fleet) Home(id string) (*Home, bool) {
+	s := &f.shards[f.shardIndex(id)]
+	s.mu.RLock()
+	h, ok := s.homes[id]
+	s.mu.RUnlock()
+	return h, ok
+}
+
+// HomeIDs lists the registered tenants, sorted (a full-fleet walk — for
+// reports and tests, not the hot path).
+func (f *Fleet) HomeIDs() []string {
+	out := make([]string, 0, f.homeCount.Load())
+	for i := range f.shards {
+		s := &f.shards[i]
+		s.mu.RLock()
+		for id := range s.homes {
+			out = append(out, id)
+		}
+		s.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// shardIndex places a home ID by jump consistent hash (Lamping & Veach)
+// over an FNV-64a of the ID: deterministic, allocation-free, and minimal
+// movement when the shard count changes.
+//
+//iot:hotpath
+func (f *Fleet) shardIndex(id string) uint32 {
+	return jumpHash(fnv64a(id), len(f.shards))
+}
+
+// fnv64a hashes a home ID without allocating.
+//
+//iot:hotpath
+func fnv64a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// jumpHash is the jump consistent hash of Lamping & Veach ("A Fast,
+// Minimal Memory, Consistent Hash Algorithm"): maps key uniformly onto
+// [0, buckets) and relocates only ~1/buckets of keys when buckets grows.
+//
+//iot:hotpath
+func jumpHash(key uint64, buckets int) uint32 {
+	var b, j int64 = -1, 0
+	for j < int64(buckets) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return uint32(b)
+}
+
+// PushContext publishes a home's latest sensor context. This is the
+// event-driven write path: one immutable view behind an atomic pointer,
+// stamped with the fleet clock so freshness budgets difference receive
+// times, not device times.
+func (f *Fleet) PushContext(id string, snap sensor.Snapshot) error {
+	h, ok := f.Home(id)
+	if !ok {
+		return fmt.Errorf("fleet: unknown home %q", id)
+	}
+	f.push(h, snap)
+	return nil
+}
+
+// push stores the view on a known home handle.
+//
+//iot:hotpath
+func (f *Fleet) push(h *Home, snap sensor.Snapshot) {
+	v := &homeView{snap: snap, at: f.now()}
+	h.view.Store(v)
+	h.pushes.Add(1)
+	f.metrics.observePush()
+}
+
+// Authorize judges one instruction for one home — the fleet's per-home hot
+// path. Steady state (home known, context pushed within budget) is: shard
+// read-lock map lookup, one atomic view load, the shared judger's
+// zero-allocation judge, a ring-log append and two counter increments.
+//
+//iot:hotpath
+func (f *Fleet) Authorize(ctx context.Context, homeID string, in instr.Instruction) (core.Decision, error) {
+	if err := ctx.Err(); err != nil {
+		return core.Decision{}, err
+	}
+	h, ok := f.Home(homeID)
+	if !ok {
+		//iot:allow hotalloc error path, never taken steady-state; the AllocsPerRun gate proves the allow path is 0-alloc
+		return core.Decision{}, fmt.Errorf("fleet: unknown home %q", homeID)
+	}
+	return f.authorizeHome(ctx, h, in)
+}
+
+// authorizeHome judges against the home's published view, falling into the
+// degraded path when the view is missing or beyond its freshness budget.
+//
+//iot:hotpath
+func (f *Fleet) authorizeHome(ctx context.Context, h *Home, in instr.Instruction) (core.Decision, error) {
+	v := h.view.Load()
+	if v == nil || (h.freshFor > 0 && f.now().Sub(v.at) > h.freshFor) {
+		return f.authorizeDegraded(ctx, h, in, v)
+	}
+	return f.judgeAndLog(h, in, v.snap)
+}
+
+// judgeAndLog runs the shared judger and records the decision in the
+// home's ring log, the shard decision counters, and the per-tenant cells.
+//
+//iot:hotpath
+func (f *Fleet) judgeAndLog(h *Home, in instr.Instruction, snap sensor.Snapshot) (core.Decision, error) {
+	dec, err := f.judger.Judge(in, snap)
+	if err != nil {
+		return core.Decision{}, err
+	}
+	f.observe(h, in, dec, outcomeOf(dec))
+	return dec, nil
+}
+
+// observe is the shared decision bookkeeping tail.
+//
+//iot:hotpath
+func (f *Fleet) observe(h *Home, in instr.Instruction, dec core.Decision, outcome int) {
+	h.decisions.Add(1)
+	h.log.append(in, dec)
+	f.metrics.observeDecision(h.shardIdx, outcome)
+	if c := h.tenant[outcome]; c != nil {
+		c.Inc()
+	}
+}
+
+// authorizeDegraded is the cold path: no pushed context, or a stale one.
+// With a pull collector wired the fleet falls back to polling (behind the
+// home's breaker); otherwise sensitive instructions fail closed against
+// missing/stale context while non-sensitive instructions are still judged
+// on whatever the home last pushed — the same bounded-staleness /
+// fail-closed trade the single-home framework makes.
+func (f *Fleet) authorizeDegraded(ctx context.Context, h *Home, in instr.Instruction, v *homeView) (core.Decision, error) {
+	if h.collector != nil {
+		snap, err := f.collectPull(ctx, h)
+		if err == nil {
+			return f.judgeAndLog(h, in, snap)
+		}
+		if !f.detector.IsSensitive(in) {
+			return f.judgeNonSensitive(h, in, v)
+		}
+		return core.Decision{}, fmt.Errorf("fleet: home %s context unavailable: %w", h.id, err)
+	}
+	if !f.detector.IsSensitive(in) {
+		return f.judgeNonSensitive(h, in, v)
+	}
+	reason := reasonNoContext
+	if v != nil {
+		reason = reasonStaleCtx
+	}
+	dec := core.Decision{Allowed: false, Sensitive: true, Reason: reason}
+	f.observe(h, in, dec, outcomeFailClosed)
+	return dec, nil
+}
+
+// judgeNonSensitive judges a non-sensitive instruction on the last pushed
+// view (possibly stale, possibly absent — the judger allows non-sensitive
+// instructions without consulting features).
+func (f *Fleet) judgeNonSensitive(h *Home, in instr.Instruction, v *homeView) (core.Decision, error) {
+	var snap sensor.Snapshot
+	if v != nil {
+		snap = v.snap
+	}
+	return f.judgeAndLog(h, in, snap)
+}
+
+// collectPull polls the home's collector, guarded by its breaker.
+func (f *Fleet) collectPull(ctx context.Context, h *Home) (sensor.Snapshot, error) {
+	if h.breaker != nil {
+		if err := h.breaker.Allow(); err != nil {
+			return sensor.Snapshot{}, err
+		}
+	}
+	snap, err := h.collector.Collect(ctx)
+	if h.breaker != nil {
+		h.breaker.Record(err)
+	}
+	if err != nil {
+		return sensor.Snapshot{}, err
+	}
+	f.push(h, snap)
+	return snap, nil
+}
+
+// BatchItem is one instruction in a fleet batch, optionally carrying the
+// home's newest context ("push before judge" — the device gateway pattern
+// of one round trip per decision window).
+type BatchItem struct {
+	Home    string
+	In      instr.Instruction
+	Context *sensor.Snapshot
+}
+
+// BatchResult is one item's outcome. Err is per-item so one tenant's bad
+// request (unknown home, unjudgeable instruction) cannot abort another
+// tenant's traffic — batch-level errors are reserved for cancellation.
+type BatchResult struct {
+	Decision core.Decision
+	Err      string
+}
+
+// AuthorizeBatch judges a mixed-home batch, fanned out across shards on at
+// most workers goroutines (Workers-resolved: 0 means GOMAXPROCS). Within a
+// shard, items run in input order, so each home's context pushes and
+// judgments serialise exactly as submitted; results land at their input
+// index. Decisions depend only on item content and order, never on the
+// shard/worker schedule, so seeded batch streams are bit-identical at any
+// shard or worker count.
+func (f *Fleet) AuthorizeBatch(ctx context.Context, items []BatchItem, workers int) ([]BatchResult, error) {
+	if len(items) == 0 {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	f.metrics.observeBatch(len(items))
+	out := make([]BatchResult, len(items))
+	buckets := make([][]int, len(f.shards))
+	for i := range items {
+		si := f.shardIndex(items[i].Home)
+		buckets[si] = append(buckets[si], i)
+	}
+	active := make([]int, 0, len(buckets))
+	for si := range buckets {
+		if len(buckets[si]) > 0 {
+			active = append(active, si)
+		}
+	}
+	err := par.Do(len(active), workers, func(k int) error {
+		for _, idx := range buckets[active[k]] {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			it := &items[idx]
+			h, ok := f.Home(it.Home)
+			if !ok {
+				out[idx] = BatchResult{Err: "unknown home " + it.Home}
+				continue
+			}
+			if it.Context != nil {
+				f.push(h, *it.Context)
+			}
+			dec, err := f.authorizeHome(ctx, h, it.In)
+			if err != nil {
+				out[idx] = BatchResult{Err: err.Error()}
+				continue
+			}
+			out[idx] = BatchResult{Decision: dec}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// homeLog is a per-home bounded ring of decisions — the tenant's audit
+// tail. Appends take the home's own mutex only, so logging never couples
+// tenants; a zero capacity disables retention entirely.
+type homeLog struct {
+	mu   sync.Mutex
+	buf  []core.LogEntry
+	next uint64
+}
+
+// append records one decision (no-op at zero capacity).
+//
+//iot:hotpath
+func (l *homeLog) append(in instr.Instruction, dec core.Decision) {
+	if len(l.buf) == 0 {
+		return
+	}
+	l.mu.Lock()
+	l.next++
+	l.buf[(l.next-1)%uint64(len(l.buf))] = core.LogEntry{
+		Seq: l.next, Op: in.Op, DeviceID: in.DeviceID, Decision: dec,
+	}
+	l.mu.Unlock()
+}
+
+// snapshot copies the retained entries, oldest first.
+func (l *homeLog) snapshot() []core.LogEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	retained := uint64(len(l.buf))
+	if n < retained {
+		retained = n
+	}
+	out := make([]core.LogEntry, 0, retained)
+	for j := n - retained; j < n; j++ {
+		out = append(out, l.buf[j%uint64(len(l.buf))])
+	}
+	return out
+}
+
+// Log returns a copy of the home's retained decisions, oldest first.
+func (h *Home) Log() []core.LogEntry { return h.log.snapshot() }
+
+// LogRecent returns the newest n retained decisions, oldest first.
+func (h *Home) LogRecent(n int) []core.LogEntry {
+	all := h.log.snapshot()
+	if n < 0 {
+		n = 0
+	}
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[len(all)-n:]
+}

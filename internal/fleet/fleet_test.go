@@ -1,0 +1,608 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"iotsid/internal/core"
+	"iotsid/internal/dataset"
+	"iotsid/internal/instr"
+	"iotsid/internal/obs"
+	"iotsid/internal/resilience"
+	"iotsid/internal/sensor"
+)
+
+// trainedMemory caches one trained memory across the test binary.
+var trainedMemory *core.FeatureMemory
+
+func memoryForTest(t testing.TB) *core.FeatureMemory {
+	t.Helper()
+	if trainedMemory != nil {
+		return trainedMemory
+	}
+	corpus, err := dataset.Corpus(dataset.CorpusConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, err := core.Train(corpus, dataset.BuildConfig{Seed: 42}, core.TrainConfig{Seed: 9})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	trainedMemory = fm
+	return fm
+}
+
+func registryForTest(t testing.TB) *ModelRegistry {
+	t.Helper()
+	r, err := NewModelRegistry(memoryForTest(t))
+	if err != nil {
+		t.Fatalf("NewModelRegistry: %v", err)
+	}
+	return r
+}
+
+func detectorForTest(t testing.TB) *core.Detector {
+	t.Helper()
+	d, err := core.DefaultDetector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func fleetForTest(t testing.TB, cfg Config) *Fleet {
+	t.Helper()
+	if cfg.Detector == nil {
+		cfg.Detector = detectorForTest(t)
+	}
+	if cfg.Models == nil {
+		cfg.Models = registryForTest(t)
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return f
+}
+
+func buildInstr(t testing.TB, op, device string) instr.Instruction {
+	t.Helper()
+	in, err := instr.BuiltinRegistry().Build(op, device, instr.OriginUser, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func legalCtx(t testing.TB, m dataset.Model) sensor.Snapshot {
+	t.Helper()
+	snap, err := dataset.LegalScene(m, rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func attackCtx(t testing.TB, m dataset.Model) sensor.Snapshot {
+	t.Helper()
+	snap, err := dataset.AttackScene(m, rand.New(rand.NewSource(78)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func mustAddHome(t testing.TB, f *Fleet, cfg HomeConfig) *Home {
+	t.Helper()
+	h, err := f.AddHome(cfg)
+	if err != nil {
+		t.Fatalf("AddHome(%q): %v", cfg.ID, err)
+	}
+	return h
+}
+
+func TestNewFleetValidation(t *testing.T) {
+	reg := registryForTest(t)
+	det := detectorForTest(t)
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"nil detector", Config{Models: reg}, "needs a detector"},
+		{"nil models", Config{Detector: det}, "needs a model registry"},
+		{"negative shards", Config{Detector: det, Models: reg, Shards: -3}, "shard count"},
+		{"huge shards", Config{Detector: det, Models: reg, Shards: 1 << 17}, "shard count"},
+		{"negative log cap", Config{Detector: det, Models: reg, HomeLogCapacity: -1}, "log capacity"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.cfg)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("New = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+	f := fleetForTest(t, Config{})
+	if got := f.ShardCount(); got != 16 {
+		t.Fatalf("default ShardCount = %d, want 16", got)
+	}
+}
+
+func TestNewModelRegistryValidation(t *testing.T) {
+	if _, err := NewModelRegistry(nil); err == nil {
+		t.Fatal("NewModelRegistry(nil) succeeded, want error")
+	}
+}
+
+func TestFleetPushAuthorize(t *testing.T) {
+	f := fleetForTest(t, Config{Shards: 4})
+	mustAddHome(t, f, HomeConfig{ID: "home-1"})
+	open := buildInstr(t, "window.open", "win-1")
+
+	if err := f.PushContext("home-1", legalCtx(t, dataset.ModelWindow)); err != nil {
+		t.Fatalf("PushContext: %v", err)
+	}
+	dec, err := f.Authorize(context.Background(), "home-1", open)
+	if err != nil {
+		t.Fatalf("Authorize: %v", err)
+	}
+	if !dec.Allowed || !dec.Sensitive || dec.Model != dataset.ModelWindow {
+		t.Fatalf("legal scene: got %+v, want allowed sensitive window decision", dec)
+	}
+
+	if err := f.PushContext("home-1", attackCtx(t, dataset.ModelWindow)); err != nil {
+		t.Fatalf("PushContext: %v", err)
+	}
+	dec, err = f.Authorize(context.Background(), "home-1", open)
+	if err != nil {
+		t.Fatalf("Authorize: %v", err)
+	}
+	if dec.Allowed {
+		t.Fatalf("attack scene: got %+v, want rejection", dec)
+	}
+	if dec.Explanation == "" {
+		t.Fatal("rejection carries no explanation")
+	}
+
+	h, _ := f.Home("home-1")
+	if h.Pushes() != 2 || h.Decisions() != 2 {
+		t.Fatalf("home counters = %d pushes / %d decisions, want 2/2", h.Pushes(), h.Decisions())
+	}
+}
+
+func TestFleetNonSensitiveWithoutContext(t *testing.T) {
+	f := fleetForTest(t, Config{})
+	mustAddHome(t, f, HomeConfig{ID: "h"})
+	dec, err := f.Authorize(context.Background(), "h", buildInstr(t, "light.get_state", "lamp-1"))
+	if err != nil {
+		t.Fatalf("Authorize: %v", err)
+	}
+	if !dec.Allowed || dec.Sensitive {
+		t.Fatalf("status op without context: got %+v, want non-sensitive allow", dec)
+	}
+}
+
+func TestFleetFailClosedNoContext(t *testing.T) {
+	f := fleetForTest(t, Config{})
+	mustAddHome(t, f, HomeConfig{ID: "h"})
+	dec, err := f.Authorize(context.Background(), "h", buildInstr(t, "window.open", "win-1"))
+	if err != nil {
+		t.Fatalf("Authorize: %v", err)
+	}
+	if dec.Allowed || !dec.Sensitive || dec.Reason != reasonNoContext {
+		t.Fatalf("sensitive op without context: got %+v, want fail-closed rejection", dec)
+	}
+}
+
+func TestFleetFailClosedStaleContext(t *testing.T) {
+	now := time.Unix(1000, 0)
+	f := fleetForTest(t, Config{
+		FreshFor: time.Minute,
+		Now:      func() time.Time { return now },
+	})
+	mustAddHome(t, f, HomeConfig{ID: "h"})
+	if err := f.PushContext("h", legalCtx(t, dataset.ModelWindow)); err != nil {
+		t.Fatal(err)
+	}
+	open := buildInstr(t, "window.open", "win-1")
+
+	now = now.Add(59 * time.Second)
+	dec, err := f.Authorize(context.Background(), "h", open)
+	if err != nil {
+		t.Fatalf("Authorize (fresh): %v", err)
+	}
+	if !dec.Allowed {
+		t.Fatalf("within budget: got %+v, want allow", dec)
+	}
+
+	now = now.Add(2 * time.Minute)
+	dec, err = f.Authorize(context.Background(), "h", open)
+	if err != nil {
+		t.Fatalf("Authorize (stale): %v", err)
+	}
+	if dec.Allowed || dec.Reason != reasonStaleCtx {
+		t.Fatalf("beyond budget: got %+v, want stale fail-closed rejection", dec)
+	}
+
+	// Non-sensitive instructions still judge on the stale view.
+	dec, err = f.Authorize(context.Background(), "h", buildInstr(t, "light.get_state", "lamp-1"))
+	if err != nil {
+		t.Fatalf("Authorize (non-sensitive, stale): %v", err)
+	}
+	if !dec.Allowed {
+		t.Fatalf("non-sensitive on stale view: got %+v, want allow", dec)
+	}
+}
+
+func TestFleetHomeFreshnessOverride(t *testing.T) {
+	now := time.Unix(1000, 0)
+	f := fleetForTest(t, Config{
+		FreshFor: time.Minute,
+		Now:      func() time.Time { return now },
+	})
+	mustAddHome(t, f, HomeConfig{ID: "patient", FreshFor: time.Hour})
+	if err := f.PushContext("patient", legalCtx(t, dataset.ModelWindow)); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(30 * time.Minute)
+	dec, err := f.Authorize(context.Background(), "patient", buildInstr(t, "window.open", "w"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Allowed {
+		t.Fatalf("per-home FreshFor override ignored: %+v", dec)
+	}
+}
+
+func TestFleetUnknownHome(t *testing.T) {
+	f := fleetForTest(t, Config{})
+	if _, err := f.Authorize(context.Background(), "ghost", buildInstr(t, "window.open", "w")); err == nil {
+		t.Fatal("Authorize on unknown home succeeded")
+	}
+	if err := f.PushContext("ghost", sensor.Snapshot{}); err == nil {
+		t.Fatal("PushContext on unknown home succeeded")
+	}
+}
+
+func TestFleetAuthorizeCancelledContext(t *testing.T) {
+	f := fleetForTest(t, Config{})
+	mustAddHome(t, f, HomeConfig{ID: "h"})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.Authorize(ctx, "h", buildInstr(t, "light.get_state", "l")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Authorize with cancelled ctx = %v, want context.Canceled", err)
+	}
+	if _, err := f.AuthorizeBatch(ctx, []BatchItem{{Home: "h", In: buildInstr(t, "light.get_state", "l")}}, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("AuthorizeBatch with cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestFleetHomeLifecycle(t *testing.T) {
+	f := fleetForTest(t, Config{})
+	mustAddHome(t, f, HomeConfig{ID: "h"})
+	if _, err := f.AddHome(HomeConfig{ID: "h"}); err == nil {
+		t.Fatal("duplicate AddHome succeeded")
+	}
+	if _, err := f.AddHome(HomeConfig{}); err == nil {
+		t.Fatal("empty-ID AddHome succeeded")
+	}
+	if f.HomeCount() != 1 {
+		t.Fatalf("HomeCount = %d, want 1", f.HomeCount())
+	}
+	if !f.RemoveHome("h") {
+		t.Fatal("RemoveHome returned false for registered home")
+	}
+	if f.RemoveHome("h") {
+		t.Fatal("RemoveHome returned true for deregistered home")
+	}
+	if f.HomeCount() != 0 {
+		t.Fatalf("HomeCount after removal = %d, want 0", f.HomeCount())
+	}
+}
+
+func TestFleetHomeIDsSortedAcrossShards(t *testing.T) {
+	f := fleetForTest(t, Config{Shards: 8})
+	want := make([]string, 0, 40)
+	for i := 0; i < 40; i++ {
+		id := fmt.Sprintf("home-%03d", i)
+		mustAddHome(t, f, HomeConfig{ID: id})
+		want = append(want, id)
+	}
+	got := f.HomeIDs()
+	if len(got) != len(want) {
+		t.Fatalf("HomeIDs len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("HomeIDs[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFleetHomeLogRing(t *testing.T) {
+	f := fleetForTest(t, Config{HomeLogCapacity: 4})
+	h := mustAddHome(t, f, HomeConfig{ID: "h"})
+	if err := f.PushContext("h", legalCtx(t, dataset.ModelWindow)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := f.Authorize(context.Background(), "h", buildInstr(t, "window.open", fmt.Sprintf("w-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log := h.Log()
+	if len(log) != 4 {
+		t.Fatalf("ring log retained %d entries, want 4", len(log))
+	}
+	if log[0].Seq != 7 || log[3].Seq != 10 {
+		t.Fatalf("ring log kept seqs %d..%d, want 7..10", log[0].Seq, log[3].Seq)
+	}
+	if log[3].DeviceID != "w-9" {
+		t.Fatalf("newest entry device = %q, want w-9", log[3].DeviceID)
+	}
+	recent := h.LogRecent(2)
+	if len(recent) != 2 || recent[1].Seq != 10 {
+		t.Fatalf("LogRecent(2) = %+v, want newest two", recent)
+	}
+	if got := h.LogRecent(-1); len(got) != 0 {
+		t.Fatalf("LogRecent(-1) = %+v, want empty", got)
+	}
+}
+
+func TestFleetLogCapacityOne(t *testing.T) {
+	f := fleetForTest(t, Config{HomeLogCapacity: 1})
+	h := mustAddHome(t, f, HomeConfig{ID: "h"})
+	if err := f.PushContext("h", legalCtx(t, dataset.ModelWindow)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Authorize(context.Background(), "h", buildInstr(t, "window.open", "w")); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Log(); len(got) != 1 {
+		t.Fatalf("capacity-1 log retained %d, want 1", len(got))
+	}
+}
+
+func TestFleetPullCollectorFallback(t *testing.T) {
+	f := fleetForTest(t, Config{})
+	calls := 0
+	coll := core.CollectorFunc(func(ctx context.Context) (sensor.Snapshot, error) {
+		calls++
+		return legalCtx(t, dataset.ModelWindow), nil
+	})
+	mustAddHome(t, f, HomeConfig{ID: "pull", Collector: coll})
+	dec, err := f.Authorize(context.Background(), "pull", buildInstr(t, "window.open", "w"))
+	if err != nil {
+		t.Fatalf("Authorize: %v", err)
+	}
+	if !dec.Allowed || calls != 1 {
+		t.Fatalf("pull fallback: dec=%+v calls=%d, want allow after 1 pull", dec, calls)
+	}
+	// The pulled snapshot is now the home's published view: the next
+	// authorize must not pull again.
+	if _, err := f.Authorize(context.Background(), "pull", buildInstr(t, "window.open", "w")); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("second authorize pulled again (calls=%d), want cached view", calls)
+	}
+}
+
+func TestFleetPullCollectorFailure(t *testing.T) {
+	f := fleetForTest(t, Config{})
+	boom := errors.New("gateway down")
+	coll := core.CollectorFunc(func(ctx context.Context) (sensor.Snapshot, error) {
+		return sensor.Snapshot{}, boom
+	})
+	mustAddHome(t, f, HomeConfig{ID: "down", Collector: coll})
+	if _, err := f.Authorize(context.Background(), "down", buildInstr(t, "window.open", "w")); !errors.Is(err, boom) {
+		t.Fatalf("sensitive with failing collector = %v, want wrapped gateway error", err)
+	}
+	// Non-sensitive traffic survives the dead gateway.
+	dec, err := f.Authorize(context.Background(), "down", buildInstr(t, "light.get_state", "l"))
+	if err != nil || !dec.Allowed {
+		t.Fatalf("non-sensitive with failing collector = %+v, %v; want allow", dec, err)
+	}
+}
+
+func TestFleetPullCollectorBreaker(t *testing.T) {
+	f := fleetForTest(t, Config{})
+	boom := errors.New("gateway down")
+	calls := 0
+	coll := core.CollectorFunc(func(ctx context.Context) (sensor.Snapshot, error) {
+		calls++
+		return sensor.Snapshot{}, boom
+	})
+	br := resilience.NewBreaker(resilience.BreakerConfig{FailureThreshold: 2, OpenTimeout: time.Hour})
+	mustAddHome(t, f, HomeConfig{ID: "flap", Collector: coll, Breaker: br})
+	open := buildInstr(t, "window.open", "w")
+	for i := 0; i < 5; i++ {
+		if _, err := f.Authorize(context.Background(), "flap", open); err == nil {
+			t.Fatal("Authorize succeeded with dead collector")
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("collector called %d times behind tripped breaker, want 2", calls)
+	}
+}
+
+func TestFleetBatchTenantIsolation(t *testing.T) {
+	f := fleetForTest(t, Config{Shards: 4})
+	mustAddHome(t, f, HomeConfig{ID: "a"})
+	mustAddHome(t, f, HomeConfig{ID: "b"})
+	legal := legalCtx(t, dataset.ModelWindow)
+	attack := attackCtx(t, dataset.ModelWindow)
+	items := []BatchItem{
+		{Home: "a", In: buildInstr(t, "window.open", "w"), Context: &legal},
+		{Home: "ghost", In: buildInstr(t, "window.open", "w")},
+		{Home: "b", In: buildInstr(t, "window.open", "w"), Context: &attack},
+		{Home: "b", In: buildInstr(t, "light.get_state", "l")},
+	}
+	out, err := f.AuthorizeBatch(context.Background(), items, 2)
+	if err != nil {
+		t.Fatalf("AuthorizeBatch: %v", err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("batch returned %d results, want 4", len(out))
+	}
+	if !out[0].Decision.Allowed || out[0].Err != "" {
+		t.Fatalf("item 0 (legal): %+v", out[0])
+	}
+	if out[1].Err == "" || !strings.Contains(out[1].Err, "unknown home") {
+		t.Fatalf("item 1 (ghost) should carry a per-item error, got %+v", out[1])
+	}
+	if out[2].Decision.Allowed || out[2].Err != "" {
+		t.Fatalf("item 2 (attack): %+v", out[2])
+	}
+	if !out[3].Decision.Allowed {
+		t.Fatalf("item 3 (status): %+v", out[3])
+	}
+	if out, err := f.AuthorizeBatch(context.Background(), nil, 2); err != nil || out != nil {
+		t.Fatalf("empty batch = %v, %v; want nil, nil", out, err)
+	}
+}
+
+func TestFleetSharedModelRegistry(t *testing.T) {
+	fm := memoryForTest(t)
+	reg := registryForTest(t)
+	f := fleetForTest(t, Config{Models: reg, Shards: 8})
+	for i := 0; i < 500; i++ {
+		mustAddHome(t, f, HomeConfig{ID: fmt.Sprintf("home-%03d", i)})
+	}
+	// The registry holds exactly one compiled tree per device model no
+	// matter how many homes share it.
+	if got, want := f.Registry().Len(), len(fm.Models()); got != want {
+		t.Fatalf("registry holds %d models for 500 homes, want %d", got, want)
+	}
+	if got := len(f.Registry().Models()); got != f.Registry().Len() {
+		t.Fatalf("Models() lists %d, Len() says %d", got, f.Registry().Len())
+	}
+	for _, m := range fm.Models() {
+		memEntry, ok := fm.Entry(m)
+		if !ok {
+			t.Fatalf("memory lost entry for %s", m)
+		}
+		regEntry, ok := f.Registry().Entry(m)
+		if !ok {
+			t.Fatalf("registry missing entry for %s", m)
+		}
+		if memEntry != regEntry {
+			t.Fatalf("registry cloned the %s entry instead of sharing it", m)
+		}
+		if memEntry.Compiled() != regEntry.Compiled() {
+			t.Fatalf("registry compiled tree for %s is not the shared one", m)
+		}
+	}
+}
+
+func TestModelRegistrySwap(t *testing.T) {
+	reg := registryForTest(t)
+	if err := reg.Swap(dataset.ModelWindow, nil); err == nil {
+		t.Fatal("Swap(nil) succeeded")
+	}
+	e, _ := reg.Entry(dataset.ModelTV)
+	if err := reg.Swap(dataset.ModelWindow, e); err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	got, ok := reg.Entry(dataset.ModelWindow)
+	if !ok || got != e {
+		t.Fatal("Swap did not publish the new entry")
+	}
+	if _, err := reg.Judge(dataset.Model("toaster"), sensor.Snapshot{}); err == nil {
+		t.Fatal("Judge on unknown model succeeded")
+	}
+	if _, _, err := reg.JudgeExplain(dataset.Model("toaster"), sensor.Snapshot{}); err == nil {
+		t.Fatal("JudgeExplain on unknown model succeeded")
+	}
+}
+
+func TestFleetMetrics(t *testing.T) {
+	mreg := obs.NewRegistry()
+	f := fleetForTest(t, Config{
+		Shards:             2,
+		Metrics:            mreg,
+		TenantMetricsLimit: 1,
+	})
+	mustAddHome(t, f, HomeConfig{ID: "first"})
+	mustAddHome(t, f, HomeConfig{ID: "second"}) // past the tenant cap
+	if err := f.PushContext("first", legalCtx(t, dataset.ModelWindow)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Authorize(context.Background(), "first", buildInstr(t, "window.open", "w")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Authorize(context.Background(), "second", buildInstr(t, "window.open", "w")); err != nil {
+		t.Fatal(err)
+	}
+	legal := legalCtx(t, dataset.ModelWindow)
+	if _, err := f.AuthorizeBatch(context.Background(), []BatchItem{
+		{Home: "first", In: buildInstr(t, "window.open", "w"), Context: &legal},
+	}, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf strings.Builder
+	if err := mreg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		metricHomes + " 2",
+		metricPushes + " 2", // one explicit push + one batch-carried push
+		metricBatches + " 1",
+		metricBatchItems + " 1",
+		`home="first"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, `home="second"`) {
+		t.Error("tenant cap leaked a series for the second home")
+	}
+	if !strings.Contains(text, `outcome="allow"`) || !strings.Contains(text, `outcome="fail_closed"`) {
+		t.Errorf("decision outcomes not labeled:\n%s", text)
+	}
+}
+
+func TestFleetWithoutMetricsIsNilSafe(t *testing.T) {
+	f := fleetForTest(t, Config{})
+	mustAddHome(t, f, HomeConfig{ID: "h"})
+	if err := f.PushContext("h", legalCtx(t, dataset.ModelWindow)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Authorize(context.Background(), "h", buildInstr(t, "window.open", "w")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJumpHashProperties(t *testing.T) {
+	// Uniform-ish spread over shards.
+	counts := make([]int, 16)
+	for i := 0; i < 16000; i++ {
+		counts[jumpHash(fnv64a(fmt.Sprintf("home-%d", i)), 16)]++
+	}
+	for s, c := range counts {
+		if c < 500 || c > 1500 {
+			t.Fatalf("shard %d got %d of 16000 keys — spread far from uniform", s, c)
+		}
+	}
+	// Minimal movement: growing 16 → 17 shards must move roughly 1/17 of
+	// keys; anything near a full reshuffle means the hash is broken.
+	moved := 0
+	for i := 0; i < 16000; i++ {
+		k := fnv64a(fmt.Sprintf("home-%d", i))
+		if jumpHash(k, 16) != jumpHash(k, 17) {
+			moved++
+		}
+	}
+	if moved > 16000/17*3 {
+		t.Fatalf("%d of 16000 keys moved when shards grew 16→17, want ~%d", moved, 16000/17)
+	}
+}

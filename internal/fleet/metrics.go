@@ -1,0 +1,136 @@
+package fleet
+
+import (
+	"strconv"
+
+	"iotsid/internal/core"
+	"iotsid/internal/obs"
+)
+
+// Metric names the fleet layer owns. Label cardinality follows the repo's
+// pre-registration rule: the shard label is bounded by the configured shard
+// count, and the per-tenant family is capped by Config.TenantMetricsLimit —
+// an unbounded home-ID label would make the exposition scale with the
+// fleet, so tenant series are an explicit opt-in, registered at AddHome
+// time (never on the hot path).
+const (
+	metricHomes         = "iotsid_fleet_homes"
+	metricPushes        = "iotsid_fleet_context_pushes_total"
+	metricDecisions     = "iotsid_fleet_decisions_total"
+	metricBatches       = "iotsid_fleet_batches_total"
+	metricBatchItems    = "iotsid_fleet_batch_items_total"
+	metricTenantDecided = "iotsid_fleet_tenant_decisions_total"
+)
+
+// Decision outcome indices for the pre-registered counter cells (same
+// vocabulary as the core framework metrics).
+const (
+	outcomeAllow = iota
+	outcomeReject
+	outcomeFailClosed
+	outcomeCount
+)
+
+var outcomeNames = [outcomeCount]string{"allow", "reject", "fail_closed"}
+
+// fleetMetrics holds the fleet's pre-registered series: one
+// (shard, outcome) counter cell per shard so the hot path counts itself
+// with a single atomic add and zero lookups. A nil *fleetMetrics disables
+// instrumentation; every method is nil-receiver safe.
+type fleetMetrics struct {
+	homes      *obs.Gauge
+	pushes     *obs.Counter
+	decisions  [][outcomeCount]*obs.Counter // [shard][outcome]
+	batches    *obs.Counter
+	batchItems *obs.Counter
+	tenants    *obs.CounterVec
+}
+
+// newFleetMetrics pre-registers the fleet series for a given shard count.
+func newFleetMetrics(reg *obs.Registry, shards int) *fleetMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &fleetMetrics{
+		homes: reg.NewGauge(metricHomes,
+			"Homes currently registered with the fleet."),
+		pushes: reg.NewCounter(metricPushes,
+			"Per-home sensor context pushes accepted by the fleet."),
+		batches: reg.NewCounter(metricBatches,
+			"Fleet AuthorizeBatch invocations."),
+		batchItems: reg.NewCounter(metricBatchItems,
+			"Instructions carried by fleet AuthorizeBatch invocations."),
+		tenants: reg.NewCounterVec(metricTenantDecided,
+			"Authorization decisions by home and outcome (registered for the first TenantMetricsLimit homes only — the label is capped, not fleet-wide).",
+			"home", "outcome"),
+	}
+	vec := reg.NewCounterVec(metricDecisions,
+		"Authorization decisions by fleet shard and outcome (allow, reject, fail_closed).",
+		"shard", "outcome")
+	m.decisions = make([][outcomeCount]*obs.Counter, shards)
+	for s := 0; s < shards; s++ {
+		label := strconv.Itoa(s)
+		for o := 0; o < outcomeCount; o++ {
+			m.decisions[s][o] = vec.With(label, outcomeNames[o])
+		}
+	}
+	return m
+}
+
+// tenantCells pre-resolves one home's (outcome) counter cells; called at
+// AddHome time for the first TenantMetricsLimit homes.
+func (m *fleetMetrics) tenantCells(home string) [outcomeCount]*obs.Counter {
+	var cells [outcomeCount]*obs.Counter
+	if m == nil {
+		return cells
+	}
+	for o := 0; o < outcomeCount; o++ {
+		cells[o] = m.tenants.With(home, outcomeNames[o])
+	}
+	return cells
+}
+
+// outcomeOf maps a judged decision onto the counter row.
+func outcomeOf(dec core.Decision) int {
+	if dec.Allowed {
+		return outcomeAllow
+	}
+	return outcomeReject
+}
+
+// observeDecision counts one judged decision on its shard row.
+//
+//iot:hotpath
+func (m *fleetMetrics) observeDecision(shard uint32, outcome int) {
+	if m == nil {
+		return
+	}
+	m.decisions[shard][outcome].Inc()
+}
+
+// observePush counts one accepted context push.
+//
+//iot:hotpath
+func (m *fleetMetrics) observePush() {
+	if m == nil {
+		return
+	}
+	m.pushes.Inc()
+}
+
+// observeBatch counts one batch and its item load.
+func (m *fleetMetrics) observeBatch(items int) {
+	if m == nil {
+		return
+	}
+	m.batches.Inc()
+	m.batchItems.Add(uint64(items))
+}
+
+// observeHomes tracks the registered-home gauge.
+func (m *fleetMetrics) observeHomes(n int64) {
+	if m == nil {
+		return
+	}
+	m.homes.Set(n)
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package fleet
+
+// raceEnabled lets allocation-count tests stand down under the race
+// detector, whose instrumentation changes allocation behaviour.
+const raceEnabled = true

@@ -65,6 +65,17 @@ go test -race -count=1 ./internal/obs/
 go test -count=1 -run '^$' -fuzz '^FuzzMetricName$' -fuzztime 10s ./internal/obs/
 go test -count=1 -run '^$' -fuzz '^FuzzLabelEscape$' -fuzztime 10s ./internal/obs/
 
+# Fleet gate: the multi-tenant layer is sharded concurrent state shared by
+# every tenant — run its whole suite (concurrent push/authorize hammer,
+# shard-rebalance and worker-count determinism, COW registry swaps) and the
+# cloud fleet endpoints focused under the race detector, then smoke the
+# closed-loop load generator end to end: a small seeded run must complete
+# and print its decision-stream digest.
+go test -race -count=1 ./internal/fleet/
+go test -race -count=1 -run 'Fleet' ./internal/cloud/
+fleet_smoke="$(go run ./cmd/fleetload -homes 200 -steps 2 -workers 2 -batch 64 -seed 1)"
+echo "$fleet_smoke" | grep -q 'digest' || { echo 'fleetload smoke: no digest in output' >&2; exit 1; }
+
 # Coverage gate: no package may fall below its recorded floor
 # (coverage_floors.txt; internal/obs carries a hard 90% minimum). The race
 # detector is off here so the allocation-count gates run too.

@@ -154,6 +154,13 @@ func run() error {
 		return err
 	}
 	defer func() { _ = srv.Close() }()
+	// The fleet endpoints enforce home-to-account binding; every load home
+	// belongs to the gateway account.
+	for _, id := range ids {
+		if err := srv.BindHome(id, "gateway"); err != nil {
+			return err
+		}
+	}
 
 	if *profileAddr != "" {
 		mux := http.NewServeMux()

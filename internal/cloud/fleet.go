@@ -13,7 +13,27 @@ import (
 // Fleet endpoints: the multi-tenant face of the cloud. A gateway batches
 // many homes' traffic into one round trip; the cloud fans it out across the
 // fleet's shards and answers per item, so one tenant's bad request never
-// aborts another tenant's instructions.
+// aborts another tenant's instructions. Every item and push is checked
+// against the home-to-account bindings (Server.BindHome) first: a session
+// may only push context for, and authorize against, homes its account
+// owns — otherwise any authenticated user could fabricate another
+// tenant's sensor context and walk sensitive instructions past the gate.
+
+// errHomeNotBound rejects an item or push naming a home outside the
+// session's account (mirrors handleCommand's device-ownership error).
+const errHomeNotBound = "home not bound to this account"
+
+// ownedHomes resolves, per input, whether the session's account owns the
+// named home — one lock acquisition for the whole batch.
+func (s *Server) ownedHomes(user string, homes func(i int) string, n int) []bool {
+	owned := make([]bool, n)
+	s.mu.Lock()
+	for i := 0; i < n; i++ {
+		owned[i] = s.homes[homes(i)] == user
+	}
+	s.mu.Unlock()
+	return owned
+}
 
 // FleetBatchItem is one instruction in a fleet batch. Context, when
 // present, is pushed as the home's newest sensor snapshot before judging
@@ -49,7 +69,8 @@ type fleetAuthorizeResponse struct {
 const maxFleetBatch = 65536
 
 func (s *Server) handleFleetAuthorize(w http.ResponseWriter, r *http.Request) {
-	if s.sessionUser(r) == "" {
+	user := s.sessionUser(r)
+	if user == "" {
 		writeJSON(w, http.StatusUnauthorized, errorBody{Error: "login required"})
 		return
 	}
@@ -71,12 +92,17 @@ func (s *Server) handleFleetAuthorize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	results := make([]FleetResult, len(req.Items))
-	// Build the instructions first; items that fail to build get their
-	// error recorded in place and the survivors keep their positions via
-	// the index map.
+	owned := s.ownedHomes(user, func(i int) string { return req.Items[i].Home }, len(req.Items))
+	// Gate ownership and build the instructions first; items that fail
+	// get their error recorded in place and the survivors keep their
+	// positions via the index map.
 	items := make([]fleet.BatchItem, 0, len(req.Items))
 	idxs := make([]int, 0, len(req.Items))
 	for i, it := range req.Items {
+		if !owned[i] {
+			results[i] = FleetResult{Error: errHomeNotBound}
+			continue
+		}
 		in, err := s.cfg.Registry.Build(it.Op, it.DeviceID, instr.OriginUser, it.Args)
 		if err != nil {
 			results[i] = FleetResult{Error: err.Error()}
@@ -116,13 +142,23 @@ type fleetContextRequest struct {
 	Pushes []fleetContextPush `json:"pushes"`
 }
 
+// FleetPushError locates one rejected push: the index into the request's
+// push array plus the home it named, so a gateway batching thousands of
+// pushes can retry or drop exactly the failed ones.
+type FleetPushError struct {
+	Index int    `json:"index"`
+	Home  string `json:"home"`
+	Error string `json:"error"`
+}
+
 type fleetContextResponse struct {
-	Accepted int      `json:"accepted"`
-	Errors   []string `json:"errors,omitempty"`
+	Accepted int              `json:"accepted"`
+	Errors   []FleetPushError `json:"errors,omitempty"`
 }
 
 func (s *Server) handleFleetContext(w http.ResponseWriter, r *http.Request) {
-	if s.sessionUser(r) == "" {
+	user := s.sessionUser(r)
+	if user == "" {
 		writeJSON(w, http.StatusUnauthorized, errorBody{Error: "login required"})
 		return
 	}
@@ -144,9 +180,14 @@ func (s *Server) handleFleetContext(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := fleetContextResponse{}
-	for _, p := range req.Pushes {
+	owned := s.ownedHomes(user, func(i int) string { return req.Pushes[i].Home }, len(req.Pushes))
+	for i, p := range req.Pushes {
+		if !owned[i] {
+			resp.Errors = append(resp.Errors, FleetPushError{Index: i, Home: p.Home, Error: errHomeNotBound})
+			continue
+		}
 		if err := s.cfg.Fleet.PushContext(p.Home, p.Context); err != nil {
-			resp.Errors = append(resp.Errors, err.Error())
+			resp.Errors = append(resp.Errors, FleetPushError{Index: i, Home: p.Home, Error: err.Error()})
 			continue
 		}
 		resp.Accepted++
@@ -170,20 +211,19 @@ func FleetItem(home, op, deviceID string, ctx *sensor.Snapshot) FleetBatchItem {
 }
 
 // FleetPushContext pushes per-home snapshots (POST /v1/fleet/context).
-func (c *Client) FleetPushContext(pushes map[string]sensor.Snapshot) (int, error) {
+// Rejected pushes are reported per home in the returned slice; the error
+// is reserved for transport/protocol failures, so a partially-accepted
+// batch is (accepted, rejections, nil).
+func (c *Client) FleetPushContext(pushes map[string]sensor.Snapshot) (int, []FleetPushError, error) {
 	req := fleetContextRequest{Pushes: make([]fleetContextPush, 0, len(pushes))}
 	for home, snap := range pushes {
 		req.Pushes = append(req.Pushes, fleetContextPush{Home: home, Context: snap})
 	}
 	var resp fleetContextResponse
 	if err := c.do(http.MethodPost, "/v1/fleet/context", req, &resp); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	if len(resp.Errors) > 0 {
-		return resp.Accepted, fmt.Errorf("cloud: %d of %d pushes rejected (first: %s)",
-			len(resp.Errors), len(req.Pushes), resp.Errors[0])
-	}
-	return resp.Accepted, nil
+	return resp.Accepted, resp.Errors, nil
 }
 
 // FleetStats reads the fleet summary (GET /v1/fleet/stats).

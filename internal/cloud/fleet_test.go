@@ -72,6 +72,11 @@ func startFleetCloud(t *testing.T, homes int) (*Server, *fleet.Fleet) {
 		t.Fatalf("NewServer: %v", err)
 	}
 	t.Cleanup(func() { _ = srv.Close() })
+	for _, id := range fl.HomeIDs() {
+		if err := srv.BindHome(id, "gateway"); err != nil {
+			t.Fatalf("BindHome(%q): %v", id, err)
+		}
+	}
 	return srv, fl
 }
 
@@ -132,7 +137,7 @@ func TestFleetEndpointsRequireSession(t *testing.T) {
 	if _, err := c.FleetAuthorize([]FleetBatchItem{FleetItem("home-00", "window.open", "w", nil)}); err == nil {
 		t.Fatal("unauthenticated FleetAuthorize succeeded")
 	}
-	if _, err := c.FleetPushContext(map[string]sensor.Snapshot{"home-00": {}}); err == nil {
+	if _, _, err := c.FleetPushContext(map[string]sensor.Snapshot{"home-00": {}}); err == nil {
 		t.Fatal("unauthenticated FleetPushContext succeeded")
 	}
 	if _, _, _, err := c.FleetStats(); err == nil {
@@ -143,6 +148,13 @@ func TestFleetEndpointsRequireSession(t *testing.T) {
 func TestFleetAuthorizeEndpoint(t *testing.T) {
 	srv, _ := startFleetCloud(t, 4)
 	c := login(t, srv, "gateway", "s3cret")
+	// "ghost" is bound to the account but never registered with the fleet,
+	// so it exercises the fleet-level unknown-home error; "intruders-home"
+	// is neither bound nor registered and must be rejected at the binding
+	// gate before the fleet ever sees it.
+	if err := srv.BindHome("ghost", "gateway"); err != nil {
+		t.Fatal(err)
+	}
 
 	legal, err := dataset.LegalScene(dataset.ModelWindow, rand.New(rand.NewSource(77)))
 	if err != nil {
@@ -159,12 +171,13 @@ func TestFleetAuthorizeEndpoint(t *testing.T) {
 		FleetItem("home-02", "light.get_state", "lamp-1", nil),
 		FleetItem("ghost", "window.open", "win-1", &legal),
 		FleetItem("home-03", "no.such_op", "x", nil),
+		FleetItem("intruders-home", "window.open", "win-1", &legal),
 	})
 	if err != nil {
 		t.Fatalf("FleetAuthorize: %v", err)
 	}
-	if len(results) != 5 {
-		t.Fatalf("got %d results, want 5", len(results))
+	if len(results) != 6 {
+		t.Fatalf("got %d results, want 6", len(results))
 	}
 	if !results[0].Allowed || !results[0].Sensitive || results[0].Model != "window" {
 		t.Fatalf("legal scene: %+v", results[0])
@@ -181,6 +194,9 @@ func TestFleetAuthorizeEndpoint(t *testing.T) {
 	if results[4].Error == "" || !strings.Contains(results[4].Error, "unknown opcode") {
 		t.Fatalf("bad opcode: %+v", results[4])
 	}
+	if results[5].Error != errHomeNotBound || results[5].Allowed {
+		t.Fatalf("unbound home: %+v, want %q", results[5], errHomeNotBound)
+	}
 }
 
 func TestFleetContextAndStatsEndpoints(t *testing.T) {
@@ -191,21 +207,31 @@ func TestFleetContextAndStatsEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	accepted, err := c.FleetPushContext(map[string]sensor.Snapshot{
+	accepted, rejected, err := c.FleetPushContext(map[string]sensor.Snapshot{
 		"home-00": legal,
 		"home-01": legal,
 	})
-	if err != nil || accepted != 2 {
-		t.Fatalf("FleetPushContext = %d, %v; want 2 accepted", accepted, err)
+	if err != nil || accepted != 2 || len(rejected) != 0 {
+		t.Fatalf("FleetPushContext = %d, %v, %v; want 2 accepted", accepted, rejected, err)
 	}
-	// A push batch with an unknown home reports the rejection but still
-	// lands the valid pushes.
-	accepted, err = c.FleetPushContext(map[string]sensor.Snapshot{
+	// A push batch with a bad home still lands the valid pushes and
+	// reports the rejection structurally — the gateway learns which home
+	// (and which index) failed without parsing message text.
+	if err := srv.BindHome("ghost", "gateway"); err != nil {
+		t.Fatal(err)
+	}
+	accepted, rejected, err = c.FleetPushContext(map[string]sensor.Snapshot{
 		"home-02": legal,
 		"ghost":   legal,
 	})
-	if err == nil || accepted != 1 {
-		t.Fatalf("mixed push batch = %d, %v; want 1 accepted + error", accepted, err)
+	if err != nil || accepted != 1 || len(rejected) != 1 {
+		t.Fatalf("mixed push batch = %d, %v, %v; want 1 accepted + 1 rejection", accepted, rejected, err)
+	}
+	if rejected[0].Home != "ghost" || !strings.Contains(rejected[0].Error, "unknown home") {
+		t.Fatalf("rejection = %+v, want ghost/unknown-home", rejected[0])
+	}
+	if rejected[0].Index < 0 || rejected[0].Index > 1 {
+		t.Fatalf("rejection index = %d, want a valid push index", rejected[0].Index)
 	}
 
 	// The pushed context now judges a sensitive op without inline context.
@@ -246,6 +272,69 @@ func TestFleetEndpointMethodsAndBodies(t *testing.T) {
 		if !ok || apiErr.StatusCode != tc.wantStatus {
 			t.Errorf("%s %s = %v, want HTTP %d", tc.method, tc.path, err, tc.wantStatus)
 		}
+	}
+}
+
+// TestFleetHomeOwnershipIsolation pins the tenant boundary: a session can
+// only push context for, and authorize against, homes bound to its own
+// account — another authenticated account pushing fabricated context for a
+// victim's home, then authorizing sensitive instructions against it, is
+// rejected at the binding gate (the fleet analogue of handleCommand's
+// device-ownership check).
+func TestFleetHomeOwnershipIsolation(t *testing.T) {
+	fl := fleetForCloudTest(t, 1)
+	srv, err := NewServer(Config{
+		Users:    map[string]string{"victim": "s3cret", "intruder": "s3cret"},
+		Registry: instr.BuiltinRegistry(),
+		Forward:  func(in instr.Instruction) error { return nil },
+		Fleet:    fl,
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	if err := srv.BindHome("home-00", "victim"); err != nil {
+		t.Fatal(err)
+	}
+	// A home cannot be re-bound to a different account.
+	if err := srv.BindHome("home-00", "intruder"); err == nil {
+		t.Fatal("BindHome rebound a home to another account")
+	}
+	if err := srv.BindHome("home-00", "nobody"); err == nil {
+		t.Fatal("BindHome accepted an unknown user")
+	}
+
+	legal, err := dataset.LegalScene(dataset.ModelWindow, rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The intruder's session cannot fabricate the victim's context.
+	intruder := login(t, srv, "intruder", "s3cret")
+	accepted, rejected, err := intruder.FleetPushContext(map[string]sensor.Snapshot{"home-00": legal})
+	if err != nil || accepted != 0 || len(rejected) != 1 || rejected[0].Error != errHomeNotBound {
+		t.Fatalf("intruder push = %d, %+v, %v; want 0 accepted + not-bound rejection", accepted, rejected, err)
+	}
+	// Nor authorize against it — with or without inline context.
+	for _, snap := range []*sensor.Snapshot{&legal, nil} {
+		results, err := intruder.FleetAuthorize([]FleetBatchItem{
+			FleetItem("home-00", "window.open", "win-1", snap),
+		})
+		if err != nil || len(results) != 1 {
+			t.Fatalf("intruder authorize = %+v, %v", results, err)
+		}
+		if results[0].Error != errHomeNotBound || results[0].Allowed {
+			t.Fatalf("intruder authorize result = %+v, want %q", results[0], errHomeNotBound)
+		}
+	}
+
+	// The owner's session still works end to end.
+	victim := login(t, srv, "victim", "s3cret")
+	results, err := victim.FleetAuthorize([]FleetBatchItem{
+		FleetItem("home-00", "window.open", "win-1", &legal),
+	})
+	if err != nil || len(results) != 1 || results[0].Error != "" || !results[0].Allowed {
+		t.Fatalf("owner authorize = %+v, %v; want allow", results, err)
 	}
 }
 

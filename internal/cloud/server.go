@@ -91,7 +91,10 @@ type Config struct {
 	// Fleet, when non-nil, mounts the multi-tenant endpoints:
 	// POST /v1/fleet/authorize (batch authorization across homes),
 	// POST /v1/fleet/context (per-home context pushes), and
-	// GET /v1/fleet/stats. All three require a session.
+	// GET /v1/fleet/stats. All three require a session, and authorize
+	// items / context pushes additionally require the named home to be
+	// bound to the session's account via BindHome — the tenant analogue
+	// of the device-ownership check in /v1/command.
 	Fleet *fleet.Fleet
 	// FleetWorkers bounds the per-request shard fan-out of
 	// /v1/fleet/authorize; 0 means GOMAXPROCS.
@@ -132,6 +135,7 @@ type Server struct {
 	mu       sync.Mutex
 	sessions map[string]string // session token → user
 	devices  map[string]string // device ID → owning user
+	homes    map[string]string // fleet home ID → owning account
 	history  []HistoryEntry
 	failures map[string]int       // user → consecutive failed logins
 	lockedAt map[string]time.Time // user → lockout start
@@ -196,6 +200,7 @@ func NewServer(cfg Config) (*Server, error) {
 		ln:       ln,
 		sessions: make(map[string]string),
 		devices:  make(map[string]string),
+		homes:    make(map[string]string),
 		failures: make(map[string]int),
 		lockedAt: make(map[string]time.Time),
 	}
@@ -251,6 +256,24 @@ func (s *Server) BindDevice(deviceID, user string) error {
 		return fmt.Errorf("cloud: device %q already bound to another account", deviceID)
 	}
 	s.devices[deviceID] = user
+	return nil
+}
+
+// BindHome registers a fleet home as owned by an account (tenant
+// provisioning — the fleet analogue of BindDevice). The fleet endpoints
+// reject authorize items and context pushes naming homes the session's
+// account does not own, so a home must be bound before any gateway can
+// speak for it; rebinding to the same account is idempotent.
+func (s *Server) BindHome(homeID, user string) error {
+	if _, ok := s.cfg.Users[user]; !ok {
+		return fmt.Errorf("cloud: unknown user %q", user)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if owner, bound := s.homes[homeID]; bound && owner != user {
+		return fmt.Errorf("cloud: home %q already bound to another account", homeID)
+	}
+	s.homes[homeID] = user
 	return nil
 }
 

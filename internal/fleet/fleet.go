@@ -19,8 +19,9 @@ import (
 // Fail-closed reasons are fixed strings so the degraded path stays cheap
 // and the decision stream deterministic.
 const (
-	reasonNoContext = "sensitive instruction rejected (fail closed): home has pushed no sensor context"
-	reasonStaleCtx  = "sensitive instruction rejected (fail closed): home sensor context is beyond its freshness budget"
+	reasonNoContext  = "sensitive instruction rejected (fail closed): home has pushed no sensor context"
+	reasonStaleCtx   = "sensitive instruction rejected (fail closed): home sensor context is beyond its freshness budget"
+	reasonPullFailed = "sensitive instruction rejected (fail closed): home context pull failed and no fresh pushed context"
 )
 
 // Config wires a fleet.
@@ -202,16 +203,20 @@ func (f *Fleet) AddHome(cfg HomeConfig) (*Home, error) {
 		breaker:   cfg.Breaker,
 	}
 	h.log.buf = make([]core.LogEntry, f.logCap)
-	if f.metrics != nil && f.tenantCap > 0 && f.tenantSeen.Load() < int64(f.tenantCap) {
-		if f.tenantSeen.Add(1) <= int64(f.tenantCap) {
-			h.tenant = f.metrics.tenantCells(cfg.ID)
-		}
-	}
 	s := &f.shards[si]
 	s.mu.Lock()
 	if _, dup := s.homes[cfg.ID]; dup {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("fleet: home %q already registered", cfg.ID)
+	}
+	// Claim a tenant-metrics slot only after the duplicate check — a
+	// rejected registration must not burn one of the capped slots or leave
+	// an orphan labeled series in the registry. Resolving the cells under
+	// the shard lock publishes them before the home is visible to readers.
+	if f.metrics != nil && f.tenantCap > 0 && f.tenantSeen.Load() < int64(f.tenantCap) {
+		if f.tenantSeen.Add(1) <= int64(f.tenantCap) {
+			h.tenant = f.metrics.tenantCells(cfg.ID)
+		}
 	}
 	s.homes[cfg.ID] = h
 	s.mu.Unlock()
@@ -380,27 +385,27 @@ func (f *Fleet) observe(h *Home, in instr.Instruction, dec core.Decision, outcom
 
 // authorizeDegraded is the cold path: no pushed context, or a stale one.
 // With a pull collector wired the fleet falls back to polling (behind the
-// home's breaker); otherwise sensitive instructions fail closed against
-// missing/stale context while non-sensitive instructions are still judged
-// on whatever the home last pushed — the same bounded-staleness /
-// fail-closed trade the single-home framework makes.
+// home's breaker); a failed pull is the same epistemic state as no
+// context at all, so every degraded shape converges on one contract:
+// sensitive instructions fail closed with an interned reason (recorded in
+// the ring log and the fail_closed counters like any other decision),
+// non-sensitive instructions are still judged on whatever the home last
+// pushed — the same bounded-staleness / fail-closed trade the single-home
+// framework makes.
 func (f *Fleet) authorizeDegraded(ctx context.Context, h *Home, in instr.Instruction, v *homeView) (core.Decision, error) {
+	reason := reasonNoContext
+	if v != nil {
+		reason = reasonStaleCtx
+	}
 	if h.collector != nil {
 		snap, err := f.collectPull(ctx, h)
 		if err == nil {
 			return f.judgeAndLog(h, in, snap)
 		}
-		if !f.detector.IsSensitive(in) {
-			return f.judgeNonSensitive(h, in, v)
-		}
-		return core.Decision{}, fmt.Errorf("fleet: home %s context unavailable: %w", h.id, err)
+		reason = reasonPullFailed
 	}
 	if !f.detector.IsSensitive(in) {
 		return f.judgeNonSensitive(h, in, v)
-	}
-	reason := reasonNoContext
-	if v != nil {
-		reason = reasonStaleCtx
 	}
 	dec := core.Decision{Allowed: false, Sensitive: true, Reason: reason}
 	f.observe(h, in, dec, outcomeFailClosed)

@@ -400,12 +400,22 @@ func TestFleetPullCollectorFailure(t *testing.T) {
 	coll := core.CollectorFunc(func(ctx context.Context) (sensor.Snapshot, error) {
 		return sensor.Snapshot{}, boom
 	})
-	mustAddHome(t, f, HomeConfig{ID: "down", Collector: coll})
-	if _, err := f.Authorize(context.Background(), "down", buildInstr(t, "window.open", "w")); !errors.Is(err, boom) {
-		t.Fatalf("sensitive with failing collector = %v, want wrapped gateway error", err)
+	h := mustAddHome(t, f, HomeConfig{ID: "down", Collector: coll})
+	// A failed pull is the same epistemic state as no context: a sensitive
+	// instruction gets the uniform fail-closed decision (not an error), so
+	// degraded traffic lands in the ring log like any other rejection.
+	dec, err := f.Authorize(context.Background(), "down", buildInstr(t, "window.open", "w"))
+	if err != nil {
+		t.Fatalf("Authorize: %v", err)
+	}
+	if dec.Allowed || !dec.Sensitive || dec.Reason != reasonPullFailed {
+		t.Fatalf("sensitive with failing collector = %+v, want pull-failure fail-closed rejection", dec)
+	}
+	if got := h.Log(); len(got) != 1 || got[0].Decision.Reason != reasonPullFailed {
+		t.Fatalf("ring log after degraded rejection = %+v, want the fail-closed decision recorded", got)
 	}
 	// Non-sensitive traffic survives the dead gateway.
-	dec, err := f.Authorize(context.Background(), "down", buildInstr(t, "light.get_state", "l"))
+	dec, err = f.Authorize(context.Background(), "down", buildInstr(t, "light.get_state", "l"))
 	if err != nil || !dec.Allowed {
 		t.Fatalf("non-sensitive with failing collector = %+v, %v; want allow", dec, err)
 	}
@@ -423,8 +433,12 @@ func TestFleetPullCollectorBreaker(t *testing.T) {
 	mustAddHome(t, f, HomeConfig{ID: "flap", Collector: coll, Breaker: br})
 	open := buildInstr(t, "window.open", "w")
 	for i := 0; i < 5; i++ {
-		if _, err := f.Authorize(context.Background(), "flap", open); err == nil {
-			t.Fatal("Authorize succeeded with dead collector")
+		dec, err := f.Authorize(context.Background(), "flap", open)
+		if err != nil {
+			t.Fatalf("Authorize %d: %v", i, err)
+		}
+		if dec.Allowed || dec.Reason != reasonPullFailed {
+			t.Fatalf("Authorize %d with dead collector = %+v, want fail-closed rejection", i, dec)
 		}
 	}
 	if calls != 2 {
@@ -568,6 +582,22 @@ func TestFleetMetrics(t *testing.T) {
 	}
 	if !strings.Contains(text, `outcome="allow"`) || !strings.Contains(text, `outcome="fail_closed"`) {
 		t.Errorf("decision outcomes not labeled:\n%s", text)
+	}
+}
+
+// TestFleetDuplicateAddHomeKeepsTenantSlot pins AddHome's ordering: a
+// registration rejected as a duplicate must not consume one of the capped
+// per-tenant metric slots or register labeled series.
+func TestFleetDuplicateAddHomeKeepsTenantSlot(t *testing.T) {
+	mreg := obs.NewRegistry()
+	f := fleetForTest(t, Config{Metrics: mreg, TenantMetricsLimit: 2})
+	mustAddHome(t, f, HomeConfig{ID: "first"})
+	if _, err := f.AddHome(HomeConfig{ID: "first"}); err == nil {
+		t.Fatal("duplicate AddHome succeeded")
+	}
+	h := mustAddHome(t, f, HomeConfig{ID: "second"})
+	if h.tenant[outcomeAllow] == nil {
+		t.Fatal("second home got no tenant cells: the rejected duplicate burned a capped slot")
 	}
 }
 

@@ -11,11 +11,21 @@
 // -workers, -shards, or -batch setting. Throughput and latency, of course,
 // are not; those are what the knobs are for.
 //
+// With -spoof set, a deterministic hash-selected fraction of homes is
+// armed with a per-home sensor-trust engine and pre-collapsed by a seeded
+// replay plan (warmup pushes whose event times run backwards); every
+// in-load context push from a spoofed home is itself a replay, so the
+// engines stay collapsed for the whole run. Sensitive instructions from
+// spoofed homes must all fail closed — the run errors if any is allowed
+// (the unsafe_allows field of the report, which must be 0). Homes outside
+// the spoofed fraction take exactly the trust-less path, so a -spoof 0
+// run is byte-identical to one without the flag.
+//
 // Usage:
 //
 //	fleetload [-homes 10000] [-shards 16] [-workers 4] [-server-workers 0]
 //	          [-steps 5] [-batch 256] [-sensitive 0.7] [-attack 0.3]
-//	          [-seed 1] [-profile 127.0.0.1:0] [-out BENCH_fleet.json]
+//	          [-spoof 0] [-seed 1] [-profile 127.0.0.1:0] [-out BENCH_fleet.json]
 package main
 
 import (
@@ -39,6 +49,7 @@ import (
 	"iotsid/internal/instr"
 	"iotsid/internal/obs"
 	"iotsid/internal/sensor"
+	"iotsid/internal/trust"
 
 	"math/rand"
 )
@@ -48,6 +59,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fleetload:", err)
 		os.Exit(1)
 	}
+}
+
+// hashFrac maps a home ID to a uniform fraction in [0, 1) — a pure
+// function of the ID, so the spoofed set is independent of worker, shard,
+// and batch settings. FNV-64a alone avalanches poorly on short
+// near-identical keys (sequential home IDs cluster within ~0.04 of each
+// other), so a splitmix64 finalizer mixes the hash before the fraction.
+func hashFrac(id string) float64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(id))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
 }
 
 // modelOps maps each evaluated device model to one sensitive control op —
@@ -70,16 +98,24 @@ type report struct {
 	Batch         int     `json:"batch"`
 	Sensitive     float64 `json:"sensitive_ratio"`
 	Attack        float64 `json:"attack_ratio"`
+	Spoof         float64 `json:"spoof_ratio"`
+	SpoofedHomes  int     `json:"spoofed_homes"`
 	Seed          int64   `json:"seed"`
 	GOMAXPROCS    int     `json:"gomaxprocs"`
 
-	Decisions   int     `json:"decisions"`
-	Allowed     int     `json:"allowed"`
-	Rejected    int     `json:"rejected"`
-	Requests    int     `json:"requests"`
-	WallSeconds float64 `json:"wall_seconds"`
-	DecPerSec   float64 `json:"decisions_per_sec"`
-	ReqPerSec   float64 `json:"requests_per_sec"`
+	Decisions int `json:"decisions"`
+	Allowed   int `json:"allowed"`
+	Rejected  int `json:"rejected"`
+	Requests  int `json:"requests"`
+	// UnsafeAllows counts sensitive instructions allowed for spoofed
+	// homes — the trust contract demands zero; the run errors otherwise.
+	UnsafeAllows int `json:"unsafe_allows"`
+	// LowTrustHomes is the fleet's end-of-run low-trust count; it must
+	// equal spoofed_homes (every spoofed engine collapsed and stayed so).
+	LowTrustHomes int     `json:"low_trust_homes"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	DecPerSec     float64 `json:"decisions_per_sec"`
+	ReqPerSec     float64 `json:"requests_per_sec"`
 
 	P50Ms  float64 `json:"latency_p50_ms"`
 	P95Ms  float64 `json:"latency_p95_ms"`
@@ -97,12 +133,16 @@ func run() error {
 	batch := flag.Int("batch", 256, "items per /v1/fleet/authorize request")
 	sensitiveRatio := flag.Float64("sensitive", 0.7, "probability a step issues a sensitive control op (rest are status reads)")
 	attackRatio := flag.Float64("attack", 0.3, "probability a sensitive op carries an attack scene instead of a legal one")
+	spoofRatio := flag.Float64("spoof", 0, "fraction of homes armed with a trust engine and fed a seeded replay spoofing plan (0 = no trust layer at all)")
 	seed := flag.Int64("seed", 1, "load seed (same seed ⇒ same digest at any worker/shard/batch count)")
 	profileAddr := flag.String("profile", "", "serve /metrics and /debug/pprof on this address during the run (empty = disabled)")
 	outPath := flag.String("out", "", "write the JSON report to this file")
 	flag.Parse()
 	if *homes <= 0 || *steps <= 0 || *batch <= 0 || *workers <= 0 {
 		return fmt.Errorf("-homes, -steps, -batch and -workers must be positive")
+	}
+	if *spoofRatio < 0 || *spoofRatio > 1 {
+		return fmt.Errorf("-spoof must be in [0, 1]")
 	}
 
 	metrics := obs.Default()
@@ -133,10 +173,26 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Spoofed-home selection is a pure hash of the home ID, so the set is
+	// identical at any worker/shard/batch setting; -spoof 0 arms nothing
+	// and leaves every home on the exact trust-less path.
+	spoofed := make([]bool, *homes)
+	spoofedCount := 0
 	ids := make([]string, *homes)
 	for i := range ids {
 		ids[i] = fmt.Sprintf("home-%06d", i)
-		if _, err := fl.AddHome(fleet.HomeConfig{ID: ids[i]}); err != nil {
+		cfg := fleet.HomeConfig{ID: ids[i]}
+		if *spoofRatio > 0 && hashFrac(ids[i]) < *spoofRatio {
+			spoofed[i] = true
+			spoofedCount++
+			eng, err := trust.NewEngine(trust.Config{},
+				trust.SourceConfig{Name: "push", Required: true})
+			if err != nil {
+				return err
+			}
+			cfg.Trust = eng
+		}
+		if _, err := fl.AddHome(cfg); err != nil {
 			return err
 		}
 	}
@@ -160,6 +216,34 @@ func run() error {
 		if err := srv.BindHome(id, "gateway"); err != nil {
 			return err
 		}
+	}
+
+	if spoofedCount > 0 {
+		// The seeded spoofing plan: three warmup pushes per spoofed home
+		// whose event times run backwards — the replay violations collapse
+		// each engine below threshold before the load starts. The warmup
+		// stamps sit an hour after the scenes' fixed event time, so every
+		// in-load context push from a spoofed home is itself a replay and
+		// the engine never recovers.
+		warm, err := dataset.LegalSceneSeeded(dataset.ModelWindow, *seed+4242)
+		if err != nil {
+			return err
+		}
+		t0 := warm.At.Add(time.Hour)
+		for i := range ids {
+			if !spoofed[i] {
+				continue
+			}
+			for k := 0; k < 3; k++ {
+				snap := warm.Clone()
+				snap.At = t0.Add(-time.Duration(k) * 5 * time.Second)
+				if err := fl.PushContext(ids[i], snap); err != nil {
+					return err
+				}
+			}
+		}
+		fmt.Printf("spoof: %d/%d homes armed, %d collapsed by the replay plan\n",
+			spoofedCount, *homes, fl.LowTrustHomes())
 	}
 
 	if *profileAddr != "" {
@@ -197,6 +281,7 @@ func run() error {
 		decisions int
 		allowed   int
 		rejected  int
+		unsafe    int
 		err       error
 	}
 	stats := make([]workerStats, *workers)
@@ -243,6 +328,9 @@ func run() error {
 						st.allowed++
 					} else {
 						st.rejected++
+					}
+					if res.Allowed && res.Sensitive && spoofed[owners[k]] {
+						st.unsafe++
 					}
 					// Fold (allowed, sensitive) into the owning home's
 					// digest — FNV-64a over two tag bytes.
@@ -307,8 +395,10 @@ func run() error {
 	rep := report{
 		Homes: *homes, Shards: *shards, Workers: *workers, ServerWorkers: *serverWorkers,
 		Steps: *steps, Batch: *batch, Sensitive: *sensitiveRatio, Attack: *attackRatio,
+		Spoof: *spoofRatio, SpoofedHomes: spoofedCount,
 		Seed: *seed, GOMAXPROCS: runtime.GOMAXPROCS(0),
-		WallSeconds: wall.Seconds(),
+		WallSeconds:   wall.Seconds(),
+		LowTrustHomes: fl.LowTrustHomes(),
 	}
 	var lats []time.Duration
 	for w := range stats {
@@ -319,6 +409,7 @@ func run() error {
 		rep.Decisions += stats[w].decisions
 		rep.Allowed += stats[w].allowed
 		rep.Rejected += stats[w].rejected
+		rep.UnsafeAllows += stats[w].unsafe
 		lats = append(lats, stats[w].latencies...)
 	}
 	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
@@ -359,6 +450,11 @@ func run() error {
 	fmt.Printf("%-22s %12.2f\n", "latency p95 (ms)", rep.P95Ms)
 	fmt.Printf("%-22s %12.2f\n", "latency p99 (ms)", rep.P99Ms)
 	fmt.Printf("%-22s %12.2f\n", "latency max (ms)", rep.MaxMs)
+	if spoofedCount > 0 {
+		fmt.Printf("%-22s %12d\n", "spoofed homes", rep.SpoofedHomes)
+		fmt.Printf("%-22s %12d\n", "low-trust homes", rep.LowTrustHomes)
+		fmt.Printf("%-22s %12d\n", "unsafe allows", rep.UnsafeAllows)
+	}
 	fmt.Printf("%-22s %12s\n", "digest", rep.Digest)
 
 	if *outPath != "" {
@@ -370,6 +466,9 @@ func run() error {
 			return err
 		}
 		fmt.Printf("report written to %s\n", *outPath)
+	}
+	if rep.UnsafeAllows > 0 {
+		return fmt.Errorf("%d sensitive instructions allowed for spoofed homes — the trust gate leaked", rep.UnsafeAllows)
 	}
 	return nil
 }

@@ -160,8 +160,9 @@ func pathHasSegs(path, seg string) bool {
 
 // deterministicScopes are the packages whose outputs must be bit-identical
 // at any worker count (DESIGN §5): the dataset builder, every learner, the
-// evaluation sweeps, the worker pool, the survey synthesis and the home
-// simulator.
+// evaluation sweeps, the worker pool, the survey synthesis, the home
+// simulator and the sensor-trust engine (its scores feed the spoofing
+// campaign digests).
 var deterministicScopes = []string{
 	"internal/dataset",
 	"internal/mlearn",
@@ -169,6 +170,7 @@ var deterministicScopes = []string{
 	"internal/par",
 	"internal/survey",
 	"internal/home",
+	"internal/trust",
 }
 
 // inDeterministicScope reports whether the import path falls under a

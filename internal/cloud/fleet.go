@@ -226,19 +226,23 @@ func (c *Client) FleetPushContext(pushes map[string]sensor.Snapshot) (int, []Fle
 	return resp.Accepted, resp.Errors, nil
 }
 
-// FleetStats reads the fleet summary (GET /v1/fleet/stats).
-func (c *Client) FleetStats() (homes, shards int, models []string, err error) {
-	var resp fleetStatsResponse
-	if err := c.do(http.MethodGet, "/v1/fleet/stats", nil, &resp); err != nil {
-		return 0, 0, nil, err
-	}
-	return resp.Homes, resp.Shards, resp.Models, nil
-}
-
-type fleetStatsResponse struct {
+// FleetStats is the fleet summary served at GET /v1/fleet/stats.
+type FleetStats struct {
 	Homes  int      `json:"homes"`
 	Shards int      `json:"shards"`
 	Models []string `json:"models"`
+	// LowTrustHomes counts homes whose context source currently sits
+	// below its trust threshold — the fleet-wide spoofing signal.
+	LowTrustHomes int `json:"low_trust_homes"`
+}
+
+// FleetStats reads the fleet summary (GET /v1/fleet/stats).
+func (c *Client) FleetStats() (FleetStats, error) {
+	var resp FleetStats
+	if err := c.do(http.MethodGet, "/v1/fleet/stats", nil, &resp); err != nil {
+		return FleetStats{}, err
+	}
+	return resp, nil
 }
 
 func (s *Server) handleFleetStats(w http.ResponseWriter, r *http.Request) {
@@ -251,9 +255,10 @@ func (s *Server) handleFleetStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	f := s.cfg.Fleet
-	resp := fleetStatsResponse{
-		Homes:  f.HomeCount(),
-		Shards: f.ShardCount(),
+	resp := FleetStats{
+		Homes:         f.HomeCount(),
+		Shards:        f.ShardCount(),
+		LowTrustHomes: f.LowTrustHomes(),
 	}
 	for _, m := range f.Registry().Models() {
 		resp.Models = append(resp.Models, string(m))

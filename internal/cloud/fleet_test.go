@@ -140,7 +140,7 @@ func TestFleetEndpointsRequireSession(t *testing.T) {
 	if _, _, err := c.FleetPushContext(map[string]sensor.Snapshot{"home-00": {}}); err == nil {
 		t.Fatal("unauthenticated FleetPushContext succeeded")
 	}
-	if _, _, _, err := c.FleetStats(); err == nil {
+	if _, err := c.FleetStats(); err == nil {
 		t.Fatal("unauthenticated FleetStats succeeded")
 	}
 }
@@ -242,13 +242,16 @@ func TestFleetContextAndStatsEndpoints(t *testing.T) {
 		t.Fatalf("authorize after push = %+v, %v; want allow", results, err)
 	}
 
-	homes, shards, models, err := c.FleetStats()
+	stats, err := c.FleetStats()
 	if err != nil {
 		t.Fatalf("FleetStats: %v", err)
 	}
-	if homes != fl.HomeCount() || shards != fl.ShardCount() || len(models) != fl.Registry().Len() {
+	if stats.Homes != fl.HomeCount() || stats.Shards != fl.ShardCount() || len(stats.Models) != fl.Registry().Len() {
 		t.Fatalf("stats = %d homes / %d shards / %d models, want %d/%d/%d",
-			homes, shards, len(models), fl.HomeCount(), fl.ShardCount(), fl.Registry().Len())
+			stats.Homes, stats.Shards, len(stats.Models), fl.HomeCount(), fl.ShardCount(), fl.Registry().Len())
+	}
+	if stats.LowTrustHomes != 0 {
+		t.Fatalf("stats.LowTrustHomes = %d, want 0 on a trust-less fleet", stats.LowTrustHomes)
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"iotsid/internal/obs"
 	"iotsid/internal/resilience"
 	"iotsid/internal/sensor"
+	"iotsid/internal/trust"
 )
 
 // Forwarder carries a verified instruction to the device layer — in a real
@@ -107,6 +108,11 @@ type Config struct {
 	// budget), 503 otherwise. Wire it to the same resilience.Registry the
 	// context collector updates.
 	Health *resilience.Registry
+	// Trust, when non-nil, adds sensor-trust rows to /healthz and degrades
+	// it (503) while any required source sits below its trust threshold —
+	// availability and truthfulness are reported through the same probe.
+	// Wire it to the engine the gate's collector observes into.
+	Trust *trust.Engine
 	// Metrics, when non-nil, is served as Prometheus text at GET /metrics
 	// (unauthenticated, like /healthz). The cloud's internal context cache
 	// (ContextTTL) registers its hit/miss/coalesced/stale counters here too.
@@ -494,25 +500,33 @@ func (s *Server) record(user string, req commandRequest, outcome, detail string)
 type healthzBody struct {
 	Status  string                    `json:"status"` // ok | degraded
 	Sources []resilience.SourceHealth `json:"sources,omitempty"`
+	Trust   []trust.SourceTrust       `json:"trust,omitempty"`
 }
 
-// handleHealthz reports per-source collection health: 200 "ok" while every
-// required sensor source is serving, 503 "degraded" otherwise. The
-// endpoint is unauthenticated, as load balancers expect.
+// handleHealthz reports per-source collection health and sensor trust:
+// 200 "ok" while every required sensor source is serving AND at or above
+// its trust threshold, 503 "degraded" otherwise. The endpoint is
+// unauthenticated, as load balancers expect.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
 		return
 	}
-	if s.cfg.Health == nil {
-		writeJSON(w, http.StatusOK, healthzBody{Status: "ok"})
-		return
-	}
-	body := healthzBody{Status: "ok", Sources: s.cfg.Health.Snapshot()}
+	body := healthzBody{Status: "ok"}
 	status := http.StatusOK
-	if !s.cfg.Health.Healthy() {
-		body.Status = "degraded"
-		status = http.StatusServiceUnavailable
+	if s.cfg.Health != nil {
+		body.Sources = s.cfg.Health.Snapshot()
+		if !s.cfg.Health.Healthy() {
+			body.Status = "degraded"
+			status = http.StatusServiceUnavailable
+		}
+	}
+	if s.cfg.Trust != nil {
+		body.Trust = s.cfg.Trust.Report()
+		if s.cfg.Trust.LowTrustRequired() {
+			body.Status = "degraded"
+			status = http.StatusServiceUnavailable
+		}
 	}
 	writeJSON(w, status, body)
 }

@@ -52,6 +52,11 @@ type ChaosCollector struct {
 	// Corrupt transforms the snapshot for byzantine faults; nil flips every
 	// boolean feature (a plausible-but-wrong context).
 	Corrupt func(s sensor.Snapshot) sensor.Snapshot
+	// CorruptAt, when non-nil, takes precedence over Corrupt and
+	// additionally receives the 0-based call index, so stateful-looking
+	// corruptions (slow drift, stuck-at) stay pure functions of the call
+	// sequence — see NumericCorruption.
+	CorruptAt func(call int, s sensor.Snapshot) sensor.Snapshot
 
 	calls atomic.Int64
 }
@@ -84,6 +89,9 @@ func (c *ChaosCollector) Collect(ctx context.Context) (sensor.Snapshot, error) {
 		if err != nil {
 			return sensor.Snapshot{}, err
 		}
+		if c.CorruptAt != nil {
+			return c.CorruptAt(call, snap), nil
+		}
 		if c.Corrupt != nil {
 			return c.Corrupt(snap), nil
 		}
@@ -103,6 +111,59 @@ func flipBools(s sensor.Snapshot) sensor.Snapshot {
 		}
 	}
 	return out
+}
+
+// CorruptionKind selects a numeric corruption mode for byzantine faults —
+// the sensor-spoofing attack families the trust engine must catch.
+type CorruptionKind int
+
+// The numeric corruption modes: spike slams the feature far outside any
+// honest envelope in one report, stuck freezes it at a seeded constant
+// (a dead or pinned sensor), and drift creeps it away a little more per
+// call — small enough to pass step checks, cumulative enough to walk
+// the context wherever the attacker wants.
+const (
+	CorruptSpike CorruptionKind = iota + 1
+	CorruptStuck
+	CorruptDrift
+)
+
+// String implements fmt.Stringer.
+func (k CorruptionKind) String() string {
+	switch k {
+	case CorruptSpike:
+		return "spike"
+	case CorruptStuck:
+		return "stuck"
+	case CorruptDrift:
+		return "drift"
+	}
+	return fmt.Sprintf("corruption(%d)", int(k))
+}
+
+// NumericCorruption builds a CorruptAt transform targeting one numeric
+// feature. The magnitude parameter is the spike offset, the stuck-at
+// constant, or the per-call drift rate respectively. The transform is a
+// pure function of (call, snapshot): replaying a call index replays the
+// corruption bit-identically, so chaos campaigns stay deterministic at
+// any worker count. Snapshots without the feature pass through untouched.
+func NumericCorruption(kind CorruptionKind, feature sensor.Feature, magnitude float64) func(call int, s sensor.Snapshot) sensor.Snapshot {
+	return func(call int, s sensor.Snapshot) sensor.Snapshot {
+		v, ok := s.Number(feature)
+		if !ok {
+			return s
+		}
+		out := s.Clone()
+		switch kind {
+		case CorruptSpike:
+			out.Set(feature, sensor.Number(v+magnitude))
+		case CorruptStuck:
+			out.Set(feature, sensor.Number(magnitude))
+		case CorruptDrift:
+			out.Set(feature, sensor.Number(v+magnitude*float64(call+1)))
+		}
+		return out
+	}
 }
 
 // ChaosPlan builds a seeded stochastic fault plan: call i draws its fault

@@ -111,3 +111,65 @@ func TestChaosCollectorFaults(t *testing.T) {
 		t.Error("want nil-inner error")
 	}
 }
+
+// TestNumericCorruptionModes: each corruption kind transforms the target
+// feature as specified and leaves everything else untouched.
+func TestNumericCorruptionModes(t *testing.T) {
+	base := sensor.NewSnapshot(time.Unix(5, 0))
+	base.Set(sensor.FeatAirQuality, sensor.Number(50))
+	base.Set(sensor.FeatMotion, sensor.Bool(true))
+
+	spike := NumericCorruption(CorruptSpike, sensor.FeatAirQuality, 300)
+	if got, _ := spike(0, base).Number(sensor.FeatAirQuality); got != 350 {
+		t.Fatalf("spike = %v, want 350", got)
+	}
+	stuck := NumericCorruption(CorruptStuck, sensor.FeatAirQuality, 77)
+	for call := 0; call < 3; call++ {
+		if got, _ := stuck(call, base).Number(sensor.FeatAirQuality); got != 77 {
+			t.Fatalf("stuck call %d = %v, want 77", call, got)
+		}
+	}
+	drift := NumericCorruption(CorruptDrift, sensor.FeatAirQuality, 1.5)
+	if got, _ := drift(0, base).Number(sensor.FeatAirQuality); got != 51.5 {
+		t.Fatalf("drift call 0 = %v, want 51.5", got)
+	}
+	if got, _ := drift(9, base).Number(sensor.FeatAirQuality); got != 65 {
+		t.Fatalf("drift call 9 = %v, want 65", got)
+	}
+	// The original snapshot is never mutated, and other features survive.
+	if got, _ := base.Number(sensor.FeatAirQuality); got != 50 {
+		t.Fatalf("corruption mutated the input: %v", got)
+	}
+	if !drift(3, base).Bool(sensor.FeatMotion) {
+		t.Fatal("corruption dropped an untouched feature")
+	}
+	// Snapshots without the target feature pass through untouched.
+	empty := sensor.NewSnapshot(time.Unix(5, 0))
+	empty.Set(sensor.FeatMotion, sensor.Bool(false))
+	if out := spike(0, empty); len(out.Values) != 1 {
+		t.Fatalf("missing-feature snapshot altered: %v", out.Values)
+	}
+}
+
+// TestChaosCorruptAtPrecedence: CorruptAt wins over Corrupt and receives
+// the live call index, so drift accumulates across byzantine calls.
+func TestChaosCorruptAtPrecedence(t *testing.T) {
+	healthy := sensor.NewSnapshot(time.Unix(5, 0))
+	healthy.Set(sensor.FeatAirQuality, sensor.Number(100))
+	cc := &ChaosCollector{
+		Inner:     staticCollector{snap: healthy},
+		Plan:      func(call int) FaultKind { return FaultByzantine },
+		Corrupt:   func(s sensor.Snapshot) sensor.Snapshot { t.Fatal("Corrupt called despite CorruptAt"); return s },
+		CorruptAt: NumericCorruption(CorruptDrift, sensor.FeatAirQuality, 2),
+	}
+	want := []float64{102, 104, 106}
+	for call, w := range want {
+		snap, err := cc.Collect(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := snap.Number(sensor.FeatAirQuality); got != w {
+			t.Fatalf("call %d = %v, want %v", call, got, w)
+		}
+	}
+}

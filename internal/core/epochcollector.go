@@ -9,6 +9,7 @@ import (
 
 	"iotsid/internal/epoch"
 	"iotsid/internal/sensor"
+	"iotsid/internal/trust"
 )
 
 // Sentinel causes for push-path provenance: unlike the polling collector
@@ -25,6 +26,12 @@ type EpochCollectorConfig struct {
 	// tick the same timeline as the store's publish clock — the collector
 	// differences its reads against the store's per-source push stamps.
 	Now func() time.Time
+	// Trust, when non-nil, gates the steady path on every store source
+	// being trusted (one atomic flag load per source — the hot path stays
+	// allocation-free) and stamps degraded provenance with per-source
+	// scores. The engine must declare every store source by name; feed it
+	// observations via the store's Observe hook (epoch.Config.Observe).
+	Trust *trust.Engine
 }
 
 // EpochCollector adapts an epoch.Store to the framework's collector
@@ -50,6 +57,9 @@ type EpochCollector struct {
 	store   *epoch.Store
 	sources []epoch.SourceConfig
 	now     func() time.Time
+	trust   *trust.Engine
+	// trustIdx[i] is source i's index in the trust engine.
+	trustIdx []int
 
 	// freshFor mirrors sources[i].FreshFor for a tight hot-path loop.
 	freshFor []time.Duration
@@ -82,6 +92,21 @@ func NewEpochCollector(cfg EpochCollectorConfig, store *epoch.Store) (*EpochColl
 		c.freshFor[i] = s.FreshFor
 		c.freshProv[i] = SourceStatus{Name: s.Name, Required: s.Required, State: SourceFresh}
 	}
+	if cfg.Trust != nil {
+		c.trust = cfg.Trust
+		c.trustIdx = make([]int, len(sources))
+		for i, s := range sources {
+			idx, ok := cfg.Trust.Index(s.Name)
+			if !ok {
+				return nil, fmt.Errorf("core: trust engine does not declare epoch source %q", s.Name)
+			}
+			c.trustIdx[i] = idx
+			// The shared steady-path provenance reports full trust: the
+			// steady path is only taken while every source's trusted flag
+			// holds, and exact scores are a degraded-path detail.
+			c.freshProv[i].Trust = 1
+		}
+	}
 	return c, nil
 }
 
@@ -102,6 +127,13 @@ func (c *EpochCollector) CollectDetailed(ctx context.Context) (sensor.Snapshot, 
 	for i := range c.freshFor {
 		if p := v.PushedAt[i]; p.IsZero() || now.Sub(p) > c.freshFor[i] {
 			return c.collectDegraded(v, now)
+		}
+	}
+	if c.trust != nil {
+		for _, ti := range c.trustIdx {
+			if !c.trust.TrustedIdx(ti) {
+				return c.collectDegraded(v, now)
+			}
 		}
 	}
 	return v.Snap, c.freshProv, nil
@@ -139,6 +171,10 @@ func (c *EpochCollector) collectDegraded(v *epoch.View, now time.Time) (sensor.S
 				status.Err = errPushExpired.Error()
 				status.cause = errPushExpired
 			}
+		}
+		if c.trust != nil {
+			status.Trust = c.trust.ScoreIdx(c.trustIdx[i])
+			status.LowTrust = !c.trust.TrustedIdx(c.trustIdx[i])
 		}
 		prov[i] = status
 	}

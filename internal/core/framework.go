@@ -176,20 +176,27 @@ func (f *Framework) collect(ctx context.Context) (sensor.Snapshot, Provenance, e
 	return snap, nil, err
 }
 
+// reasonLowTrust is the static (interned) fail-closed reason for the
+// low-trust path: the hot path must reject without building a string.
+const reasonLowTrust = "sensitive instruction rejected (fail closed): required sensor source(s) below trust threshold"
+
 // failClosed rejects a sensitive instruction when a required context
 // source contributed nothing — deciding blind on a sensitive command is
-// exactly what the attacker of §III-A wants. The rejection is a logged
+// exactly what the attacker of §III-A wants — or when a required source's
+// trust score fell below threshold: fresh-but-fabricated context is the
+// sensor-spoofing twin of no context at all. The rejection is a logged
 // decision, not an error: the caller gets a definitive "no".
 func (f *Framework) failClosed(in instr.Instruction, prov Provenance, at sensor.Snapshot) (Decision, bool) {
 	missing := prov.MissingRequired()
-	if len(missing) == 0 || !f.detector.IsSensitive(in) {
+	lowTrust := prov.LowTrustRequired()
+	if (len(missing) == 0 && len(lowTrust) == 0) || !f.detector.IsSensitive(in) {
 		return Decision{}, false
 	}
-	dec := Decision{
-		Allowed:   false,
-		Sensitive: true,
-		Reason: fmt.Sprintf("%s rejected (fail closed): required sensor source(s) %s unavailable",
-			in.Op, strings.Join(missing, ", ")),
+	dec := Decision{Allowed: false, Sensitive: true, Reason: reasonLowTrust}
+	if len(missing) > 0 {
+		//iot:allow hotalloc degraded path, never taken steady-state; the AllocsPerRun gate proves the steady path is 0-alloc
+		dec.Reason = fmt.Sprintf("%s rejected (fail closed): required sensor source(s) %s unavailable",
+			in.Op, strings.Join(missing, ", "))
 	}
 	f.metrics.observeFailClosed()
 	f.logDecision(in, dec, at)

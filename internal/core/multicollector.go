@@ -12,6 +12,7 @@ import (
 	"iotsid/internal/par"
 	"iotsid/internal/resilience"
 	"iotsid/internal/sensor"
+	"iotsid/internal/trust"
 )
 
 // SourceState is the provenance of one source's contribution to a merged
@@ -36,6 +37,12 @@ type SourceStatus struct {
 	Age time.Duration `json:"age,omitempty"`
 	// Err is the collect failure that forced a stale or missing state.
 	Err string `json:"err,omitempty"`
+	// Trust is the source's behavioral trust score at collect time
+	// (1 = fully trusted); populated only when a trust engine is wired.
+	Trust float64 `json:"trust,omitempty"`
+	// LowTrust marks a source whose score sits below the engine's
+	// threshold: its data is fresh but not believable.
+	LowTrust bool `json:"low_trust,omitempty"`
 	// cause keeps the concrete error value so the strict Collect path can
 	// wrap it (errors.As reaches breaker OpenErrors through the chain).
 	cause error
@@ -57,10 +64,22 @@ func (p Provenance) MissingRequired() []string {
 	return out
 }
 
-// Degraded reports whether any source is stale or missing.
+// LowTrustRequired lists the required sources whose trust score is below
+// threshold — fresh data the engine no longer believes.
+func (p Provenance) LowTrustRequired() []string {
+	var out []string
+	for _, s := range p {
+		if s.Required && s.LowTrust {
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+// Degraded reports whether any source is stale, missing or low-trust.
 func (p Provenance) Degraded() bool {
 	for _, s := range p {
-		if s.State != SourceFresh {
+		if s.State != SourceFresh || s.LowTrust {
 			return true
 		}
 	}
@@ -108,6 +127,13 @@ type MultiConfig struct {
 	// (fresh/stale/missing) and retry attempts. Series are pre-registered
 	// per declared source, so the collect path never does a label lookup.
 	Metrics *obs.Registry
+	// Trust, when non-nil, scores every fresh collect through the
+	// behavioral trust engine (which must declare every source by name)
+	// and stamps the provenance with per-source scores. Note the engine
+	// sits *above* any caching collector: a cache legitimately serving
+	// one snapshot repeatedly will trip the engine's stuck-at (dwell)
+	// fingerprint by design — wire trust on raw feeds.
+	Trust *trust.Engine
 }
 
 // MultiCollector merges several vendor sources into one context, later
@@ -131,6 +157,9 @@ type MultiCollector struct {
 	sources []Source
 	now     func() time.Time
 	health  *resilience.Registry
+	trust   *trust.Engine
+	// trustIdx[i] is source i's index in the trust engine.
+	trustIdx []int
 
 	// stateCounters[i] holds source i's pre-registered fresh/stale/missing
 	// counters (indexed by provenanceIdx); nil when uninstrumented.
@@ -185,9 +214,20 @@ func NewMultiCollector(cfg MultiConfig, sources ...Source) (*MultiCollector, err
 		sources: sources,
 		now:     cfg.Now,
 		health:  cfg.Health,
+		trust:   cfg.Trust,
 		history: make([]*sensor.History, len(sources)),
 		lastAt:  make([]time.Time, len(sources)),
 		hasLast: make([]bool, len(sources)),
+	}
+	if cfg.Trust != nil {
+		m.trustIdx = make([]int, len(sources))
+		for i, s := range sources {
+			idx, ok := cfg.Trust.Index(s.Name)
+			if !ok {
+				return nil, fmt.Errorf("core: trust engine does not declare source %q", s.Name)
+			}
+			m.trustIdx[i] = idx
+		}
 	}
 	for i, s := range sources {
 		m.history[i] = sensor.NewHistory(cfg.HistoryLen)
@@ -344,6 +384,18 @@ func (m *MultiCollector) CollectDetailed(ctx context.Context) (sensor.Snapshot, 
 		switch {
 		case res.err == nil:
 			status.State = SourceFresh
+			if m.trust != nil {
+				// Score the raw collect under the merge lock so the
+				// observation order matches declaration order. The event
+				// time is the snapshot's own stamp (a spoofer replaying
+				// history is caught); an unstamped snapshot falls back to
+				// the collect clock.
+				at := res.snap.At
+				if at.IsZero() {
+					at = now
+				}
+				m.trust.Observe(src.Name, res.snap, at)
+			}
 			// Out-of-order pushes (a byzantine source replaying old
 			// timestamps) are ignored; the fallback keeps the newer one.
 			_ = m.history[i].Push(res.snap)
@@ -366,6 +418,10 @@ func (m *MultiCollector) CollectDetailed(ctx context.Context) (sensor.Snapshot, 
 		if res.err == nil {
 			merged = merged.Merge(res.snap)
 			served++
+		}
+		if m.trust != nil {
+			status.Trust = m.trust.ScoreIdx(m.trustIdx[i])
+			status.LowTrust = !m.trust.TrustedIdx(m.trustIdx[i])
 		}
 		prov[i] = status
 		if m.stateCounters != nil {

@@ -53,6 +53,13 @@ type Config struct {
 	// publish. Series are pre-registered per declared source; the read
 	// path is never instrumented (it must stay allocation-free).
 	Metrics *obs.Registry
+	// Observe, when non-nil, receives every push attempt from a declared
+	// source — accepted or dropped — with the resolved event time (the
+	// store clock when the delta carried none). This is the trust
+	// engine's tap: a replayed or null-valued delta is dropped from the
+	// view but must still count against its source. Called under the
+	// store's write lock, so observations arrive in publish order.
+	Observe func(source string, delta sensor.Snapshot, at time.Time)
 }
 
 // View is one published immutable snapshot generation. Readers share it:
@@ -78,10 +85,22 @@ const (
 	metricLag       = "iotsid_epoch_publish_lag_seconds"
 )
 
+// Drop reasons: the delta's event time ran backwards (a replay), or the
+// delta carried an absent (JSON null) value for some feature.
+const (
+	dropOutOfOrder = "out_of_order"
+	dropZeroValue  = "zero_value"
+)
+
+const (
+	dropIdxOutOfOrder = iota
+	dropIdxZeroValue
+)
+
 // storeMetrics holds the pre-registered write-side series.
 type storeMetrics struct {
-	publishes []*obs.Counter // per source, declaration order
-	drops     []*obs.Counter
+	publishes []*obs.Counter    // per source, declaration order
+	drops     [][2]*obs.Counter // per source × drop reason
 	epoch     *obs.Gauge
 	lag       *obs.Histogram
 }
@@ -91,6 +110,7 @@ type Store struct {
 	sources []SourceConfig
 	byName  map[string]int
 	now     func() time.Time
+	observe func(source string, delta sensor.Snapshot, at time.Time)
 	metrics *storeMetrics // nil = uninstrumented
 
 	mu          sync.Mutex // serialises writers
@@ -129,6 +149,7 @@ func NewStore(cfg Config, sources ...SourceConfig) (*Store, error) {
 		sources:     sources,
 		byName:      byName,
 		now:         cfg.Now,
+		observe:     cfg.Observe,
 		lastEventAt: make([]time.Time, len(sources)),
 	}
 	if cfg.Metrics != nil {
@@ -136,8 +157,8 @@ func NewStore(cfg Config, sources ...SourceConfig) (*Store, error) {
 			"Accepted delta publishes into the epoch snapshot store, per source.",
 			"source")
 		drops := cfg.Metrics.NewCounterVec(metricDrops,
-			"Deltas dropped before publish (out-of-order event timestamps), per source.",
-			"source")
+			"Deltas dropped before publish, per source and reason (out_of_order: replayed event timestamp; zero_value: absent/null feature value).",
+			"source", "reason")
 		m := &storeMetrics{
 			epoch: cfg.Metrics.NewGauge(metricEpoch,
 				"Epoch of the currently published snapshot view."),
@@ -147,7 +168,10 @@ func NewStore(cfg Config, sources ...SourceConfig) (*Store, error) {
 		}
 		for _, s := range sources {
 			m.publishes = append(m.publishes, pubs.With(s.Name))
-			m.drops = append(m.drops, drops.With(s.Name))
+			m.drops = append(m.drops, [2]*obs.Counter{
+				drops.With(s.Name, dropOutOfOrder),
+				drops.With(s.Name, dropZeroValue),
+			})
 		}
 		st.metrics = m
 	}
@@ -183,11 +207,15 @@ func (s *Store) Epoch() uint64 {
 // it. Delta semantics: the delta's values overwrite the published ones,
 // untouched features persist, and the view timestamp is the max of the
 // contributed event times. A delta stamped with a zero time is stamped
-// with the store clock; a delta whose event time is older than the
-// source's newest accepted event is dropped (a byzantine source replaying
-// history must not roll the context back) and reported via the drop
-// counter, not an error. An empty delta is a liveness heartbeat: it
-// refreshes the source's push time without touching any value.
+// with the store clock. Two delta classes are dropped (reported via the
+// reason-labeled drop counter, not an error): an event time older than
+// the source's newest accepted event (a byzantine source replaying
+// history must not roll the context back), and a delta carrying an
+// absent (JSON null) value for any feature (a null must not shadow a
+// real reading in the merged view). An empty delta is a liveness
+// heartbeat: it refreshes the source's push time without touching any
+// value. Every attempt — accepted or dropped — reaches the Observe
+// hook, so a trust engine sees exactly what the source tried to say.
 func (s *Store) Push(source string, delta sensor.Snapshot) error {
 	i, ok := s.byName[source]
 	if !ok {
@@ -200,11 +228,22 @@ func (s *Store) Push(source string, delta sensor.Snapshot) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.observe != nil {
+		s.observe(source, delta, at)
+	}
 	if at.Before(s.lastEventAt[i]) {
 		if s.metrics != nil {
-			s.metrics.drops[i].Inc()
+			s.metrics.drops[i][dropIdxOutOfOrder].Inc()
 		}
 		return nil
+	}
+	for _, v := range delta.Values {
+		if v.IsZero() {
+			if s.metrics != nil {
+				s.metrics.drops[i][dropIdxZeroValue].Inc()
+			}
+			return nil
+		}
 	}
 	s.lastEventAt[i] = at
 	cur := s.cur.Load()

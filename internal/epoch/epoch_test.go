@@ -173,7 +173,8 @@ func TestPushOutOfOrderDropped(t *testing.T) {
 	if !v.Snap.Bool(sensor.FeatMotion) {
 		t.Fatal("stale delta rolled motion back")
 	}
-	expositionContains(t, reg, `iotsid_epoch_drops_total{source="miio"} 1`)
+	expositionContains(t, reg, `iotsid_epoch_drops_total{source="miio",reason="out_of_order"} 1`)
+	expositionContains(t, reg, `iotsid_epoch_drops_total{source="miio",reason="zero_value"} 0`)
 	// Equal event times are accepted: two sensors can legitimately report in
 	// the same tick of a simulated clock.
 	if err := st.Push("miio", delta(t2, sensor.FeatMotion, sensor.Bool(false))); err != nil {
@@ -181,6 +182,83 @@ func TestPushOutOfOrderDropped(t *testing.T) {
 	}
 	if got := st.Epoch(); got != 2 {
 		t.Fatalf("equal-time delta dropped: epoch %d", got)
+	}
+}
+
+// TestPushZeroValueDropped: a delta smuggling an absent (JSON null) value
+// must not shadow a real reading in the merged view — it is dropped and
+// counted under its own reason label, distinguishable from replays.
+func TestPushZeroValueDropped(t *testing.T) {
+	clk := newTestClock()
+	reg := obs.NewRegistry()
+	st, err := NewStore(Config{Now: clk.Now, Metrics: reg}, SourceConfig{Name: "miio"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Push("miio", delta(clk.Now(), sensor.FeatMotion, sensor.Bool(true))); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	null := delta(clk.Now(), sensor.FeatMotion, sensor.Value{})
+	if err := st.Push("miio", null); err != nil {
+		t.Fatal(err)
+	}
+	v := st.View()
+	if v.Epoch != 1 {
+		t.Fatalf("null-valued delta published: epoch %d", v.Epoch)
+	}
+	if !v.Snap.Bool(sensor.FeatMotion) {
+		t.Fatal("null value shadowed the real reading")
+	}
+	expositionContains(t, reg, `iotsid_epoch_drops_total{source="miio",reason="zero_value"} 1`)
+	expositionContains(t, reg, `iotsid_epoch_drops_total{source="miio",reason="out_of_order"} 0`)
+}
+
+// TestPushObserveHook: every push attempt — accepted, replayed or
+// null-valued — reaches the Observe hook with the resolved event time.
+func TestPushObserveHook(t *testing.T) {
+	clk := newTestClock()
+	type seen struct {
+		source string
+		n      int
+		at     time.Time
+	}
+	var calls []seen
+	cfg := Config{Now: clk.Now, Observe: func(source string, d sensor.Snapshot, at time.Time) {
+		calls = append(calls, seen{source: source, n: len(d.Values), at: at})
+	}}
+	st, err := NewStore(cfg, SourceConfig{Name: "miio"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := clk.Now()
+	if err := st.Push("miio", delta(t1, sensor.FeatMotion, sensor.Bool(true))); err != nil {
+		t.Fatal(err)
+	}
+	// A replayed delta is dropped from the view but still observed.
+	if err := st.Push("miio", delta(t1.Add(-time.Minute), sensor.FeatMotion, sensor.Bool(false))); err != nil {
+		t.Fatal(err)
+	}
+	// A zero-time heartbeat is observed with the store clock.
+	clk.Advance(10 * time.Second)
+	if err := st.Push("miio", sensor.Snapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	// An unknown source never reaches the hook.
+	if err := st.Push("ghost", sensor.Snapshot{}); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+	if len(calls) != 3 {
+		t.Fatalf("observe calls = %d, want 3", len(calls))
+	}
+	if calls[0].at != t1 || calls[0].n != 1 {
+		t.Fatalf("accepted push observed as %+v", calls[0])
+	}
+	if calls[1].at != t1.Add(-time.Minute) {
+		t.Fatalf("replayed push observed at %v", calls[1].at)
+	}
+	if calls[2].at != clk.Now() || calls[2].n != 0 {
+		t.Fatalf("heartbeat observed as %+v", calls[2])
 	}
 }
 

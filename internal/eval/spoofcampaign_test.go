@@ -1,0 +1,108 @@
+package eval
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSpoofCampaign is the spoofing-campaign contract: every attack
+// family is fully blocked in the firing phase (zero unsafe allows, all
+// of it explicit fail-closed), the trust engine records the violations
+// that did it, and honest traffic — the clean control and every
+// scenario's pre-attack phase — stays fully available.
+func TestSpoofCampaign(t *testing.T) {
+	s := suiteForTest(t)
+	results, err := s.SpoofCampaign(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(DefaultSpoofScenarios()) {
+		t.Fatalf("got %d scenario rows, want %d", len(results), len(DefaultSpoofScenarios()))
+	}
+	for _, r := range results {
+		if r.UnsafeAllows != 0 {
+			t.Errorf("%s: %d unsafe allows, want 0", r.Name, r.UnsafeAllows)
+		}
+		if r.Availability() != 1 {
+			t.Errorf("%s: availability %.3f, want 1.0 on honest traffic", r.Name, r.Availability())
+		}
+		if r.Name == "clean" {
+			if r.TrustViolations != 0 {
+				t.Errorf("clean: %d trust violations, want 0", r.TrustViolations)
+			}
+			if r.MinFinalScore != 1 {
+				t.Errorf("clean: min final score %.3f, want 1", r.MinFinalScore)
+			}
+			if r.SpoofAttempts != 0 {
+				t.Errorf("clean: %d spoof attempts, want 0", r.SpoofAttempts)
+			}
+			continue
+		}
+		if r.SpoofAttempts == 0 || r.SpoofBlocked != r.SpoofAttempts {
+			t.Errorf("%s: blocked %d of %d spoofed attempts, want all", r.Name, r.SpoofBlocked, r.SpoofAttempts)
+		}
+		if r.FailClosed != r.SpoofAttempts {
+			t.Errorf("%s: %d fail-closed of %d spoofed attempts — attacks must be stopped by the trust gate, not tree judgment", r.Name, r.FailClosed, r.SpoofAttempts)
+		}
+		if r.TrustViolations == 0 {
+			t.Errorf("%s: no trust violations recorded", r.Name)
+		}
+		if r.MinFinalScore >= 0.5 {
+			t.Errorf("%s: min final score %.3f, want collapsed below threshold", r.Name, r.MinFinalScore)
+		}
+	}
+}
+
+// TestSpoofCampaignValidation rejects empty inputs.
+func TestSpoofCampaignValidation(t *testing.T) {
+	s := suiteForTest(t)
+	if _, err := s.SpoofCampaign(context.Background(), 0); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+	if _, err := s.SpoofCampaignScenarios(context.Background(), nil, 1); err == nil {
+		t.Fatal("empty scenario list accepted")
+	}
+}
+
+// TestRenderSpoofCampaign: the table carries every scenario row and the
+// header vocabulary the docs reference.
+func TestRenderSpoofCampaign(t *testing.T) {
+	s := suiteForTest(t)
+	out, err := s.RenderSpoofCampaign(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"scenario", "avail", "safety", "unsafe", "digest",
+		"clean", "replay", "slow_drift", "stuck_at", "spike"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSpoofCampaignDeterminism: every (scenario, round) unit is seeded
+// from its index before the fan-out, and the per-round trust trajectory
+// is folded into a digest — so the tables (digests included) are
+// bit-identical at any worker count.
+func TestSpoofCampaignDeterminism(t *testing.T) {
+	s := suiteForTest(t)
+
+	serial := *s
+	serial.Config.Workers = 1
+	parallel := *s
+	parallel.Config.Workers = 8
+
+	a, err := serial.SpoofCampaign(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parallel.SpoofCampaign(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("spoof campaign diverges:\nserial:   %+v\nparallel: %+v", a, b)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"iotsid/internal/par"
 	"iotsid/internal/resilience"
 	"iotsid/internal/sensor"
+	"iotsid/internal/trust"
 )
 
 // Fail-closed reasons are fixed strings so the degraded path stays cheap
@@ -22,6 +23,7 @@ const (
 	reasonNoContext  = "sensitive instruction rejected (fail closed): home has pushed no sensor context"
 	reasonStaleCtx   = "sensitive instruction rejected (fail closed): home sensor context is beyond its freshness budget"
 	reasonPullFailed = "sensitive instruction rejected (fail closed): home context pull failed and no fresh pushed context"
+	reasonLowTrust   = "sensitive instruction rejected (fail closed): home context source below trust threshold"
 )
 
 // Config wires a fleet.
@@ -152,6 +154,17 @@ type HomeConfig struct {
 	// FreshFor overrides the fleet's default context freshness budget for
 	// this home; zero inherits the fleet default.
 	FreshFor time.Duration
+	// Trust, when non-nil, arms the sensor-trust gate for this home: every
+	// context push is reported into the engine as TrustSource, and while
+	// that source's score sits below the engine's threshold, sensitive
+	// instructions fail closed with an interned reason (one atomic flag
+	// load on the hot path). Engines are per-home — tenants must not share
+	// behavioral baselines.
+	Trust *trust.Engine
+	// TrustSource names the engine source the home's pushes observe as;
+	// empty defaults to the engine's sole source (an error if the engine
+	// declares several).
+	TrustSource string
 }
 
 // Home is one tenant's state: the latest pushed sensor context behind an
@@ -164,6 +177,12 @@ type Home struct {
 	log       homeLog
 	collector core.Collector
 	breaker   *resilience.Breaker
+
+	// trust, when non-nil, scores this home's pushed context; trustIdx is
+	// trustSource's index in the engine, resolved once at AddHome.
+	trust       *trust.Engine
+	trustIdx    int
+	trustSource string
 
 	pushes    atomic.Uint64
 	decisions atomic.Uint64
@@ -186,6 +205,21 @@ func (h *Home) Pushes() uint64 { return h.pushes.Load() }
 // Decisions reports how many instructions the home has had judged.
 func (h *Home) Decisions() uint64 { return h.decisions.Load() }
 
+// TrustScore reports the home's context-source trust score; ok is false
+// when the home has no trust engine wired.
+func (h *Home) TrustScore() (float64, bool) {
+	if h.trust == nil {
+		return 0, false
+	}
+	return h.trust.ScoreIdx(h.trustIdx), true
+}
+
+// LowTrust reports whether the home's context source sits below its trust
+// threshold (always false without an engine).
+func (h *Home) LowTrust() bool {
+	return h.trust != nil && !h.trust.TrustedIdx(h.trustIdx)
+}
+
 // AddHome registers a tenant and returns its handle.
 func (f *Fleet) AddHome(cfg HomeConfig) (*Home, error) {
 	if cfg.ID == "" {
@@ -201,6 +235,22 @@ func (f *Fleet) AddHome(cfg HomeConfig) (*Home, error) {
 		freshFor:  cfg.FreshFor,
 		collector: cfg.Collector,
 		breaker:   cfg.Breaker,
+	}
+	if cfg.Trust != nil {
+		src := cfg.TrustSource
+		if src == "" {
+			if cfg.Trust.Len() != 1 {
+				return nil, fmt.Errorf("fleet: home %q: trust engine declares %d sources, name one via TrustSource", cfg.ID, cfg.Trust.Len())
+			}
+			src = cfg.Trust.Sources()[0]
+		}
+		idx, ok := cfg.Trust.Index(src)
+		if !ok {
+			return nil, fmt.Errorf("fleet: home %q: trust engine does not declare source %q", cfg.ID, src)
+		}
+		h.trust = cfg.Trust
+		h.trustIdx = idx
+		h.trustSource = src
 	}
 	h.log.buf = make([]core.LogEntry, f.logCap)
 	s := &f.shards[si]
@@ -265,6 +315,24 @@ func (f *Fleet) HomeIDs() []string {
 	return out
 }
 
+// LowTrustHomes counts registered homes whose context source currently
+// sits below its trust threshold (a full-fleet walk — for the stats
+// endpoint and reports, not the hot path).
+func (f *Fleet) LowTrustHomes() int {
+	n := 0
+	for i := range f.shards {
+		s := &f.shards[i]
+		s.mu.RLock()
+		for _, h := range s.homes {
+			if h.LowTrust() {
+				n++
+			}
+		}
+		s.mu.RUnlock()
+	}
+	return n
+}
+
 // shardIndex places a home ID by jump consistent hash (Lamping & Veach)
 // over an FNV-64a of the ID: deterministic, allocation-free, and minimal
 // movement when the shard count changes.
@@ -322,7 +390,18 @@ func (f *Fleet) PushContext(id string, snap sensor.Snapshot) error {
 //
 //iot:hotpath
 func (f *Fleet) push(h *Home, snap sensor.Snapshot) {
-	v := &homeView{snap: snap, at: f.now()}
+	now := f.now()
+	if h.trust != nil {
+		// Score on the device's event time when it carries one (the
+		// behavioral fingerprint cares about the sensor's own timeline);
+		// fall back to receive time for unstamped pushes.
+		at := snap.At
+		if at.IsZero() {
+			at = now
+		}
+		h.trust.Observe(h.trustSource, snap, at)
+	}
+	v := &homeView{snap: snap, at: now}
 	h.view.Store(v)
 	h.pushes.Add(1)
 	f.metrics.observePush()
@@ -354,6 +433,18 @@ func (f *Fleet) authorizeHome(ctx context.Context, h *Home, in instr.Instruction
 	v := h.view.Load()
 	if v == nil || (h.freshFor > 0 && f.now().Sub(v.at) > h.freshFor) {
 		return f.authorizeDegraded(ctx, h, in, v)
+	}
+	if h.trust != nil && !h.trust.TrustedIdx(h.trustIdx) {
+		// Fresh but not believable: a spoofed feed that keeps pushing is
+		// the one degraded shape freshness budgets cannot see. Same
+		// contract as the other degraded paths — sensitive fails closed
+		// with an interned reason, non-sensitive still judges.
+		if f.detector.IsSensitive(in) {
+			dec := core.Decision{Allowed: false, Sensitive: true, Reason: reasonLowTrust}
+			f.observe(h, in, dec, outcomeFailClosed)
+			return dec, nil
+		}
+		return f.judgeNonSensitive(h, in, v)
 	}
 	return f.judgeAndLog(h, in, v.snap)
 }

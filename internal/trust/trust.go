@@ -1,0 +1,579 @@
+// Package trust scores sensor sources by how believable their behavior
+// is. Freshness (the provenance layer) proves a source is *talking*;
+// trust proves it is *telling the truth*: a compromised gateway can push
+// perfectly fresh, perfectly typed snapshots that fabricate exactly the
+// context an attacker needs, and no staleness budget will ever notice.
+//
+// The engine keeps one score per declared source, starting at 1 (fully
+// trusted). Every observation — a poll result or a pushed delta — runs
+// through two detector families:
+//
+//   - Behavioral fingerprints learned from the source's own first
+//     BaselineObs observations: report cadence, per-feature step sizes
+//     and value envelopes, and dwell (how long values sit bit-identical).
+//     Replayed timestamps, impossible jumps, frozen feeds and slow drift
+//     out of the learned envelope all violate the fingerprint.
+//   - A declarative invariant table of physics-ish cross-checks
+//     ("temperature cannot step >10°C between reports", "aqi cannot be
+//     negative", "occupancy=false contradicts simultaneous motion").
+//
+// Each violation decays the score multiplicatively; clean observations
+// recover it gradually. When a score crosses the configured threshold
+// the source is untrusted: decision layers fail sensitive instructions
+// closed and flag the source in provenance for everything else.
+//
+// Determinism: scoring is pure float64 arithmetic over the observation
+// sequence — same stream, same trajectory, bit for bit, at any worker
+// count. Observations serialise on one mutex; the hot read side
+// (TrustedIdx, ScoreIdx) is lock-free atomic loads so authorization
+// paths consult the engine without allocating.
+package trust
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"iotsid/internal/obs"
+	"iotsid/internal/sensor"
+)
+
+// Fingerprint rule names — the label vocabulary of the violation counter
+// and the Rule field of reported violations. Invariant-table violations
+// carry the invariant's own name instead.
+const (
+	RuleReplay    = "replay"    // event time ran backwards
+	RuleCadence   = "cadence"   // report interval far off the learned cadence
+	RuleStep      = "step"      // per-feature jump far beyond the learned step envelope
+	RuleStuck     = "stuck"     // values bit-identical for too many consecutive reports
+	RuleDrift     = "drift"     // value wandered out of the learned envelope
+	RuleMalformed = "malformed" // NaN/Inf numeric or absent (null) value
+)
+
+// fingerprintRules lists every built-in rule, in evaluation order, for
+// metric pre-registration.
+var fingerprintRules = []string{RuleReplay, RuleCadence, RuleStep, RuleStuck, RuleDrift, RuleMalformed}
+
+// Metric names the engine owns.
+const (
+	metricScore      = "iotsid_trust_score_permille"
+	metricViolations = "iotsid_trust_violations_total"
+)
+
+// SourceConfig declares one scored source.
+type SourceConfig struct {
+	// Name identifies the source; it must match the name the collector or
+	// store reports observations under.
+	Name string
+	// Required marks a source whose low trust must fail sensitive
+	// instructions closed (enforced by the decision layers, not here).
+	Required bool
+}
+
+// Config tunes an Engine. The zero value picks workable defaults.
+type Config struct {
+	// Threshold is the score below which a source counts untrusted
+	// (default 0.5).
+	Threshold float64
+	// Decay multiplies the score once per violation (default 0.7); two
+	// violations at the defaults cross the threshold.
+	Decay float64
+	// Recovery pulls a clean post-baseline observation's score toward 1
+	// by this fraction of the remaining gap (default 0.1).
+	Recovery float64
+	// BaselineObs is how many observations seed the behavioral
+	// fingerprint before cadence/step/drift/dwell checks arm (default 8).
+	BaselineObs int
+	// CadenceTolerance is the allowed report-interval ratio band around
+	// the learned cadence, [1/tol, tol] (default 8).
+	CadenceTolerance float64
+	// StepTolerance scales the learned per-feature step envelope; a jump
+	// beyond tol × the baseline envelope violates (default 4).
+	StepTolerance float64
+	// DriftTolerance scales the learned value envelope around the
+	// baseline mean; a value beyond tol × the baseline spread violates
+	// (default 4).
+	DriftTolerance float64
+	// StuckAfter is how many consecutive bit-identical observations count
+	// as a frozen feed (default 8).
+	StuckAfter int
+	// DriftExempt lists features excluded from the drift envelope —
+	// values that legitimately wander, like the fractional hour of day.
+	// Nil defaults to {hour_of_day}; an empty non-nil slice exempts none.
+	DriftExempt []sensor.Feature
+	// Invariants is the cross-sensor consistency table; nil defaults to
+	// DefaultInvariants(). An empty non-nil slice disables the table.
+	Invariants []Invariant
+	// Metrics, when non-nil, exports per-source score gauges (×1000) and
+	// per-(source, rule) violation counters. Series are pre-registered so
+	// the observation path never builds a label set.
+	Metrics *obs.Registry
+}
+
+// Violation reports one failed check of one observation.
+type Violation struct {
+	Source string `json:"source"`
+	Rule   string `json:"rule"`
+	Detail string `json:"detail"`
+}
+
+// SourceTrust is one source's row in a trust report.
+type SourceTrust struct {
+	Name         string  `json:"name"`
+	Required     bool    `json:"required"`
+	Score        float64 `json:"score"`
+	LowTrust     bool    `json:"low_trust"`
+	Observations uint64  `json:"observations"`
+	Violations   uint64  `json:"violations"`
+}
+
+// featState is the learned behavior of one feature of one source.
+type featState struct {
+	// Baseline accumulators (first BaselineObs observations).
+	min, max, sum float64
+	n             int
+	maxStep       float64
+	// last is the newest numeric value seen (valid when has).
+	last float64
+	has  bool
+	// Frozen fingerprint, derived when the source's baseline completes.
+	mean, spread, stepLimit float64
+}
+
+// sourceState holds one source's mutable trust state. Score and the
+// low-trust flag are mirrored into atomics for the lock-free read side;
+// everything else is guarded by the engine mutex.
+type sourceState struct {
+	name     string
+	required bool
+
+	score atomic.Uint64 // math.Float64bits of the score
+	low   atomic.Uint32 // 1 when score < threshold
+
+	obs        uint64
+	violations uint64
+	lastAt     time.Time
+	lastVals   map[sensor.Feature]sensor.Value
+	stuckRun   int
+	// interval baseline: sum/count of deltas between timestamped
+	// observations, frozen into meanInterval at baseline completion.
+	intervalSum   float64
+	intervalN     int
+	meanInterval  float64
+	feats         map[sensor.Feature]*featState
+	baselineReady bool
+
+	scoreGauge *obs.Gauge
+	violCount  map[string]*obs.Counter // per rule, pre-registered
+}
+
+// Engine scores a fixed set of sources. Construct with NewEngine; the
+// zero value is not usable.
+type Engine struct {
+	cfg        Config
+	invariants []Invariant
+	exempt     map[sensor.Feature]bool
+	byName     map[string]int
+	sources    []*sourceState
+
+	mu sync.Mutex // serialises Observe
+}
+
+// NewEngine validates the configuration and builds an engine with every
+// source at full trust.
+func NewEngine(cfg Config, sources ...SourceConfig) (*Engine, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("trust: engine needs at least one source")
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 0.5
+	}
+	if cfg.Threshold <= 0 || cfg.Threshold >= 1 {
+		return nil, fmt.Errorf("trust: threshold %v outside (0,1)", cfg.Threshold)
+	}
+	if cfg.Decay == 0 {
+		cfg.Decay = 0.7
+	}
+	if cfg.Decay <= 0 || cfg.Decay >= 1 {
+		return nil, fmt.Errorf("trust: decay %v outside (0,1)", cfg.Decay)
+	}
+	if cfg.Recovery == 0 {
+		cfg.Recovery = 0.1
+	}
+	if cfg.Recovery < 0 || cfg.Recovery > 1 {
+		return nil, fmt.Errorf("trust: recovery %v outside [0,1]", cfg.Recovery)
+	}
+	if cfg.BaselineObs <= 0 {
+		cfg.BaselineObs = 8
+	}
+	if cfg.CadenceTolerance == 0 {
+		cfg.CadenceTolerance = 8
+	}
+	if cfg.CadenceTolerance <= 1 {
+		return nil, fmt.Errorf("trust: cadence tolerance %v must exceed 1", cfg.CadenceTolerance)
+	}
+	if cfg.StepTolerance == 0 {
+		cfg.StepTolerance = 4
+	}
+	if cfg.StepTolerance <= 1 {
+		return nil, fmt.Errorf("trust: step tolerance %v must exceed 1", cfg.StepTolerance)
+	}
+	if cfg.DriftTolerance == 0 {
+		cfg.DriftTolerance = 4
+	}
+	if cfg.DriftTolerance <= 1 {
+		return nil, fmt.Errorf("trust: drift tolerance %v must exceed 1", cfg.DriftTolerance)
+	}
+	if cfg.StuckAfter <= 0 {
+		cfg.StuckAfter = 8
+	}
+	if cfg.DriftExempt == nil {
+		cfg.DriftExempt = []sensor.Feature{sensor.FeatHour}
+	}
+	invariants := cfg.Invariants
+	if invariants == nil {
+		invariants = DefaultInvariants()
+	}
+	for i, iv := range invariants {
+		if err := iv.validate(); err != nil {
+			return nil, fmt.Errorf("trust: invariant %d: %w", i, err)
+		}
+	}
+	e := &Engine{
+		cfg:        cfg,
+		invariants: invariants,
+		exempt:     make(map[sensor.Feature]bool, len(cfg.DriftExempt)),
+		byName:     make(map[string]int, len(sources)),
+		sources:    make([]*sourceState, 0, len(sources)),
+	}
+	for _, f := range cfg.DriftExempt {
+		e.exempt[f] = true
+	}
+	var scoreVec *obs.GaugeVec
+	var violVec *obs.CounterVec
+	if cfg.Metrics != nil {
+		scoreVec = cfg.Metrics.NewGaugeVec(metricScore,
+			"Per-source trust score scaled to 0..1000 (1000 = fully trusted).",
+			"source")
+		violVec = cfg.Metrics.NewCounterVec(metricViolations,
+			"Trust violations per source and rule (behavioral fingerprint rules plus invariant names).",
+			"source", "rule")
+	}
+	for i, sc := range sources {
+		if sc.Name == "" {
+			return nil, fmt.Errorf("trust: source %d has no name", i)
+		}
+		if _, dup := e.byName[sc.Name]; dup {
+			return nil, fmt.Errorf("trust: duplicate source %q", sc.Name)
+		}
+		st := &sourceState{
+			name:     sc.Name,
+			required: sc.Required,
+			feats:    make(map[sensor.Feature]*featState),
+		}
+		st.score.Store(math.Float64bits(1))
+		if cfg.Metrics != nil {
+			st.scoreGauge = scoreVec.With(sc.Name)
+			st.scoreGauge.Set(1000)
+			st.violCount = make(map[string]*obs.Counter, len(fingerprintRules)+len(invariants))
+			for _, r := range fingerprintRules {
+				st.violCount[r] = violVec.With(sc.Name, r)
+			}
+			for _, iv := range invariants {
+				st.violCount[iv.Name] = violVec.With(sc.Name, iv.Name)
+			}
+		}
+		e.byName[sc.Name] = i
+		e.sources = append(e.sources, st)
+	}
+	return e, nil
+}
+
+// Len returns the number of declared sources.
+func (e *Engine) Len() int { return len(e.sources) }
+
+// Index resolves a source name to its engine index.
+func (e *Engine) Index(name string) (int, bool) {
+	i, ok := e.byName[name]
+	return i, ok
+}
+
+// Sources lists the declared source names, in declaration order.
+func (e *Engine) Sources() []string {
+	out := make([]string, len(e.sources))
+	for i, s := range e.sources {
+		out[i] = s.name
+	}
+	return out
+}
+
+// Threshold returns the configured low-trust threshold.
+func (e *Engine) Threshold() float64 { return e.cfg.Threshold }
+
+// TrustedIdx reports whether source i's score is at or above the
+// threshold. The hot read: one atomic load, no locks, no allocation.
+//
+//iot:hotpath
+func (e *Engine) TrustedIdx(i int) bool {
+	return e.sources[i].low.Load() == 0
+}
+
+// ScoreIdx returns source i's current score.
+//
+//iot:hotpath
+func (e *Engine) ScoreIdx(i int) float64 {
+	return math.Float64frombits(e.sources[i].score.Load())
+}
+
+// Score returns the named source's score; ok is false for unknown names.
+func (e *Engine) Score(name string) (float64, bool) {
+	i, ok := e.byName[name]
+	if !ok {
+		return 0, false
+	}
+	return e.ScoreIdx(i), true
+}
+
+// Trusted reports whether the named source is at or above the threshold;
+// unknown sources report false.
+func (e *Engine) Trusted(name string) bool {
+	i, ok := e.byName[name]
+	return ok && e.TrustedIdx(i)
+}
+
+// LowTrustRequired reports whether any required source is currently
+// below the trust threshold — the health-degradation predicate.
+func (e *Engine) LowTrustRequired() bool {
+	for _, s := range e.sources {
+		if s.required && s.low.Load() != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Report returns every source's trust row, in declaration order.
+func (e *Engine) Report() []SourceTrust {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]SourceTrust, len(e.sources))
+	for i, s := range e.sources {
+		out[i] = SourceTrust{
+			Name:         s.name,
+			Required:     s.required,
+			Score:        math.Float64frombits(s.score.Load()),
+			LowTrust:     s.low.Load() != 0,
+			Observations: s.obs,
+			Violations:   s.violations,
+		}
+	}
+	return out
+}
+
+// Observe scores one observation from the named source: a poll result or
+// a pushed delta, stamped with its event time (zero disables the timing
+// checks for this observation). It returns the violations found, in a
+// deterministic order; unknown sources are ignored and return nil.
+//
+// Observe serialises on the engine mutex; callers on decision paths
+// should observe from their write side (collect bookkeeping, store
+// publish) and keep reads on the atomic accessors.
+func (e *Engine) Observe(source string, snap sensor.Snapshot, at time.Time) []Violation {
+	i, ok := e.byName[source]
+	if !ok {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.sources[i]
+
+	var found []Violation
+	report := func(rule, detail string) {
+		found = append(found, Violation{Source: s.name, Rule: rule, Detail: detail})
+		if c, ok := s.violCount[rule]; ok {
+			c.Inc()
+		}
+	}
+
+	// Timing fingerprint: replay first (active from the second
+	// observation), then cadence once the baseline interval is learned.
+	timed := !at.IsZero()
+	if timed && !s.lastAt.IsZero() {
+		if at.Before(s.lastAt) {
+			report(RuleReplay, fmt.Sprintf("event time %s behind newest %s", at.Format(time.RFC3339Nano), s.lastAt.Format(time.RFC3339Nano)))
+		} else if dt := at.Sub(s.lastAt).Seconds(); dt > 0 {
+			if s.baselineReady && s.meanInterval > 0 {
+				ratio := dt / s.meanInterval
+				if ratio > e.cfg.CadenceTolerance || ratio < 1/e.cfg.CadenceTolerance {
+					report(RuleCadence, fmt.Sprintf("interval %.3gs off learned cadence %.3gs", dt, s.meanInterval))
+				}
+			}
+			if !s.baselineReady {
+				s.intervalSum += dt
+				s.intervalN++
+			}
+		}
+	}
+
+	// Per-feature value fingerprint, in sorted feature order so the
+	// violation list and the score trajectory are scheduling-independent.
+	feats := snap.Features()
+	for _, f := range feats {
+		v := snap.Values[f]
+		if v.IsZero() {
+			report(RuleMalformed, fmt.Sprintf("feature %s absent (null) value", f))
+			continue
+		}
+		num, isNum := v.Numeric()
+		if !isNum {
+			continue
+		}
+		if math.IsNaN(num) || math.IsInf(num, 0) {
+			report(RuleMalformed, fmt.Sprintf("feature %s non-finite value %v", f, num))
+			continue
+		}
+		fs := s.feats[f]
+		if fs == nil {
+			fs = &featState{min: num, max: num}
+			s.feats[f] = fs
+		}
+		if s.baselineReady && fs.n > 0 {
+			// A feature must have contributed to the baseline to be
+			// judged against it; late-appearing features only learn.
+			if fs.has {
+				if step := math.Abs(num - fs.last); step > fs.stepLimit {
+					report(RuleStep, fmt.Sprintf("feature %s stepped %.4g, envelope %.4g", f, step, fs.stepLimit))
+				}
+			}
+			if !e.exempt[f] {
+				band := e.cfg.DriftTolerance * fs.spread
+				if dev := math.Abs(num - fs.mean); dev > band {
+					report(RuleDrift, fmt.Sprintf("feature %s at %.4g drifted %.4g from learned mean %.4g (band %.4g)", f, num, dev, fs.mean, band))
+				}
+			}
+		}
+		if !s.baselineReady {
+			if fs.n == 0 {
+				fs.min, fs.max = num, num
+			} else {
+				fs.min = math.Min(fs.min, num)
+				fs.max = math.Max(fs.max, num)
+			}
+			if fs.has {
+				fs.maxStep = math.Max(fs.maxStep, math.Abs(num-fs.last))
+			}
+			fs.sum += num
+			fs.n++
+		}
+		fs.last = num
+		fs.has = true
+	}
+
+	// Dwell fingerprint: a feed frozen bit-identical for too long is a
+	// stuck-at spoof (or a dead cache — either way, not live physics).
+	// Armed from the first observation: a source stuck from birth is
+	// exactly as suspect as one that froze later.
+	if len(snap.Values) > 0 && identicalValues(snap.Values, s.lastVals) {
+		s.stuckRun++
+		if s.stuckRun >= e.cfg.StuckAfter {
+			report(RuleStuck, fmt.Sprintf("values bit-identical for %d consecutive reports", s.stuckRun+1))
+		}
+	} else {
+		s.stuckRun = 0
+	}
+
+	// Cross-sensor invariant table, in declaration order.
+	prev := sensor.Snapshot{Values: s.lastVals}
+	for _, iv := range e.invariants {
+		if violated, detail := iv.Eval(prev, snap); violated {
+			report(iv.Name, detail)
+		}
+	}
+
+	// Score update: every violation decays multiplicatively; a fully
+	// clean post-baseline observation recovers a fraction of the gap.
+	// Violations never increase the score, so a violating stream's
+	// trajectory is monotone non-increasing.
+	score := math.Float64frombits(s.score.Load())
+	if len(found) > 0 {
+		for range found {
+			score *= e.cfg.Decay
+		}
+		s.violations += uint64(len(found))
+	} else if s.baselineReady {
+		score += e.cfg.Recovery * (1 - score)
+	}
+	if score < 0 {
+		score = 0
+	}
+	if score > 1 {
+		score = 1
+	}
+	s.score.Store(math.Float64bits(score))
+	if score < e.cfg.Threshold {
+		s.low.Store(1)
+	} else {
+		s.low.Store(0)
+	}
+	if s.scoreGauge != nil {
+		s.scoreGauge.Set(int64(math.Round(score * 1000)))
+	}
+
+	// Advance the observation state.
+	if timed && at.After(s.lastAt) {
+		s.lastAt = at
+	}
+	if len(snap.Values) > 0 {
+		vals := make(map[sensor.Feature]sensor.Value, len(snap.Values))
+		for f, v := range snap.Values {
+			vals[f] = v
+		}
+		s.lastVals = vals
+	}
+	s.obs++
+	if !s.baselineReady && s.obs >= uint64(e.cfg.BaselineObs) {
+		s.freezeBaseline(e.cfg.StepTolerance)
+	}
+	return found
+}
+
+// freezeBaseline derives the fingerprint envelopes from the accumulated
+// baseline statistics; called once, under the engine mutex.
+func (s *sourceState) freezeBaseline(stepTol float64) {
+	if s.intervalN > 0 {
+		s.meanInterval = s.intervalSum / float64(s.intervalN)
+	}
+	for _, fs := range s.feats {
+		if fs.n == 0 {
+			continue
+		}
+		fs.mean = fs.sum / float64(fs.n)
+		fs.spread = fs.max - fs.min
+		// Floors keep a flat baseline from arming hair-trigger envelopes:
+		// a constant feature still tolerates jitter proportional to its
+		// magnitude (or an absolute minimum for near-zero values).
+		floor := math.Max(0.01*math.Abs(fs.mean), 0.05)
+		if fs.spread < floor {
+			fs.spread = floor
+		}
+		step := math.Max(fs.maxStep, fs.spread)
+		fs.stepLimit = stepTol * step
+	}
+	s.baselineReady = true
+}
+
+// identicalValues reports whether two value maps carry exactly the same
+// features with exactly equal values.
+func identicalValues(a, b map[sensor.Feature]sensor.Value) bool {
+	if len(a) != len(b) || b == nil {
+		return false
+	}
+	for f, v := range a {
+		if ov, ok := b[f]; !ok || !v.Equal(ov) {
+			return false
+		}
+	}
+	return true
+}

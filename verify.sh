@@ -76,6 +76,22 @@ go test -race -count=1 -run 'Fleet' ./internal/cloud/
 fleet_smoke="$(go run ./cmd/fleetload -homes 200 -steps 2 -workers 2 -batch 64 -seed 1)"
 echo "$fleet_smoke" | grep -q 'digest' || { echo 'fleetload smoke: no digest in output' >&2; exit 1; }
 
+# Sensor-trust gate: the trust engine is lock-free hot-path state observed
+# from every push path — run its suite (property tests included) under the
+# race detector, then the trust wiring in core, fleet and cloud, then the
+# spoofing campaign (replay / slow-drift / stuck-at / spike must all land
+# zero unsafe allows). The fuzz smokes guard the invariant evaluator and
+# the Observe scoring path against hostile snapshots; the fleetload spoof
+# smoke proves the fail-closed contract end to end over HTTP (the command
+# itself errors on any unsafe allow).
+go test -race -count=1 ./internal/trust/
+go test -race -count=1 -run 'Trust' ./internal/core/ ./internal/fleet/ ./internal/cloud/
+go test -count=1 -run 'Spoof' ./internal/eval/
+go test -count=1 -run '^$' -fuzz '^FuzzInvariants$' -fuzztime 10s ./internal/trust/
+go test -count=1 -run '^$' -fuzz '^FuzzObserve$' -fuzztime 10s ./internal/trust/
+spoof_smoke="$(go run ./cmd/fleetload -homes 200 -steps 2 -workers 2 -batch 64 -seed 1 -spoof 0.2)"
+echo "$spoof_smoke" | grep -q 'unsafe allows *0' || { echo 'fleetload spoof smoke: unsafe allows not zero' >&2; exit 1; }
+
 # Coverage gate: no package may fall below its recorded floor
 # (coverage_floors.txt; internal/obs carries a hard 90% minimum). The race
 # detector is off here so the allocation-count gates run too.

@@ -21,11 +21,20 @@
 // the spoofed fraction take exactly the trust-less path, so a -spoof 0
 // run is byte-identical to one without the flag.
 //
+// With -chain set, a deterministic hash-selected fraction of homes
+// (disjoint from the spoofed set) is armed with the per-home sequence
+// judge and driven with its own seeded stream: a benign warm-up day, then
+// a same-tick automation chain — three status reads and a sensitive tail
+// sharing one timestamp, every scene individually tree-legal. The chain
+// tails must all be sequence-rejected; the run errors if any is allowed
+// (unsafe_chain_allows must be 0). A -chain 0 run is byte-identical to one
+// without the flag.
+//
 // Usage:
 //
 //	fleetload [-homes 10000] [-shards 16] [-workers 4] [-server-workers 0]
 //	          [-steps 5] [-batch 256] [-sensitive 0.7] [-attack 0.3]
-//	          [-spoof 0] [-seed 1] [-profile 127.0.0.1:0] [-out BENCH_fleet.json]
+//	          [-spoof 0] [-chain 0] [-seed 1] [-profile 127.0.0.1:0] [-out BENCH_fleet.json]
 package main
 
 import (
@@ -49,6 +58,7 @@ import (
 	"iotsid/internal/instr"
 	"iotsid/internal/obs"
 	"iotsid/internal/sensor"
+	"iotsid/internal/seq"
 	"iotsid/internal/trust"
 
 	"math/rand"
@@ -100,6 +110,8 @@ type report struct {
 	Attack        float64 `json:"attack_ratio"`
 	Spoof         float64 `json:"spoof_ratio"`
 	SpoofedHomes  int     `json:"spoofed_homes"`
+	Chain         float64 `json:"chain_ratio"`
+	ChainedHomes  int     `json:"chained_homes"`
 	Seed          int64   `json:"seed"`
 	GOMAXPROCS    int     `json:"gomaxprocs"`
 
@@ -112,10 +124,20 @@ type report struct {
 	UnsafeAllows int `json:"unsafe_allows"`
 	// LowTrustHomes is the fleet's end-of-run low-trust count; it must
 	// equal spoofed_homes (every spoofed engine collapsed and stayed so).
-	LowTrustHomes int     `json:"low_trust_homes"`
-	WallSeconds   float64 `json:"wall_seconds"`
-	DecPerSec     float64 `json:"decisions_per_sec"`
-	ReqPerSec     float64 `json:"requests_per_sec"`
+	LowTrustHomes int `json:"low_trust_homes"`
+	// ChainAttempts counts same-tick chain tails fired at sequence-armed
+	// homes; ChainBlocked of them were sequence-rejected, and
+	// UnsafeChainAllows slipped through (must be 0 — the run errors).
+	// ChainFalseBlocks counts benign warm-up events from chained homes
+	// wrongly rejected — the sequence judge's availability cost.
+	ChainAttempts     int     `json:"chain_attempts"`
+	ChainBlocked      int     `json:"chain_blocked"`
+	UnsafeChainAllows int     `json:"unsafe_chain_allows"`
+	ChainFalseBlocks  int     `json:"chain_false_blocks"`
+	SeqAnomalies      uint64  `json:"seq_anomalies"`
+	WallSeconds       float64 `json:"wall_seconds"`
+	DecPerSec         float64 `json:"decisions_per_sec"`
+	ReqPerSec         float64 `json:"requests_per_sec"`
 
 	P50Ms  float64 `json:"latency_p50_ms"`
 	P95Ms  float64 `json:"latency_p95_ms"`
@@ -134,6 +156,7 @@ func run() error {
 	sensitiveRatio := flag.Float64("sensitive", 0.7, "probability a step issues a sensitive control op (rest are status reads)")
 	attackRatio := flag.Float64("attack", 0.3, "probability a sensitive op carries an attack scene instead of a legal one")
 	spoofRatio := flag.Float64("spoof", 0, "fraction of homes armed with a trust engine and fed a seeded replay spoofing plan (0 = no trust layer at all)")
+	chainRatio := flag.Float64("chain", 0, "fraction of homes armed with the sequence judge and attacked with a same-tick automation chain (0 = no sequence layer at all)")
 	seed := flag.Int64("seed", 1, "load seed (same seed ⇒ same digest at any worker/shard/batch count)")
 	profileAddr := flag.String("profile", "", "serve /metrics and /debug/pprof on this address during the run (empty = disabled)")
 	outPath := flag.String("out", "", "write the JSON report to this file")
@@ -143,6 +166,9 @@ func run() error {
 	}
 	if *spoofRatio < 0 || *spoofRatio > 1 {
 		return fmt.Errorf("-spoof must be in [0, 1]")
+	}
+	if *chainRatio < 0 || *chainRatio > 1 {
+		return fmt.Errorf("-chain must be in [0, 1]")
 	}
 
 	metrics := obs.Default()
@@ -173,11 +199,22 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	// Spoofed-home selection is a pure hash of the home ID, so the set is
-	// identical at any worker/shard/batch setting; -spoof 0 arms nothing
-	// and leaves every home on the exact trust-less path.
+	// Spoofed- and chained-home selection is a pure hash of the home ID,
+	// so both sets are identical at any worker/shard/batch setting; a zero
+	// ratio arms nothing and leaves every home on the exact unarmed path.
+	// The chained set is salted differently and excludes spoofed homes —
+	// a collapsed trust engine fails everything closed, which would mask
+	// what the chain run is measuring.
+	var seqSet *seq.Set
+	if *chainRatio > 0 {
+		seqSet, err = seq.Train(seq.TrainConfig{Seed: *seed + 77, Models: []dataset.Model{dataset.ModelWindow}})
+		if err != nil {
+			return err
+		}
+	}
 	spoofed := make([]bool, *homes)
-	spoofedCount := 0
+	chained := make([]bool, *homes)
+	spoofedCount, chainedCount := 0, 0
 	ids := make([]string, *homes)
 	for i := range ids {
 		ids[i] = fmt.Sprintf("home-%06d", i)
@@ -191,6 +228,10 @@ func run() error {
 				return err
 			}
 			cfg.Trust = eng
+		} else if *chainRatio > 0 && hashFrac("seq|"+ids[i]) < *chainRatio {
+			chained[i] = true
+			chainedCount++
+			cfg.Sequence = seqSet
 		}
 		if _, err := fl.AddHome(cfg); err != nil {
 			return err
@@ -275,14 +316,41 @@ func run() error {
 	}
 	models := dataset.Models()
 
+	// Chained homes run their own seeded stream instead of the random mix:
+	// *steps-1 benign warm-up events, then the same-tick chain. Plans are
+	// pure functions of the seed and home index, so they are independent
+	// of worker, shard, and batch settings.
+	plans := make([][]seq.TraceEvent, *homes)
+	bursts := make([]seq.TraceEvent, *homes)
+	if chainedCount > 0 {
+		for i := range ids {
+			if !chained[i] {
+				continue
+			}
+			plan := seq.LegalTrace(rand.New(rand.NewSource(*seed+5741*int64(i))), *steps-1, 8, 13)
+			plans[i] = plan
+			base := seq.TraceEvent{At: time.Date(2021, 4, 1, 11, 0, 0, 0, time.UTC), Hour: 11, Voice: true, Occupied: true}
+			if len(plan) > 0 {
+				last := plan[len(plan)-1]
+				base = seq.TraceEvent{At: last.At.Add(40 * time.Second), Hour: last.Hour, Voice: true, Occupied: last.Occupied}
+			}
+			bursts[i] = base
+		}
+		fmt.Printf("chain: %d/%d homes sequence-armed, one same-tick chain each\n", chainedCount, *homes)
+	}
+
 	type workerStats struct {
-		latencies []time.Duration
-		requests  int
-		decisions int
-		allowed   int
-		rejected  int
-		unsafe    int
-		err       error
+		latencies     []time.Duration
+		requests      int
+		decisions     int
+		allowed       int
+		rejected      int
+		unsafe        int
+		chainAttempts int
+		chainBlocked  int
+		unsafeChain   int
+		chainFalse    int
+		err           error
 	}
 	stats := make([]workerStats, *workers)
 
@@ -304,7 +372,8 @@ func run() error {
 				return
 			}
 			items := make([]cloud.FleetBatchItem, 0, *batch)
-			owners := make([]int, 0, *batch) // home index per queued item
+			owners := make([]int, 0, *batch)   // home index per queued item
+			attacks := make([]bool, 0, *batch) // true for chain tails
 			flush := func() error {
 				if len(items) == 0 {
 					return nil
@@ -332,6 +401,16 @@ func run() error {
 					if res.Allowed && res.Sensitive && spoofed[owners[k]] {
 						st.unsafe++
 					}
+					if attacks[k] {
+						st.chainAttempts++
+						if res.Allowed {
+							st.unsafeChain++
+						} else {
+							st.chainBlocked++
+						}
+					} else if chained[owners[k]] && !res.Allowed {
+						st.chainFalse++
+					}
 					// Fold (allowed, sensitive) into the owning home's
 					// digest — FNV-64a over two tag bytes.
 					i := owners[k]
@@ -349,10 +428,52 @@ func run() error {
 				}
 				items = items[:0]
 				owners = owners[:0]
+				attacks = attacks[:0]
 				return nil
 			}
 			for s := 0; s < *steps; s++ {
 				for i := w; i < *homes; i += *workers {
+					if chained[i] {
+						if s < *steps-1 {
+							e := plans[i][s]
+							op := "window.get_state"
+							if e.Sensitive {
+								op = "window.open"
+							}
+							snap := e.WindowScene()
+							items = append(items, cloud.FleetItem(ids[i], op, "win-1", &snap))
+							owners = append(owners, i)
+							attacks = append(attacks, false)
+						} else {
+							// Final step: the same-tick chain, kept whole in
+							// one request so the home's stream stays ordered.
+							if len(items)+4 > *batch {
+								if err := flush(); err != nil {
+									st.err = err
+									return
+								}
+							}
+							for k := 0; k < 3; k++ {
+								snap := bursts[i].WindowScene()
+								items = append(items, cloud.FleetItem(ids[i], "window.get_state", "win-1", &snap))
+								owners = append(owners, i)
+								attacks = append(attacks, false)
+							}
+							tail := bursts[i]
+							tail.Sensitive = true
+							snap := tail.WindowScene()
+							items = append(items, cloud.FleetItem(ids[i], "window.open", "win-1", &snap))
+							owners = append(owners, i)
+							attacks = append(attacks, true)
+						}
+						if len(items) >= *batch {
+							if err := flush(); err != nil {
+								st.err = err
+								return
+							}
+						}
+						continue
+					}
 					rng := rngs[i]
 					if rng.Float64() < *sensitiveRatio {
 						m := models[rng.Intn(len(models))]
@@ -373,6 +494,7 @@ func run() error {
 						items = append(items, cloud.FleetItem(ids[i], "light.get_state", "lamp-1", nil))
 					}
 					owners = append(owners, i)
+					attacks = append(attacks, false)
 					if len(items) == *batch {
 						if err := flush(); err != nil {
 							st.err = err
@@ -396,9 +518,11 @@ func run() error {
 		Homes: *homes, Shards: *shards, Workers: *workers, ServerWorkers: *serverWorkers,
 		Steps: *steps, Batch: *batch, Sensitive: *sensitiveRatio, Attack: *attackRatio,
 		Spoof: *spoofRatio, SpoofedHomes: spoofedCount,
+		Chain: *chainRatio, ChainedHomes: chainedCount,
 		Seed: *seed, GOMAXPROCS: runtime.GOMAXPROCS(0),
 		WallSeconds:   wall.Seconds(),
 		LowTrustHomes: fl.LowTrustHomes(),
+		SeqAnomalies:  fl.SeqAnomalies(),
 	}
 	var lats []time.Duration
 	for w := range stats {
@@ -410,6 +534,10 @@ func run() error {
 		rep.Allowed += stats[w].allowed
 		rep.Rejected += stats[w].rejected
 		rep.UnsafeAllows += stats[w].unsafe
+		rep.ChainAttempts += stats[w].chainAttempts
+		rep.ChainBlocked += stats[w].chainBlocked
+		rep.UnsafeChainAllows += stats[w].unsafeChain
+		rep.ChainFalseBlocks += stats[w].chainFalse
 		lats = append(lats, stats[w].latencies...)
 	}
 	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
@@ -455,6 +583,13 @@ func run() error {
 		fmt.Printf("%-22s %12d\n", "low-trust homes", rep.LowTrustHomes)
 		fmt.Printf("%-22s %12d\n", "unsafe allows", rep.UnsafeAllows)
 	}
+	if chainedCount > 0 {
+		fmt.Printf("%-22s %12d\n", "chained homes", rep.ChainedHomes)
+		fmt.Printf("%-22s %12d\n", "chains blocked", rep.ChainBlocked)
+		fmt.Printf("%-22s %12d\n", "chain false blocks", rep.ChainFalseBlocks)
+		fmt.Printf("%-22s %12d\n", "seq anomalies", rep.SeqAnomalies)
+		fmt.Printf("%-22s %12d\n", "unsafe chain allows", rep.UnsafeChainAllows)
+	}
 	fmt.Printf("%-22s %12s\n", "digest", rep.Digest)
 
 	if *outPath != "" {
@@ -469,6 +604,9 @@ func run() error {
 	}
 	if rep.UnsafeAllows > 0 {
 		return fmt.Errorf("%d sensitive instructions allowed for spoofed homes — the trust gate leaked", rep.UnsafeAllows)
+	}
+	if rep.UnsafeChainAllows > 0 {
+		return fmt.Errorf("%d chain tails allowed for sequence-armed homes — the sequence gate leaked", rep.UnsafeChainAllows)
 	}
 	return nil
 }

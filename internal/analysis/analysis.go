@@ -161,8 +161,9 @@ func pathHasSegs(path, seg string) bool {
 // deterministicScopes are the packages whose outputs must be bit-identical
 // at any worker count (DESIGN §5): the dataset builder, every learner, the
 // evaluation sweeps, the worker pool, the survey synthesis, the home
-// simulator and the sensor-trust engine (its scores feed the spoofing
-// campaign digests).
+// simulator, the sensor-trust engine (its scores feed the spoofing
+// campaign digests) and the sequence judge (its tables and traces feed the
+// chain-campaign digests).
 var deterministicScopes = []string{
 	"internal/dataset",
 	"internal/mlearn",
@@ -171,6 +172,7 @@ var deterministicScopes = []string{
 	"internal/survey",
 	"internal/home",
 	"internal/trust",
+	"internal/seq",
 }
 
 // inDeterministicScope reports whether the import path falls under a

@@ -234,6 +234,10 @@ type FleetStats struct {
 	// LowTrustHomes counts homes whose context source currently sits
 	// below its trust threshold — the fleet-wide spoofing signal.
 	LowTrustHomes int `json:"low_trust_homes"`
+	// SeqAnomalies counts sensitive instructions the sequence judge
+	// rejected fleet-wide after the static tree allowed them — the
+	// temporal-attack (automation chain, stale replay) signal.
+	SeqAnomalies uint64 `json:"seq_anomalies"`
 }
 
 // FleetStats reads the fleet summary (GET /v1/fleet/stats).
@@ -259,6 +263,7 @@ func (s *Server) handleFleetStats(w http.ResponseWriter, r *http.Request) {
 		Homes:         f.HomeCount(),
 		Shards:        f.ShardCount(),
 		LowTrustHomes: f.LowTrustHomes(),
+		SeqAnomalies:  f.SeqAnomalies(),
 	}
 	for _, m := range f.Registry().Models() {
 		resp.Models = append(resp.Models, string(m))

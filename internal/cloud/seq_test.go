@@ -1,0 +1,90 @@
+package cloud
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"iotsid/internal/dataset"
+	"iotsid/internal/fleet"
+	"iotsid/internal/seq"
+)
+
+// TestFleetStatsSeqAnomalies: a same-tick automation chain against a
+// sequence-armed home is rejected through the public batch endpoint, and
+// the rejection is visible in /v1/fleet/stats as seq_anomalies — fed
+// entirely through the cloud API (push-with-judge items, JSON round
+// trip).
+func TestFleetStatsSeqAnomalies(t *testing.T) {
+	srv, fl := startFleetCloud(t, 1)
+	set, err := seq.Train(seq.TrainConfig{Seed: 7, Models: []dataset.Model{dataset.ModelWindow}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.AddHome(fleet.HomeConfig{ID: "chained", Sequence: set}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.BindHome("chained", "gateway"); err != nil {
+		t.Fatal(err)
+	}
+	c := login(t, srv, "gateway", "s3cret")
+
+	stats, err := c.FleetStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SeqAnomalies != 0 {
+		t.Fatalf("SeqAnomalies before attack = %d, want 0", stats.SeqAnomalies)
+	}
+
+	// Benign warmup: a coherent daytime stream, every decision allowed.
+	for i, e := range seq.LegalTrace(rand.New(rand.NewSource(404)), 8, 9, 12) {
+		snap := e.WindowScene()
+		op := "window.get_state"
+		if e.Sensitive {
+			op = "window.open"
+		}
+		res, err := c.FleetAuthorize([]FleetBatchItem{{Home: "chained", Op: op, DeviceID: "w", Context: &snap}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0].Error != "" || !res[0].Allowed {
+			t.Fatalf("benign event %d: %+v", i, res[0])
+		}
+	}
+
+	// Same-tick chain: three status reads and the sensitive tail, one
+	// timestamp. The tree allows every scene; the sequence judge refuses
+	// the tail.
+	at := time.Date(2021, 4, 1, 11, 0, 0, 0, time.UTC)
+	burst := seq.TraceEvent{At: at, Hour: 11, Voice: true, Occupied: true}
+	items := make([]FleetBatchItem, 0, 4)
+	for i := 0; i < 3; i++ {
+		snap := burst.WindowScene()
+		items = append(items, FleetBatchItem{Home: "chained", Op: "window.get_state", DeviceID: "w", Context: &snap})
+	}
+	tail := burst
+	tail.Sensitive = true
+	tailSnap := tail.WindowScene()
+	items = append(items, FleetBatchItem{Home: "chained", Op: "window.open", DeviceID: "w", Context: &tailSnap})
+	res, err := c.FleetAuthorize(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if res[i].Error != "" || !res[i].Allowed {
+			t.Fatalf("chain filler %d: %+v", i, res[i])
+		}
+	}
+	if res[3].Error != "" || res[3].Allowed {
+		t.Fatalf("chain tail must be sequence-rejected, got %+v", res[3])
+	}
+
+	stats, err = c.FleetStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SeqAnomalies != 1 {
+		t.Fatalf("SeqAnomalies after attack = %d, want 1", stats.SeqAnomalies)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"iotsid/internal/instr"
 	"iotsid/internal/obs"
 	"iotsid/internal/sensor"
+	"iotsid/internal/seq"
 	"iotsid/internal/trace"
 )
 
@@ -27,6 +28,13 @@ type Framework struct {
 	audit   atomic.Pointer[trace.Log]
 	metrics *frameworkMetrics
 	now     func() time.Time
+
+	// Sequence judge (second detection axis, ROADMAP item 1): trained
+	// transition tables plus this home's bounded event-history ring. nil
+	// seq disables the axis entirely — the static tree stands alone.
+	seq      *seq.Set
+	seqTrack seq.Tracker
+	seqAnoms atomic.Uint64
 }
 
 // LogEntry records one authorisation. Seq is a process-wide sequence number
@@ -54,6 +62,11 @@ type Config struct {
 	// Now is the latency clock (injectable so histogram tests are
 	// deterministic); defaults to time.Now.
 	Now func() time.Time
+	// Sequence, when non-nil, arms the temporal sequence judge: every
+	// decision is folded into a bounded per-framework history ring, and a
+	// sensitive instruction must pass BOTH the compiled tree and the
+	// sequence judge (fail closed on anomaly).
+	Sequence *seq.Set
 }
 
 // New assembles the framework.
@@ -82,6 +95,7 @@ func New(cfg Config) (*Framework, error) {
 		log:       newDecisionLog(cfg.LogCapacity),
 		metrics:   newFrameworkMetrics(cfg.Metrics),
 		now:       cfg.Now,
+		seq:       cfg.Sequence,
 	}
 	if cfg.Metrics != nil {
 		f.log.instrument(
@@ -180,6 +194,10 @@ func (f *Framework) collect(ctx context.Context) (sensor.Snapshot, Provenance, e
 // low-trust path: the hot path must reject without building a string.
 const reasonLowTrust = "sensitive instruction rejected (fail closed): required sensor source(s) below trust threshold"
 
+// reasonSeqAnomaly is the static (interned) rejection reason when the
+// sequence judge flags a sensitive instruction the static tree allowed.
+const reasonSeqAnomaly = "sensitive instruction rejected (fail closed): instruction sequence outside trained temporal profile"
+
 // failClosed rejects a sensitive instruction when a required context
 // source contributed nothing — deciding blind on a sensitive command is
 // exactly what the attacker of §III-A wants — or when a required source's
@@ -215,10 +233,28 @@ func (f *Framework) judgeAndLog(in instr.Instruction, ctx sensor.Snapshot) (Deci
 	if err != nil {
 		return Decision{}, err
 	}
+	if f.seq != nil {
+		// Combined verdict, fail closed: the sequence judge can only
+		// revoke an allow, never grant one. Every admitted event — allowed
+		// sensitive or not — extends the history the next judgment sees.
+		at := ctx.At
+		if at.IsZero() {
+			at = f.now()
+		}
+		if v := f.seq.ObserveJudge(&f.seqTrack, dec.Model, dec.Sensitive, dec.Allowed, ctx, at); v.Anomalous {
+			dec = Decision{Allowed: false, Sensitive: true, Model: dec.Model, Reason: reasonSeqAnomaly}
+			f.seqAnoms.Add(1)
+			f.metrics.observeSeqAnomaly()
+		}
+	}
 	f.metrics.observeDecision(dec)
 	f.logDecision(in, dec, ctx)
 	return dec, nil
 }
+
+// SeqAnomalies reports how many sensitive instructions the sequence judge
+// rejected after the static tree allowed them.
+func (f *Framework) SeqAnomalies() uint64 { return f.seqAnoms.Load() }
 
 // logDecision appends a decision to the ring log and the audit trace.
 func (f *Framework) logDecision(in instr.Instruction, dec Decision, ctx sensor.Snapshot) {

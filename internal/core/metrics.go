@@ -13,6 +13,7 @@ import (
 // stays fixed and every series can be pre-registered.
 const (
 	metricDecisions    = "iotsid_authz_decisions_total"
+	metricSeqAnomalies = "iotsid_authz_seq_anomalies_total"
 	metricAuthzLatency = "iotsid_authz_latency_seconds"
 	metricBatches      = "iotsid_authz_batches_total"
 	metricLogAppends   = "iotsid_decision_log_appends_total"
@@ -37,9 +38,10 @@ const (
 // lookups. A nil *frameworkMetrics disables instrumentation entirely —
 // every method is nil-receiver safe.
 type frameworkMetrics struct {
-	decisions [outcomeCount][2]*obs.Counter // [outcome][sensitive]
-	latency   *obs.Histogram
-	batches   *obs.Counter
+	decisions    [outcomeCount][2]*obs.Counter // [outcome][sensitive]
+	latency      *obs.Histogram
+	batches      *obs.Counter
+	seqAnomalies *obs.Counter
 }
 
 // newFrameworkMetrics pre-registers the authorization series.
@@ -56,6 +58,8 @@ func newFrameworkMetrics(reg *obs.Registry) *frameworkMetrics {
 			obs.LatencyBuckets),
 		batches: reg.NewCounter(metricBatches,
 			"AuthorizeBatch invocations (each also counts one latency observation)."),
+		seqAnomalies: reg.NewCounter(metricSeqAnomalies,
+			"Sensitive instructions rejected by the sequence judge after the static tree allowed them."),
 	}
 	names := [outcomeCount]string{"allow", "reject", "fail_closed"}
 	for o := 0; o < outcomeCount; o++ {
@@ -91,6 +95,14 @@ func (m *frameworkMetrics) observeFailClosed() {
 		return
 	}
 	m.decisions[outcomeFailClosed][1].Inc()
+}
+
+// observeSeqAnomaly counts one sequence-judge rejection.
+func (m *frameworkMetrics) observeSeqAnomaly() {
+	if m == nil {
+		return
+	}
+	m.seqAnomalies.Inc()
 }
 
 // observeLatency records one Authorize round trip.

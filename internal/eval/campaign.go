@@ -48,10 +48,14 @@ var campaignAttacks = []struct {
 	{AttackCookerFire, dataset.ModelKitchen, "cooker.start", "cooker-1"},
 }
 
-// CampaignCounts tallies one attack type.
+// CampaignCounts tallies one attack type: the staged attacks, and the
+// legitimate twin commands (the same instruction fired from a legal
+// scene) whose wrongful blocks are the scenario's availability cost.
 type CampaignCounts struct {
-	Attempts int `json:"attempts"`
-	Blocked  int `json:"blocked"`
+	Attempts      int `json:"attempts"`
+	Blocked       int `json:"blocked"`
+	LegitAttempts int `json:"legit_attempts"`
+	LegitBlocked  int `json:"legit_blocked"`
 }
 
 // CampaignResult is the outcome of a full attack campaign.
@@ -232,11 +236,13 @@ func tallyCampaign(outcomes []roundOutcome) CampaignResult {
 			if out.attackBlocked[i] {
 				c.Blocked++
 			}
-			res.PerType[a.Type] = c
+			c.LegitAttempts++
 			res.LegitAttempts++
 			if out.legitBlocked[i] {
+				c.LegitBlocked++
 				res.LegitBlocked++
 			}
+			res.PerType[a.Type] = c
 		}
 	}
 	return res
@@ -257,8 +263,8 @@ func (s *Suite) RenderCampaign(ctx context.Context, rounds int) (string, error) 
 	sort.Strings(types)
 	for _, t := range types {
 		c := r.PerType[AttackType(t)]
-		fmt.Fprintf(&b, "  %-24s blocked %3d/%3d (%.0f%%)\n", t, c.Blocked, c.Attempts,
-			100*float64(c.Blocked)/float64(c.Attempts))
+		fmt.Fprintf(&b, "  %-24s blocked %3d/%3d (%.0f%%), false blocks %d/%d\n", t, c.Blocked, c.Attempts,
+			100*float64(c.Blocked)/float64(c.Attempts), c.LegitBlocked, c.LegitAttempts)
 	}
 	fmt.Fprintf(&b, "  overall interception %.1f%%, legitimate commands wrongly blocked %.1f%%\n",
 		100*r.BlockRate(), 100*r.FalseBlockRate())

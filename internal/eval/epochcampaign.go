@@ -3,6 +3,7 @@ package eval
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -92,6 +93,18 @@ func (s *Suite) RenderCampaignCompare(ctx context.Context, rounds int) (string, 
 		100*cmp.Polled.BlockRate(), 100*cmp.Polled.FalseBlockRate())
 	fmt.Fprintf(&b, "  epoch:  interception %.1f%%, false blocks %.1f%%\n",
 		100*cmp.Epoch.BlockRate(), 100*cmp.Epoch.FalseBlockRate())
+	types := make([]string, 0, len(cmp.Polled.PerType))
+	for t := range cmp.Polled.PerType {
+		types = append(types, string(t))
+	}
+	sort.Strings(types)
+	fmt.Fprintf(&b, "  per scenario (blocked; false blocks — polled | epoch):\n")
+	for _, t := range types {
+		p, e := cmp.Polled.PerType[AttackType(t)], cmp.Epoch.PerType[AttackType(t)]
+		fmt.Fprintf(&b, "    %-24s %3d/%3d; %d/%d | %3d/%3d; %d/%d\n", t,
+			p.Blocked, p.Attempts, p.LegitBlocked, p.LegitAttempts,
+			e.Blocked, e.Attempts, e.LegitBlocked, e.LegitAttempts)
+	}
 	if cmp.Identical {
 		fmt.Fprintf(&b, "  decision streams identical (every decision bit-for-bit equal)\n")
 	} else {

@@ -1,0 +1,103 @@
+package eval
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSeqCampaign is the sequence-campaign contract: the static tree alone
+// allows every temporal attack (each staged scene is tree-legal — that is
+// the blind spot the axis exists for), the combined judge blocks them all
+// with zero unsafe allows, and benign traffic — the clean control and
+// every scenario's warm-up day — stays fully available under both judges.
+func TestSeqCampaign(t *testing.T) {
+	s := suiteForTest(t)
+	r, err := s.SeqCampaign(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Scenarios) != len(seqScenarios) {
+		t.Fatalf("got %d scenario rows, want %d", len(r.Scenarios), len(seqScenarios))
+	}
+	if r.UnsafeAllows != 0 {
+		t.Errorf("combined judge let %d attacks through, want 0", r.UnsafeAllows)
+	}
+	for _, row := range r.Scenarios {
+		if row.Tree.Availability() != 1 || row.Combined.Availability() != 1 {
+			t.Errorf("%s: availability tree %.3f / combined %.3f, want 1.0 on benign traffic",
+				row.Scenario, row.Tree.Availability(), row.Combined.Availability())
+		}
+		if row.Scenario == SeqScenarioClean {
+			if row.Tree.AttackAttempts != 0 || row.Combined.AttackAttempts != 0 {
+				t.Errorf("clean control staged %d/%d attacks, want none",
+					row.Tree.AttackAttempts, row.Combined.AttackAttempts)
+			}
+			continue
+		}
+		if row.Tree.AttackAttempts == 0 {
+			t.Errorf("%s: no attacks staged", row.Scenario)
+		}
+		if row.Tree.AttackBlocked != 0 {
+			t.Errorf("%s: tree alone blocked %d/%d — the scenario must be tree-legal",
+				row.Scenario, row.Tree.AttackBlocked, row.Tree.AttackAttempts)
+		}
+		if row.Combined.AttackBlocked != row.Combined.AttackAttempts {
+			t.Errorf("%s: combined judge blocked %d/%d, want all",
+				row.Scenario, row.Combined.AttackBlocked, row.Combined.AttackAttempts)
+		}
+	}
+}
+
+// TestSeqCampaignDeterminism: every (scenario, round) unit is seeded from
+// its index before the fan-out and merged in unit order, so the full
+// result — the per-judge tallies and the folded decision digest — is
+// bit-identical at any worker count.
+func TestSeqCampaignDeterminism(t *testing.T) {
+	s := suiteForTest(t)
+
+	serial := *s
+	serial.Config.Workers = 1
+	parallel := *s
+	parallel.Config.Workers = 8
+
+	a, err := serial.SeqCampaign(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parallel.SeqCampaign(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Errorf("digest diverges across worker counts: %s vs %s", a.Digest, b.Digest)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("sequence campaign diverges:\nserial:   %+v\nparallel: %+v", a, b)
+	}
+}
+
+// TestSeqCampaignValidation rejects empty inputs.
+func TestSeqCampaignValidation(t *testing.T) {
+	s := suiteForTest(t)
+	if _, err := s.SeqCampaign(context.Background(), 0); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+}
+
+// TestRenderSeqCampaign: the table carries both judge rows per scenario
+// and the vocabulary the docs reference.
+func TestRenderSeqCampaign(t *testing.T) {
+	s := suiteForTest(t)
+	out, err := s.RenderSeqCampaign(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"scenario", "judge", "attacks blocked", "avail", "digest",
+		"clean", "automation_chain", "stale_replay", "tree+seq", "unsafe allows: 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"iotsid/internal/par"
 	"iotsid/internal/resilience"
 	"iotsid/internal/sensor"
+	"iotsid/internal/seq"
 	"iotsid/internal/trust"
 )
 
@@ -24,6 +25,7 @@ const (
 	reasonStaleCtx   = "sensitive instruction rejected (fail closed): home sensor context is beyond its freshness budget"
 	reasonPullFailed = "sensitive instruction rejected (fail closed): home context pull failed and no fresh pushed context"
 	reasonLowTrust   = "sensitive instruction rejected (fail closed): home context source below trust threshold"
+	reasonSeqAnomaly = "sensitive instruction rejected (fail closed): instruction sequence outside trained temporal profile"
 )
 
 // Config wires a fleet.
@@ -77,6 +79,7 @@ type Fleet struct {
 	tenantCap  int
 	homeCount  atomic.Int64
 	tenantSeen atomic.Int64
+	seqAnoms   atomic.Uint64
 }
 
 // shard owns a disjoint subset of the fleet's homes. The RWMutex guards
@@ -165,6 +168,12 @@ type HomeConfig struct {
 	// empty defaults to the engine's sole source (an error if the engine
 	// declares several).
 	TrustSource string
+	// Sequence, when non-nil, arms the temporal sequence judge for this
+	// home: judged decisions fold into a bounded per-home history ring and
+	// a sensitive instruction must pass both the compiled tree and the
+	// sequence judge (fail closed on anomaly). Tables are read-only and
+	// safely shared across homes; the history ring is per-home.
+	Sequence *seq.Set
 }
 
 // Home is one tenant's state: the latest pushed sensor context behind an
@@ -183,6 +192,11 @@ type Home struct {
 	trust       *trust.Engine
 	trustIdx    int
 	trustSource string
+
+	// seqSet, when non-nil, is this home's sequence judge (shared trained
+	// tables, per-home history ring).
+	seqSet   *seq.Set
+	seqTrack seq.Tracker
 
 	pushes    atomic.Uint64
 	decisions atomic.Uint64
@@ -235,6 +249,7 @@ func (f *Fleet) AddHome(cfg HomeConfig) (*Home, error) {
 		freshFor:  cfg.FreshFor,
 		collector: cfg.Collector,
 		breaker:   cfg.Breaker,
+		seqSet:    cfg.Sequence,
 	}
 	if cfg.Trust != nil {
 		src := cfg.TrustSource
@@ -458,9 +473,27 @@ func (f *Fleet) judgeAndLog(h *Home, in instr.Instruction, snap sensor.Snapshot)
 	if err != nil {
 		return core.Decision{}, err
 	}
+	if h.seqSet != nil {
+		// Combined verdict, fail closed: the sequence judge can only
+		// revoke an allow. The tracker write is a fixed ring slot under the
+		// home's sequence mutex — no allocation.
+		at := snap.At
+		if at.IsZero() {
+			at = f.now()
+		}
+		if v := h.seqSet.ObserveJudge(&h.seqTrack, dec.Model, dec.Sensitive, dec.Allowed, snap, at); v.Anomalous {
+			dec = core.Decision{Allowed: false, Sensitive: true, Model: dec.Model, Reason: reasonSeqAnomaly}
+			f.seqAnoms.Add(1)
+			f.metrics.observeSeqAnomaly()
+		}
+	}
 	f.observe(h, in, dec, outcomeOf(dec))
 	return dec, nil
 }
+
+// SeqAnomalies reports how many sensitive instructions the sequence judge
+// rejected fleet-wide after the static tree allowed them.
+func (f *Fleet) SeqAnomalies() uint64 { return f.seqAnoms.Load() }
 
 // observe is the shared decision bookkeeping tail.
 //

@@ -20,6 +20,7 @@ const (
 	metricBatches       = "iotsid_fleet_batches_total"
 	metricBatchItems    = "iotsid_fleet_batch_items_total"
 	metricTenantDecided = "iotsid_fleet_tenant_decisions_total"
+	metricSeqAnomalies  = "iotsid_fleet_seq_anomalies_total"
 )
 
 // Decision outcome indices for the pre-registered counter cells (same
@@ -38,12 +39,13 @@ var outcomeNames = [outcomeCount]string{"allow", "reject", "fail_closed"}
 // with a single atomic add and zero lookups. A nil *fleetMetrics disables
 // instrumentation; every method is nil-receiver safe.
 type fleetMetrics struct {
-	homes      *obs.Gauge
-	pushes     *obs.Counter
-	decisions  [][outcomeCount]*obs.Counter // [shard][outcome]
-	batches    *obs.Counter
-	batchItems *obs.Counter
-	tenants    *obs.CounterVec
+	homes        *obs.Gauge
+	pushes       *obs.Counter
+	decisions    [][outcomeCount]*obs.Counter // [shard][outcome]
+	batches      *obs.Counter
+	batchItems   *obs.Counter
+	tenants      *obs.CounterVec
+	seqAnomalies *obs.Counter
 }
 
 // newFleetMetrics pre-registers the fleet series for a given shard count.
@@ -63,6 +65,8 @@ func newFleetMetrics(reg *obs.Registry, shards int) *fleetMetrics {
 		tenants: reg.NewCounterVec(metricTenantDecided,
 			"Authorization decisions by home and outcome (registered for the first TenantMetricsLimit homes only — the label is capped, not fleet-wide).",
 			"home", "outcome"),
+		seqAnomalies: reg.NewCounter(metricSeqAnomalies,
+			"Sensitive instructions rejected fleet-wide by the sequence judge after the static tree allowed them."),
 	}
 	vec := reg.NewCounterVec(metricDecisions,
 		"Authorization decisions by fleet shard and outcome (allow, reject, fail_closed).",
@@ -116,6 +120,16 @@ func (m *fleetMetrics) observePush() {
 		return
 	}
 	m.pushes.Inc()
+}
+
+// observeSeqAnomaly counts one sequence-judge rejection.
+//
+//iot:hotpath
+func (m *fleetMetrics) observeSeqAnomaly() {
+	if m == nil {
+		return
+	}
+	m.seqAnomalies.Inc()
 }
 
 // observeBatch counts one batch and its item load.

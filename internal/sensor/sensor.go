@@ -91,6 +91,14 @@ const (
 	FeatDoorOpen    Feature = "door_open"       // bool: door contact open
 	FeatNoise       Feature = "noise_level"     // dB, continuous
 	FeatPowerDraw   Feature = "power_draw"      // W, continuous
+
+	// Temporal features (ROADMAP item 1): derived dimensions the sequence
+	// judge discretizes. Gateways that track their own timelines may push
+	// them explicitly; otherwise the per-home tracker derives them from
+	// event times and the occupancy stream.
+	FeatTimeBucket     Feature = "time_bucket"     // label: night | morning | afternoon | evening
+	FeatOccupancyDwell Feature = "occupancy_dwell" // s since the occupancy state last changed
+	FeatInstrGap       Feature = "instruction_gap" // s since the previous instruction
 )
 
 // FeatureType describes how a feature's values behave, mirroring the paper's
@@ -143,6 +151,56 @@ const (
 	LockUnlocked = "unlocked"
 )
 
+// Time-of-day bucket label domain. The four buckets quantize the
+// fractional hour-of-day into the coarse daily phases the sequence judge
+// keys on: night [22,6), morning [6,12), afternoon [12,18), evening
+// [18,22).
+const (
+	BucketNight     = "night"
+	BucketMorning   = "morning"
+	BucketAfternoon = "afternoon"
+	BucketEvening   = "evening"
+)
+
+// timeBucketLabels is indexed by TimeBucketIndex.
+var timeBucketLabels = [4]string{BucketNight, BucketMorning, BucketAfternoon, BucketEvening}
+
+// TimeBucketCount is the number of time-of-day buckets.
+const TimeBucketCount = 4
+
+// TimeBucketIndex quantizes a fractional hour-of-day into one of the four
+// daily phases (0 night, 1 morning, 2 afternoon, 3 evening). Hours outside
+// [0,24) wrap; NaN and infinities land in the night bucket, so hostile
+// values stay inside the symbol alphabet instead of corrupting it.
+//
+//iot:hotpath
+func TimeBucketIndex(hour float64) int {
+	if hour != hour || hour > 1e9 || hour < -1e9 { // NaN or absurd: clamp
+		return 0
+	}
+	h := hour - 24*float64(int(hour/24))
+	if h < 0 {
+		h += 24
+	}
+	switch {
+	case h < 6:
+		return 0
+	case h < 12:
+		return 1
+	case h < 18:
+		return 2
+	case h < 22:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// TimeBucketLabel is the label form of TimeBucketIndex.
+func TimeBucketLabel(hour float64) string {
+	return timeBucketLabels[TimeBucketIndex(hour)]
+}
+
 var vocabulary = []Descriptor{
 	{Feature: FeatSmoke, Type: TypeBool, Source: KindSmoke},
 	{Feature: FeatGas, Type: TypeBool, Source: KindCombustibleGas},
@@ -162,6 +220,9 @@ var vocabulary = []Descriptor{
 	{Feature: FeatDoorOpen, Type: TypeBool, Source: KindDoorWindowContact},
 	{Feature: FeatNoise, Type: TypeNumber, Source: KindNoise, Unit: "dB"},
 	{Feature: FeatPowerDraw, Type: TypeNumber, Source: KindPowerMeter, Unit: "W"},
+	{Feature: FeatTimeBucket, Type: TypeLabel, Source: KindClock, Labels: []string{BucketNight, BucketMorning, BucketAfternoon, BucketEvening}},
+	{Feature: FeatOccupancyDwell, Type: TypeNumber, Source: KindOccupancy, Unit: "s"},
+	{Feature: FeatInstrGap, Type: TypeNumber, Source: KindClock, Unit: "s"},
 }
 
 var vocabularyIndex = buildVocabularyIndex()

@@ -92,6 +92,22 @@ go test -count=1 -run '^$' -fuzz '^FuzzObserve$' -fuzztime 10s ./internal/trust/
 spoof_smoke="$(go run ./cmd/fleetload -homes 200 -steps 2 -workers 2 -batch 64 -seed 1 -spoof 0.2)"
 echo "$spoof_smoke" | grep -q 'unsafe allows *0' || { echo 'fleetload spoof smoke: unsafe allows not zero' >&2; exit 1; }
 
+# Sequence gate: the temporal axis judges instruction/state history through
+# a per-home tracker mutated on every decision — run its package and the
+# combined-verdict wiring in core, fleet and cloud under the race detector,
+# then the sequence campaign (tree-only must allow the temporal attacks,
+# tree+sequence must block them all at 100% clean availability). The fuzz
+# smoke hardens ObserveJudge against hostile scenes (NaN hours, zero and
+# backwards timestamps, unknown models); the fleetload chain smoke proves
+# the same-tick chain fails closed end to end over HTTP (the command itself
+# errors on any unsafe chain allow).
+go test -race -count=1 ./internal/seq/
+go test -race -count=1 -run 'Seq' ./internal/core/ ./internal/fleet/ ./internal/cloud/
+go test -count=1 -run 'SeqCampaign' ./internal/eval/
+go test -count=1 -run '^$' -fuzz '^FuzzSequenceObserve$' -fuzztime 10s ./internal/seq/
+chain_smoke="$(go run ./cmd/fleetload -homes 200 -steps 3 -workers 2 -batch 64 -seed 1 -chain 0.2)"
+echo "$chain_smoke" | grep -q 'unsafe chain allows *0' || { echo 'fleetload chain smoke: unsafe chain allows not zero' >&2; exit 1; }
+
 # Coverage gate: no package may fall below its recorded floor
 # (coverage_floors.txt; internal/obs carries a hard 90% minimum). The race
 # detector is off here so the allocation-count gates run too.

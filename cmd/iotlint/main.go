@@ -28,6 +28,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
 	dir := fs.String("dir", "", "directory to resolve package patterns from (default current)")
 	list := fs.Bool("analyzers", false, "list the analyzer suite and exit")
+	unusedAllows := fs.Bool("unused-allows", false, "also fail on //iot:allow comments that suppress nothing")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -46,17 +47,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
+	diags := res.Diagnostics
+	if *unusedAllows {
+		// The audit mode treats a stale suppression as a finding in its
+		// own right: an //iot:allow no analyzer matches is either dead
+		// documentation or a typo hiding a real hole.
+		diags = append(append([]analysis.Diagnostic(nil), diags...), res.UnusedAllows...)
+		analysis.SortDiagnostics(diags)
+	}
 	if *jsonOut {
-		err = analysis.WriteJSON(stdout, res.Diagnostics)
+		err = analysis.WriteJSON(stdout, diags)
 	} else {
-		err = analysis.WriteText(stdout, res.Diagnostics)
+		err = analysis.WriteText(stdout, diags)
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	if len(res.Diagnostics) > 0 {
-		fmt.Fprintf(stderr, "iotlint: %d finding(s)\n", len(res.Diagnostics))
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "iotlint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"flag"
 	"os"
 	"strings"
 	"testing"
@@ -12,6 +13,11 @@ const (
 	goldenPath = "../../internal/analysis/testdata/fixture.golden.json"
 )
 
+// update rewrites the golden file from the current driver output:
+//
+//	go test ./cmd/iotlint/ -run Golden -update
+var update = flag.Bool("update", false, "rewrite the fixture golden JSON")
+
 // TestDriverJSONGolden: findings over the fixture module exit 1 and the
 // -json rendering is byte-identical to the committed golden file and
 // across repeated runs.
@@ -19,6 +25,11 @@ func TestDriverJSONGolden(t *testing.T) {
 	var out1, out2, errb bytes.Buffer
 	if code := run([]string{"-dir", fixtureDir, "-json", "./..."}, &out1, &errb); code != 1 {
 		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	if *update {
+		if err := os.WriteFile(goldenPath, out1.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
 	}
 	golden, err := os.ReadFile(goldenPath)
 	if err != nil {
@@ -44,14 +55,18 @@ func TestDriverTextSorted(t *testing.T) {
 		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
 	}
 	lines := strings.Split(strings.TrimSuffix(out.String(), "\n"), "\n")
-	if len(lines) != 6 {
-		t.Fatalf("want 6 findings, got %d:\n%s", len(lines), out.String())
+	if len(lines) != 10 {
+		t.Fatalf("want 10 findings, got %d:\n%s", len(lines), out.String())
 	}
 	// The (file, line, col) ordering contract — numeric on line/col, so a
 	// plain lexicographic sort of the rendered lines would get
 	// hot.go:9 vs hot.go:15 wrong.
 	want := []string{
 		"internal/dataset/gen.go:7:38: nodeterm: time.Now in deterministic package fixture/internal/dataset: inject a clock instead",
+		"internal/flow/flow.go:31:9: hotcall: hot path Lookup calls flow.buildIndex: not hotpath-clean (make allocates)",
+		"internal/flow/flow.go:41:10: failclosed: degraded path in fail-closed Gate may return an allow decision (value is not provably deny)",
+		"internal/flow/flow.go:55:2: cowpub: write to c after it was published via atomic.Pointer in Publish (mutate before Store)",
+		"internal/flow/flow.go:61:22: metricreg: metric name \"fixture_requests\" does not match the iotsid_<subsystem>_<what> grammar (DESIGN §9)",
 		"internal/hot/hot.go:9:36: hotalloc: fmt.Sprintf allocates in hot path Render",
 		"internal/hot/hot.go:15:9: hotalloc: closure allocates in hot path Sum",
 		"internal/svc/svc.go:18:20: sleepban: raw time.Sleep in fixture/internal/svc: use the resilience layer's injectable sleep",
@@ -63,7 +78,7 @@ func TestDriverTextSorted(t *testing.T) {
 			t.Errorf("finding %d:\n got %s\nwant %s", i, l, want[i])
 		}
 	}
-	for _, a := range []string{"nodeterm", "sleepban", "ctxrule", "errcheck"} {
+	for _, a := range []string{"nodeterm", "sleepban", "ctxrule", "errcheck", "hotcall", "failclosed", "cowpub", "metricreg"} {
 		if n := strings.Count(out.String(), " "+a+": "); n != 1 {
 			t.Errorf("analyzer %s: want exactly 1 finding in text output, got %d", a, n)
 		}
@@ -71,7 +86,33 @@ func TestDriverTextSorted(t *testing.T) {
 	if n := strings.Count(out.String(), " hotalloc: "); n != 2 {
 		t.Errorf("analyzer hotalloc: want exactly 2 findings in text output, got %d", n)
 	}
-	if !strings.Contains(errb.String(), "6 finding(s)") {
+	if !strings.Contains(errb.String(), "10 finding(s)") {
+		t.Errorf("stderr missing finding count: %s", errb.String())
+	}
+}
+
+// TestDriverUnusedAllows: the audit mode adds the stale //iot:allow in
+// svc.go as an eleventh finding; the default mode leaves it out.
+func TestDriverUnusedAllows(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-dir", fixtureDir, "-unused-allows", "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimSuffix(out.String(), "\n"), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("want 11 findings with -unused-allows, got %d:\n%s", len(lines), out.String())
+	}
+	var stale string
+	for _, l := range lines {
+		if strings.Contains(l, "unused //iot:allow") {
+			stale = l
+		}
+	}
+	wantStale := "internal/svc/svc.go:39:2: iotlint: unused //iot:allow sleepban: no sleepban finding on this line"
+	if stale != wantStale {
+		t.Errorf("stale-allow finding:\n got %s\nwant %s", stale, wantStale)
+	}
+	if !strings.Contains(errb.String(), "11 finding(s)") {
 		t.Errorf("stderr missing finding count: %s", errb.String())
 	}
 }
@@ -105,7 +146,7 @@ func TestDriverAnalyzerList(t *testing.T) {
 	if code := run([]string{"-analyzers"}, &out, &errb); code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, a := range []string{"nodeterm", "hotalloc", "sleepban", "ctxrule", "errcheck"} {
+	for _, a := range []string{"nodeterm", "hotalloc", "sleepban", "ctxrule", "errcheck", "hotcall", "failclosed", "cowpub", "metricreg"} {
 		if !strings.Contains(errb.String(), a) {
 			t.Errorf("analyzer listing missing %s", a)
 		}

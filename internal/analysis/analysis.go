@@ -87,6 +87,10 @@ type Pass struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Prog is the whole-run function index for the interprocedural
+	// analyzers. For single-package harness runs it covers that package
+	// alone.
+	Prog *Program
 
 	// relFile maps fset absolute filenames to module-relative paths.
 	relFile func(string) string
@@ -107,13 +111,17 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // FuncObj resolves a call or identifier use to the *types.Func it names,
 // or nil when it is not a direct function reference.
-func (p *Pass) FuncObj(e ast.Expr) *types.Func {
+func (p *Pass) FuncObj(e ast.Expr) *types.Func { return funcObjIn(p.Info, e) }
+
+// funcObjIn is FuncObj against an explicit type info table, for analyzers
+// that follow the call graph into other packages.
+func funcObjIn(info *types.Info, e ast.Expr) *types.Func {
 	switch e := e.(type) {
 	case *ast.Ident:
-		f, _ := p.Info.Uses[e].(*types.Func)
+		f, _ := info.Uses[e].(*types.Func)
 		return f
 	case *ast.SelectorExpr:
-		f, _ := p.Info.Uses[e.Sel].(*types.Func)
+		f, _ := info.Uses[e.Sel].(*types.Func)
 		return f
 	}
 	return nil

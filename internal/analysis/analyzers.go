@@ -2,7 +2,7 @@ package analysis
 
 // All returns the full analyzer suite in stable (alphabetical) order.
 func All() []*Analyzer {
-	return []*Analyzer{CtxRule, ErrCheck, HotAlloc, NoDeterm, SleepBan}
+	return []*Analyzer{CowPub, CtxRule, ErrCheck, FailClosed, HotAlloc, HotCall, MetricReg, NoDeterm, SleepBan}
 }
 
 // ByName resolves one analyzer, or nil when unknown.

@@ -2,9 +2,9 @@ package analysis
 
 import "testing"
 
-// The five analyzer self-tests drive the // want harness over seeded
-// fixture packages. The synthetic import paths place each fixture in the
-// scope its analyzer watches.
+// The analyzer self-tests drive the // want harness over seeded fixture
+// packages. The synthetic import paths place each fixture in the scope
+// its analyzer watches.
 
 func TestNoDetermWant(t *testing.T) {
 	RunWant(t, "testdata/src/nodeterm", "iotsid/internal/dataset/fix", NoDeterm)
@@ -26,6 +26,22 @@ func TestErrCheckWant(t *testing.T) {
 	RunWant(t, "testdata/src/errcheck", "iotsid/internal/store/fix", ErrCheck)
 }
 
+func TestHotCallWant(t *testing.T) {
+	RunWant(t, "testdata/src/hotcall", "iotsid/internal/core/fix", HotCall)
+}
+
+func TestFailClosedWant(t *testing.T) {
+	RunWant(t, "testdata/src/failclosed", "iotsid/internal/core/fix", FailClosed)
+}
+
+func TestCowPubWant(t *testing.T) {
+	RunWant(t, "testdata/src/cowpub", "iotsid/internal/epoch/fix", CowPub)
+}
+
+func TestMetricRegWant(t *testing.T) {
+	RunWant(t, "testdata/src/metricreg", "iotsid/internal/obs/fix", MetricReg)
+}
+
 // TestScopeSilence: the same violation classes outside internal/ and the
 // deterministic scopes produce nothing — no wants, no diagnostics.
 func TestScopeSilence(t *testing.T) {
@@ -40,8 +56,8 @@ func TestHotAllocAnyPath(t *testing.T) {
 
 func TestAllStableOrder(t *testing.T) {
 	all := All()
-	if len(all) != 5 {
-		t.Fatalf("expected 5 analyzers, got %d", len(all))
+	if len(all) != 9 {
+		t.Fatalf("expected 9 analyzers, got %d", len(all))
 	}
 	for i := 1; i < len(all); i++ {
 		if all[i-1].Name >= all[i].Name {

@@ -1,0 +1,326 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is a compact intra-function control-flow graph: just enough
+// structure for the failclosed analyzer to follow every path from a
+// degraded branch to the returns it can reach, and for cowpub to answer
+// "is this write reachable after that atomic publish". Blocks hold
+// statements in source order; a block ends either in a two-way branch
+// (cond + true/false successors), a multi-way branch (switch/select), a
+// return, or a fall-through edge.
+
+// cfgBlock is one straight-line run of statements.
+type cfgBlock struct {
+	stmts []ast.Stmt
+	// cond, when non-nil, is the branch condition: succs[0] is the true
+	// edge, succs[1] the false edge.
+	cond ast.Expr
+	// succs are the successor blocks. Without cond: zero (terminal) or
+	// more fall-through/dispatch edges.
+	succs []*cfgBlock
+	// ret is set when the block ends in a return statement (also the last
+	// element of stmts).
+	ret *ast.ReturnStmt
+}
+
+// funcCFG is one function body's graph.
+type funcCFG struct {
+	entry  *cfgBlock
+	blocks []*cfgBlock
+}
+
+type cfgBuilder struct {
+	blocks []*cfgBlock
+	// breaks/conts are the innermost-last break and continue targets.
+	breaks []*cfgBlock
+	conts  []*cfgBlock
+	// labels maps a label name to its loop's break/continue targets.
+	labels map[string][2]*cfgBlock
+	// fallNext is the next case-clause block a fallthrough jumps to.
+	fallNext *cfgBlock
+	// pendingLabel/pendingMarker carry a label across to the next pushLoop
+	// so labeled break/continue resolve to the labeled loop's targets.
+	pendingLabel  string
+	pendingMarker int
+}
+
+// buildCFG constructs the graph for one function body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{labels: make(map[string][2]*cfgBlock)}
+	entry := b.new()
+	end := b.stmtList(entry, body.List)
+	_ = end
+	return &funcCFG{entry: entry, blocks: b.blocks}
+}
+
+func (b *cfgBuilder) new() *cfgBlock {
+	blk := &cfgBlock{}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+// link adds an unconditional edge unless the source already terminated.
+func link(from, to *cfgBlock) {
+	if from == nil || from.ret != nil {
+		return
+	}
+	from.succs = append(from.succs, to)
+}
+
+// stmtList threads the statements through cur, returning the block control
+// falls out of (nil when every path terminated).
+func (b *cfgBuilder) stmtList(cur *cfgBlock, stmts []ast.Stmt) *cfgBlock {
+	for _, s := range stmts {
+		cur = b.stmt(cur, s)
+		if cur == nil {
+			// Remaining statements are unreachable; still give them a
+			// block so analyzers scanning all blocks see them.
+			cur = b.new()
+		}
+	}
+	return cur
+}
+
+// stmt adds one statement, returning the continuation block (nil when the
+// statement terminates the path).
+func (b *cfgBuilder) stmt(cur *cfgBlock, s ast.Stmt) *cfgBlock {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		cur.stmts = append(cur.stmts, s)
+		cur.ret = s
+		return nil
+
+	case *ast.BlockStmt:
+		return b.stmtList(cur, s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.stmts = append(cur.stmts, s.Init)
+		}
+		cur.cond = s.Cond
+		then := b.new()
+		after := b.new()
+		if s.Else != nil {
+			els := b.new()
+			cur.succs = []*cfgBlock{then, els}
+			link(b.stmt(els, s.Else), after)
+		} else {
+			cur.succs = []*cfgBlock{then, after}
+		}
+		link(b.stmtList(then, s.Body.List), after)
+		return after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.stmts = append(cur.stmts, s.Init)
+		}
+		head := b.new()
+		link(cur, head)
+		body := b.new()
+		post := b.new()
+		after := b.new()
+		head.cond = s.Cond // nil cond still branches: break exits exist
+		head.succs = []*cfgBlock{body, after}
+		b.pushLoop(after, post)
+		end := b.stmtList(body, s.Body.List)
+		b.popLoop()
+		link(end, post)
+		if s.Post != nil {
+			post.stmts = append(post.stmts, s.Post)
+		}
+		link(post, head)
+		return after
+
+	case *ast.RangeStmt:
+		head := b.new()
+		link(cur, head)
+		if s.Key != nil || s.Value != nil {
+			head.stmts = append(head.stmts, s) // the range assignment itself
+		}
+		body := b.new()
+		after := b.new()
+		head.succs = []*cfgBlock{body, after}
+		b.pushLoop(after, head)
+		end := b.stmtList(body, s.Body.List)
+		b.popLoop()
+		link(end, head)
+		return after
+
+	case *ast.SwitchStmt:
+		return b.switchStmt(cur, s.Init, s.Tag, s.Body.List)
+
+	case *ast.TypeSwitchStmt:
+		return b.switchStmt(cur, s.Init, nil, append([]ast.Stmt{s.Assign}[1:], s.Body.List...))
+
+	case *ast.SelectStmt:
+		after := b.new()
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.new()
+			cur.succs = append(cur.succs, blk)
+			if cc.Comm != nil {
+				blk.stmts = append(blk.stmts, cc.Comm)
+			}
+			b.breaks = append(b.breaks, after)
+			link(b.stmtList(blk, cc.Body), after)
+			b.breaks = b.breaks[:len(b.breaks)-1]
+		}
+		if len(s.Body.List) == 0 {
+			return nil // empty select blocks forever
+		}
+		return after
+
+	case *ast.LabeledStmt:
+		// Pre-register the label so labeled break/continue resolve; the
+		// loop targets are patched by the loop handlers via b.labels.
+		switch inner := s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			after := b.stmtLabeledLoop(cur, s.Label.Name, inner)
+			return after
+		default:
+			return b.stmt(cur, s.Stmt)
+		}
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			cur.stmts = append(cur.stmts, s)
+			link(cur, b.branchTarget(s, true))
+			return nil
+		case token.CONTINUE:
+			cur.stmts = append(cur.stmts, s)
+			link(cur, b.branchTarget(s, false))
+			return nil
+		case token.FALLTHROUGH:
+			link(cur, b.fallNext)
+			return nil
+		default: // goto: treat as terminal (none in this tree)
+			cur.stmts = append(cur.stmts, s)
+			return nil
+		}
+
+	case *ast.ExprStmt:
+		cur.stmts = append(cur.stmts, s)
+		if isPanicCall(s.X) {
+			return nil
+		}
+		return cur
+
+	default:
+		cur.stmts = append(cur.stmts, s)
+		return cur
+	}
+}
+
+// switchStmt lowers switch / type-switch bodies. clauses may be prefixed
+// with the type-switch assign statement.
+func (b *cfgBuilder) switchStmt(cur *cfgBlock, init ast.Stmt, tag ast.Expr, clauses []ast.Stmt) *cfgBlock {
+	if init != nil {
+		cur.stmts = append(cur.stmts, init)
+	}
+	after := b.new()
+	var caseBlocks []*cfgBlock
+	var caseClauses []*ast.CaseClause
+	hasDefault := false
+	for _, raw := range clauses {
+		cc, ok := raw.(*ast.CaseClause)
+		if !ok {
+			cur.stmts = append(cur.stmts, raw) // type-switch assign
+			continue
+		}
+		blk := b.new()
+		cur.succs = append(cur.succs, blk)
+		caseBlocks = append(caseBlocks, blk)
+		caseClauses = append(caseClauses, cc)
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		cur.succs = append(cur.succs, after)
+	}
+	for i, cc := range caseClauses {
+		savedFall := b.fallNext
+		if i+1 < len(caseBlocks) {
+			b.fallNext = caseBlocks[i+1]
+		} else {
+			b.fallNext = after
+		}
+		b.breaks = append(b.breaks, after)
+		link(b.stmtList(caseBlocks[i], cc.Body), after)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.fallNext = savedFall
+	}
+	return after
+}
+
+// stmtLabeledLoop lowers a labeled for/range so labeled break/continue
+// resolve to the right targets.
+func (b *cfgBuilder) stmtLabeledLoop(cur *cfgBlock, label string, loop ast.Stmt) *cfgBlock {
+	// Build the loop through the normal path, but record its targets
+	// under the label first: the loop handlers push them innermost-last,
+	// so capture by observing the stacks around the call.
+	marker := len(b.breaks)
+	var after *cfgBlock
+	b.pendingLabel = label
+	b.pendingMarker = marker
+	after = b.stmt(cur, loop)
+	delete(b.labels, label)
+	b.pendingLabel = ""
+	return after
+}
+
+// pushLoop enters a loop scope.
+func (b *cfgBuilder) pushLoop(brk, cont *cfgBlock) {
+	b.breaks = append(b.breaks, brk)
+	b.conts = append(b.conts, cont)
+	if b.pendingLabel != "" && len(b.breaks)-1 == b.pendingMarker {
+		b.labels[b.pendingLabel] = [2]*cfgBlock{brk, cont}
+		b.pendingLabel = ""
+	}
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.conts = b.conts[:len(b.conts)-1]
+}
+
+// branchTarget resolves break/continue, labeled or not. An unresolvable
+// target (break outside any loop — impossible in well-typed code) falls
+// back to terminal by returning nil, which link ignores.
+func (b *cfgBuilder) branchTarget(s *ast.BranchStmt, isBreak bool) *cfgBlock {
+	if s.Label != nil {
+		if t, ok := b.labels[s.Label.Name]; ok {
+			if isBreak {
+				return t[0]
+			}
+			return t[1]
+		}
+		return nil
+	}
+	if isBreak {
+		if n := len(b.breaks); n > 0 {
+			return b.breaks[n-1]
+		}
+		return nil
+	}
+	if n := len(b.conts); n > 0 {
+		return b.conts[n-1]
+	}
+	return nil
+}
+
+// isPanicCall reports whether the expression is a direct call to the
+// builtin panic — a terminating statement for path purposes.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic" && id.Obj == nil
+}

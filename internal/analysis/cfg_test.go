@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFor parses a single function body (no type information needed —
+// the CFG is purely syntactic) and builds its graph.
+func buildFor(t *testing.T, body string) *funcCFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buildCFG(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// reachableRets counts return statements reachable from the entry block.
+func reachableRets(g *funcCFG) int {
+	seen := map[*cfgBlock]bool{}
+	rets := 0
+	var visit func(*cfgBlock)
+	visit = func(b *cfgBlock) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		if b.ret != nil {
+			rets++
+		}
+		for _, s := range b.succs {
+			visit(s)
+		}
+	}
+	visit(g.entry)
+	return rets
+}
+
+// totalRets counts return statements across every block, reachable or not.
+func totalRets(g *funcCFG) int {
+	rets := 0
+	for _, b := range g.blocks {
+		if b.ret != nil {
+			rets++
+		}
+	}
+	return rets
+}
+
+// TestCFGIfElse: both arms return; the join block exists but holds no
+// return.
+func TestCFGIfElse(t *testing.T) {
+	g := buildFor(t, `
+	if true {
+		return
+	} else {
+		return
+	}`)
+	if g.entry.cond == nil || len(g.entry.succs) != 2 {
+		t.Fatalf("if entry: cond=%v succs=%d", g.entry.cond, len(g.entry.succs))
+	}
+	if got := reachableRets(g); got != 2 {
+		t.Errorf("reachable returns = %d, want 2", got)
+	}
+}
+
+// TestCFGSwitchFallthrough: a fallthrough chains case 1 into case 2; with
+// a default that returns, the statement after the switch is unreachable.
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := buildFor(t, `
+	switch n := 1; n {
+	case 1:
+		fallthrough
+	case 2:
+		return
+	default:
+		return
+	}
+	return`)
+	if got := reachableRets(g); got != 2 {
+		t.Errorf("reachable returns = %d, want 2 (case 2 via fallthrough, default)", got)
+	}
+	if got := totalRets(g); got != 3 {
+		t.Errorf("total returns = %d, want 3 (the post-switch return is dead)", got)
+	}
+}
+
+// TestCFGSwitchNoDefault: without a default the dispatch block keeps a
+// fall-through edge past every case.
+func TestCFGSwitchNoDefault(t *testing.T) {
+	g := buildFor(t, `
+	switch 1 {
+	case 1:
+		return
+	}
+	return`)
+	if got := reachableRets(g); got != 2 {
+		t.Errorf("reachable returns = %d, want 2", got)
+	}
+}
+
+// TestCFGTypeSwitch: clauses dispatch like a value switch.
+func TestCFGTypeSwitch(t *testing.T) {
+	g := buildFor(t, `
+	var v interface{}
+	switch v.(type) {
+	case int:
+		return
+	default:
+		return
+	}`)
+	if got := reachableRets(g); got != 2 {
+		t.Errorf("reachable returns = %d, want 2", got)
+	}
+}
+
+// TestCFGLabeledLoops: labeled continue and labeled break resolve to the
+// outer loop's targets, keeping the final return reachable.
+func TestCFGLabeledLoops(t *testing.T) {
+	g := buildFor(t, `
+outer:
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if j == i {
+				continue outer
+			}
+			break outer
+		}
+	}
+	return`)
+	if got := reachableRets(g); got != 1 {
+		t.Errorf("reachable returns = %d, want 1", got)
+	}
+}
+
+// TestCFGRangeBreakContinue: unlabeled break/continue in a range loop.
+func TestCFGRangeBreakContinue(t *testing.T) {
+	g := buildFor(t, `
+	xs := []int{1}
+	for _, x := range xs {
+		if x > 0 {
+			continue
+		}
+		break
+	}
+	return`)
+	if got := reachableRets(g); got != 1 {
+		t.Errorf("reachable returns = %d, want 1", got)
+	}
+}
+
+// TestCFGSelect: each comm clause is a dispatch edge; an empty select
+// blocks forever, so everything after it is dead.
+func TestCFGSelect(t *testing.T) {
+	g := buildFor(t, `
+	ch := make(chan int)
+	select {
+	case <-ch:
+		return
+	case v := <-ch:
+		_ = v
+	}
+	return`)
+	if got := reachableRets(g); got != 2 {
+		t.Errorf("reachable returns = %d, want 2", got)
+	}
+
+	g = buildFor(t, `
+	select {}
+	return`)
+	if got := reachableRets(g); got != 0 {
+		t.Errorf("reachable returns after empty select = %d, want 0", got)
+	}
+	if got := totalRets(g); got != 1 {
+		t.Errorf("total returns = %d, want 1", got)
+	}
+}
+
+// TestCFGPanicAndGoto: panic terminates a path; goto is conservatively
+// terminal, so the labeled return below it is dead.
+func TestCFGPanicAndGoto(t *testing.T) {
+	g := buildFor(t, `
+	if true {
+		panic("x")
+	}
+	goto done
+done:
+	return`)
+	if got := reachableRets(g); got != 0 {
+		t.Errorf("reachable returns = %d, want 0", got)
+	}
+	if got := totalRets(g); got != 1 {
+		t.Errorf("total returns = %d, want 1", got)
+	}
+}
+
+// TestCFGInfiniteFor: for {} with no break never reaches the after block,
+// but break gets there.
+func TestCFGInfiniteFor(t *testing.T) {
+	g := buildFor(t, `
+	for {
+		break
+	}
+	return`)
+	if got := reachableRets(g); got != 1 {
+		t.Errorf("reachable returns = %d, want 1", got)
+	}
+}

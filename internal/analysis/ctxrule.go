@@ -86,7 +86,7 @@ func checkCtxFresh(pass *Pass, id *ast.Ident) {
 // isContextType reports whether the type expression denotes
 // context.Context.
 func isContextType(pass *Pass, e ast.Expr) bool {
-	t := typeOf(pass, e)
+	t := typeOf(pass.Info, e)
 	if t == nil {
 		return false
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/token"
 	"io"
 	"path/filepath"
 	"sort"
@@ -46,6 +47,11 @@ type Result struct {
 	Suppressed []Diagnostic
 	// Allowlisted are findings dropped by Config.Allowlist, sorted.
 	Allowlisted []Diagnostic
+	// UnusedAllows are well-formed //iot:allow comments that matched no
+	// finding during this run — stale suppressions. Only meaningful when
+	// the run included every analyzer; the -unused-allows audit mode
+	// enforces that.
+	UnusedAllows []Diagnostic
 }
 
 // Run loads the requested packages and applies every analyzer.
@@ -58,9 +64,10 @@ func Run(cfg Config) (*Result, error) {
 	if len(analyzers) == 0 {
 		analyzers = All()
 	}
+	prog := NewProgram(pkgs)
 	res := &Result{}
 	for _, pkg := range pkgs {
-		diags, err := RunPackage(pkg, analyzers)
+		diags, err := runPackage(prog, pkg, analyzers)
 		if err != nil {
 			return nil, err
 		}
@@ -73,8 +80,12 @@ func Run(cfg Config) (*Result, error) {
 // RunPackage applies the analyzers to one loaded package and returns the
 // raw findings — including any malformed //iot:allow diagnostics — before
 // suppression or allowlist filtering. The self-test harness calls this
-// directly.
+// directly; the interprocedural analyzers see a single-package Program.
 func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return runPackage(NewProgram([]*Package{pkg}), pkg, analyzers)
+}
+
+func runPackage(prog *Program, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	rel := func(abs string) string { return relPath(pkg.ModDir, abs) }
 	for _, a := range analyzers {
@@ -85,6 +96,7 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:    pkg.Files,
 			Pkg:      pkg.Pkg,
 			Info:     pkg.Info,
+			Prog:     prog,
 			relFile:  rel,
 			report:   func(d Diagnostic) { diags = append(diags, d) },
 		}
@@ -107,21 +119,28 @@ func relPath(root, abs string) string {
 }
 
 // merge folds one package's filtered findings into the result.
-func (r *Result) merge(active, suppressed, allowlisted []Diagnostic) {
+func (r *Result) merge(active, suppressed, allowlisted, unused []Diagnostic) {
 	r.Diagnostics = append(r.Diagnostics, active...)
 	r.Suppressed = append(r.Suppressed, suppressed...)
 	r.Allowlisted = append(r.Allowlisted, allowlisted...)
+	r.UnusedAllows = append(r.UnusedAllows, unused...)
 }
 
 func (r *Result) sort() {
 	sortDiags(r.Diagnostics)
 	sortDiags(r.Suppressed)
 	sortDiags(r.Allowlisted)
+	sortDiags(r.UnusedAllows)
 }
 
 func sortDiags(ds []Diagnostic) {
 	sort.Slice(ds, func(i, j int) bool { return ds[i].less(ds[j]) })
 }
+
+// SortDiagnostics orders a merged diagnostic list the way the engine
+// orders each Result list (file, line, column, analyzer, message), so
+// drivers that splice lists together keep byte-stable output.
+func SortDiagnostics(ds []Diagnostic) { sortDiags(ds) }
 
 // suppression is one parsed //iot:allow comment.
 type suppression struct {
@@ -129,36 +148,60 @@ type suppression struct {
 	// line is the comment's own line; standalone comments also cover the
 	// following line.
 	line       int
+	col        int
 	standalone bool
+	// used flips when a finding matches — the -unused-allows audit reports
+	// the survivors.
+	used bool
 }
 
 // splitSuppressed partitions raw findings into active, //iot:allow'd and
-// allowlisted.
-func splitSuppressed(pkg *Package, diags []Diagnostic, allowlist map[string][]string) (active, suppressed, allowlisted []Diagnostic) {
+// allowlisted, plus an audit list of allow comments that matched nothing.
+func splitSuppressed(pkg *Package, diags []Diagnostic, allowlist map[string][]string) (active, suppressed, allowlisted, unused []Diagnostic) {
 	sups := scanSuppressions(pkg)
 	for _, d := range diags {
+		// Check the allow comments first even for allowlisted findings so
+		// a suppression shadowed by the engine allowlist still counts as
+		// used rather than showing up as stale.
+		byAllow := suppressedBy(d, sups[d.File])
 		switch {
 		case underAllowlist(d, allowlist):
 			allowlisted = append(allowlisted, d)
-		case suppressedBy(d, sups[d.File]):
+		case byAllow:
 			suppressed = append(suppressed, d)
 		default:
 			active = append(active, d)
 		}
 	}
-	return active, suppressed, allowlisted
+	for file, fileSups := range sups {
+		for _, s := range fileSups {
+			if s.used {
+				continue
+			}
+			unused = append(unused, Diagnostic{
+				File:     file,
+				Line:     s.line,
+				Col:      s.col,
+				Analyzer: "iotlint",
+				Message:  fmt.Sprintf("unused //iot:allow %s: no %s finding on this line", s.analyzer, s.analyzer),
+			})
+		}
+	}
+	return active, suppressed, allowlisted, unused
 }
 
-func suppressedBy(d Diagnostic, sups []suppression) bool {
+func suppressedBy(d Diagnostic, sups []*suppression) bool {
+	hit := false
 	for _, s := range sups {
 		if s.analyzer != d.Analyzer {
 			continue
 		}
 		if d.Line == s.line || (s.standalone && d.Line == s.line+1) {
-			return true
+			s.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
 }
 
 // underAllowlist reports whether the diagnostic's file sits under a
@@ -175,15 +218,16 @@ func underAllowlist(d Diagnostic, allowlist map[string][]string) bool {
 
 // scanSuppressions collects well-formed //iot:allow comments per
 // module-relative file.
-func scanSuppressions(pkg *Package) map[string][]suppression {
-	out := make(map[string][]suppression)
-	eachAllow(pkg, func(file string, c *ast.Comment, fields []string, standalone bool) {
+func scanSuppressions(pkg *Package) map[string][]*suppression {
+	out := make(map[string][]*suppression)
+	eachAllow(pkg, func(file string, pos token.Position, fields []string, standalone bool) {
 		if len(fields) < 2 {
 			return // malformedAllows reports these
 		}
-		out[file] = append(out[file], suppression{
+		out[file] = append(out[file], &suppression{
 			analyzer:   fields[0],
-			line:       pkg.Fset.Position(c.Pos()).Line,
+			line:       pos.Line,
+			col:        pos.Column,
 			standalone: standalone,
 		})
 	})
@@ -195,11 +239,10 @@ func scanSuppressions(pkg *Package) map[string][]suppression {
 // is itself a finding.
 func malformedAllows(pkg *Package) []Diagnostic {
 	var out []Diagnostic
-	eachAllow(pkg, func(file string, c *ast.Comment, fields []string, standalone bool) {
+	eachAllow(pkg, func(file string, pos token.Position, fields []string, standalone bool) {
 		if len(fields) >= 2 {
 			return
 		}
-		pos := pkg.Fset.Position(c.Pos())
 		out = append(out, Diagnostic{
 			File:     file,
 			Line:     pos.Line,
@@ -212,20 +255,43 @@ func malformedAllows(pkg *Package) []Diagnostic {
 }
 
 // eachAllow walks every comment in the package and invokes fn for each
-// //iot:allow marker with its whitespace-split payload and whether the
-// comment stands alone on its line.
-func eachAllow(pkg *Package, fn func(file string, c *ast.Comment, fields []string, standalone bool)) {
+// //iot:allow marker with its position, whitespace-split payload and
+// whether the comment stands alone on its line. A comment must START with
+// the tag to count (prose that merely mentions //iot:allow stays inert),
+// but one comment may chain several markers —
+// "//iot:allow a r1 //iot:allow b r2" yields two suppressions, each
+// positioned at its own tag.
+func eachAllow(pkg *Package, fn func(file string, pos token.Position, fields []string, standalone bool)) {
 	for _, f := range pkg.Files {
 		abs := pkg.Fset.Position(f.Pos()).Filename
 		file := relPath(pkg.ModDir, abs)
 		src := pkg.Src[abs]
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, allowTag)
+				text := c.Text
+				rest, ok := strings.CutPrefix(text, allowTag)
 				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
 					continue
 				}
-				fn(file, c, strings.Fields(rest), standaloneComment(pkg, src, c))
+				standalone := standaloneComment(pkg, src, c)
+				offs := []int{0}
+				for i := len(allowTag); ; {
+					j := strings.Index(text[i:], allowTag)
+					if j < 0 {
+						break
+					}
+					offs = append(offs, i+j)
+					i += j + len(allowTag)
+				}
+				for k, off := range offs {
+					end := len(text)
+					if k+1 < len(offs) {
+						end = offs[k+1]
+					}
+					payload := text[off+len(allowTag) : end]
+					pos := pkg.Fset.Position(c.Pos() + token.Pos(off))
+					fn(file, pos, strings.Fields(payload), standalone)
+				}
 			}
 		}
 	}

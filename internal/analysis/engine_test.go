@@ -2,9 +2,27 @@ package analysis
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
+
+// loadSrc writes one source file into a temp dir and loads it as a
+// package under the given synthetic import path.
+func loadSrc(t *testing.T, src, importPath string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "fix.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
 
 // TestMalformedAllow: a reason-less or analyzer-less //iot:allow is itself
 // a diagnostic and suppresses nothing; a well-formed one suppresses the
@@ -18,7 +36,7 @@ func TestMalformedAllow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	active, suppressed, _ := splitSuppressed(pkg, diags, nil)
+	active, suppressed, _, _ := splitSuppressed(pkg, diags, nil)
 
 	var malformed, sleeps int
 	for _, d := range active {
@@ -177,5 +195,151 @@ func TestLoadDirErrors(t *testing.T) {
 func TestLoadBadPattern(t *testing.T) {
 	if _, err := Load("testdata/fixturemod", []string{"./nonexistent/..."}); err == nil {
 		t.Error("bad pattern must error")
+	}
+}
+
+// TestChainedAllowsOneComment: one trailing comment carrying two markers
+// suppresses findings from both analyzers on its line, and neither marker
+// reads as unused.
+func TestChainedAllowsOneComment(t *testing.T) {
+	src := `// Package fix seeds two analyzers on one line.
+package fix
+
+//iot:hotpath
+func Hot(a, b string) []string {
+	xs := append(make([]string, 0, 2), a+b) //iot:allow hotcall chained fixture //iot:allow hotalloc chained fixture
+	return xs
+}
+`
+	pkg := loadSrc(t, src, "iotsid/internal/core/fix")
+	diags, err := RunPackage(pkg, []*Analyzer{HotAlloc, HotCall})
+	if err != nil {
+		t.Fatal(err)
+	}
+	active, suppressed, _, unused := splitSuppressed(pkg, diags, nil)
+	if len(active) != 0 {
+		t.Errorf("chained allows must clear the line, got active %v", active)
+	}
+	per := map[string]int{}
+	for _, d := range suppressed {
+		per[d.Analyzer]++
+	}
+	if per["hotcall"] != 2 || per["hotalloc"] != 1 {
+		t.Errorf("want 2 hotcall + 1 hotalloc suppressed, got %v", per)
+	}
+	if len(unused) != 0 {
+		t.Errorf("both chained markers matched findings, got unused %v", unused)
+	}
+}
+
+// TestSuppressionCRLF: a trailing allow still suppresses when the file
+// uses CRLF line endings (the payload must not swallow the \r).
+func TestSuppressionCRLF(t *testing.T) {
+	src := "// Package fix is the CRLF fixture.\r\n" +
+		"package fix\r\n" +
+		"\r\n" +
+		"//iot:hotpath\r\n" +
+		"func Hot(a, b string) string {\r\n" +
+		"\ts := a + b //iot:allow hotalloc crlf trailing allow\r\n" +
+		"\tu := b + a\r\n" +
+		"\t_ = u\r\n" +
+		"\treturn s\r\n" +
+		"}\r\n"
+	pkg := loadSrc(t, src, "iotsid/internal/core/fix")
+	diags, err := RunPackage(pkg, []*Analyzer{HotAlloc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	active, suppressed, _, unused := splitSuppressed(pkg, diags, nil)
+	if len(active) != 1 || active[0].Line != 7 {
+		t.Errorf("want the unsuppressed concat on line 7 active, got %v", active)
+	}
+	if len(suppressed) != 1 || suppressed[0].Line != 6 {
+		t.Errorf("want the line-6 concat suppressed, got %v", suppressed)
+	}
+	if len(unused) != 0 {
+		t.Errorf("the CRLF allow matched a finding, got unused %v", unused)
+	}
+}
+
+// TestAllowPlacementScope: a standalone allow covers exactly the next
+// line, a trailing allow exactly its own — one line further and the
+// marker is unused.
+func TestAllowPlacementScope(t *testing.T) {
+	src := `// Package fix pins allow placement semantics.
+package fix
+
+//iot:hotpath
+func Hot(a, b string) string {
+	//iot:allow hotalloc standalone allow covers the next line only
+	s := a + b
+	u := b + a //iot:allow hotalloc trailing allow covers its own line
+	v := a + a
+	_, _ = s, u
+	return v
+}
+
+//iot:hotpath
+func Stale(a string) string {
+	//iot:allow hotalloc two lines above the violation, suppresses nothing
+
+	return a + a
+}
+`
+	pkg := loadSrc(t, src, "iotsid/internal/core/fix")
+	diags, err := RunPackage(pkg, []*Analyzer{HotAlloc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	active, suppressed, _, unused := splitSuppressed(pkg, diags, nil)
+	if len(active) != 2 {
+		t.Errorf("want the line-9 and line-18 concats active, got %v", active)
+	}
+	if len(suppressed) != 2 {
+		t.Errorf("want the standalone and trailing allows to suppress one finding each, got %v", suppressed)
+	}
+	if len(unused) != 1 || unused[0].Line != 16 {
+		t.Errorf("want exactly the line-16 allow unused, got %v", unused)
+	}
+	if len(unused) == 1 && !strings.Contains(unused[0].Message, "unused //iot:allow hotalloc") {
+		t.Errorf("unused-allow message: %s", unused[0].Message)
+	}
+}
+
+// TestMalformedAllowSortStable: malformed-allow diagnostics occupy a
+// deterministic slot in the (file, line, col, analyzer) order, byte-equal
+// across runs.
+func TestMalformedAllowSortStable(t *testing.T) {
+	runOnce := func() []Diagnostic {
+		pkg, err := LoadDir("testdata/src/malformed", "iotsid/internal/svc/fix")
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags, err := RunPackage(pkg, []*Analyzer{SleepBan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		active, _, _, _ := splitSuppressed(pkg, diags, nil)
+		SortDiagnostics(active)
+		return active
+	}
+	first, second := runOnce(), runOnce()
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("diagnostic order not stable across runs:\n%v\n%v", first, second)
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i].less(first[i-1]) {
+			t.Errorf("diagnostics out of order at %d: %v after %v", i, first[i], first[i-1])
+		}
+	}
+	// The malformed markers sit above the sleeps they fail to suppress, so
+	// the sorted stream interleaves iotlint and sleepban by line.
+	var kinds []string
+	for _, d := range first {
+		kinds = append(kinds, d.Analyzer)
+	}
+	want := []string{"iotlint", "sleepban", "iotlint", "sleepban"}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Errorf("analyzer interleaving = %v, want %v", kinds, want)
 	}
 }

@@ -65,13 +65,13 @@ func reportDropped(pass *Pass, call *ast.CallExpr, what string) {
 func infallibleWrite(pass *Pass, call *ast.CallExpr) bool {
 	if obj := pass.FuncObj(call.Fun); obj != nil && obj.Pkg() != nil &&
 		obj.Pkg().Path() == "fmt" && strings.HasPrefix(obj.Name(), "Fprint") {
-		return len(call.Args) > 0 && infallibleWriterType(typeOf(pass, call.Args[0]))
+		return len(call.Args) > 0 && infallibleWriterType(typeOf(pass.Info, call.Args[0]))
 	}
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok || !strings.HasPrefix(sel.Sel.Name, "Write") {
 		return false
 	}
-	return infallibleWriterType(typeOf(pass, sel.X))
+	return infallibleWriterType(typeOf(pass.Info, sel.X))
 }
 
 // infallibleWriterType matches the receiver types of the exclusion set.
@@ -111,17 +111,24 @@ func returnsError(pass *Pass, call *ast.CallExpr) bool {
 	}
 }
 
-// callName renders a readable name for the called expression.
+// callName renders a readable name for the called expression, flattening
+// selector chains so `defer resp.Body.Close()` reads back as written.
 func callName(call *ast.CallExpr) string {
-	switch fn := call.Fun.(type) {
-	case *ast.Ident:
-		return fn.Name
-	case *ast.SelectorExpr:
-		if x, ok := fn.X.(*ast.Ident); ok {
-			return x.Name + "." + fn.Sel.Name
-		}
-		return fn.Sel.Name
-	default:
-		return "call"
+	if name := chainName(call.Fun); name != "" {
+		return name
 	}
+	return "call"
+}
+
+func chainName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if base := chainName(e.X); base != "" {
+			return base + "." + e.Sel.Name
+		}
+		return e.Sel.Name
+	}
+	return ""
 }

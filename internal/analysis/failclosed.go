@@ -1,0 +1,738 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FailClosed machine-checks the paper's central safety contract: a
+// function annotated //iot:failclosed must have no control-flow path on
+// which a degraded condition — a non-nil error, a missing or low-trust
+// required source, a sequence anomaly — reaches a return that carries an
+// allow decision. Degraded edges are found by classifying branch
+// conditions (err != nil, len(MissingRequired()) > 0, !TrustedIdx(i),
+// v.Anomalous, ...), then every return reachable from such an edge must
+// be provably deny: a Decision literal without Allowed: true, a variable
+// all of whose assignments (or the last assignment on the path) are deny,
+// a delegation to another //iot:failclosed function, a false bool, or a
+// non-nil error. Branches proven non-sensitive (IsSensitive == false) are
+// exempt — the paper only fails closed on sensitive instructions.
+//
+// Independently, every rejection reason written inside a fail-closed
+// function must be an interned package-level string — a const or
+// package-level var, never a fresh literal, fmt.Sprintf, or concatenation
+// — so the steady state stays allocation-free and dashboards see stable
+// strings.
+var FailClosed = &Analyzer{
+	Name: "failclosed",
+	Doc:  "degraded branches in //iot:failclosed functions must reach only deny returns with interned reasons",
+	Run:  runFailClosed,
+}
+
+func runFailClosed(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd, failclosedTag) {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fc := &fcCheck{
+				pass:     pass,
+				fd:       fd,
+				sig:      obj.Type().(*types.Signature),
+				name:     funcDisplayName(fd),
+				reported: make(map[string]bool),
+			}
+			fc.checkReasons()
+			fc.checkDegradedPaths()
+		}
+	}
+	return nil
+}
+
+// fcCheck is the per-function state for one fail-closed verification.
+type fcCheck struct {
+	pass *Pass
+	fd   *ast.FuncDecl
+	sig  *types.Signature
+	name string
+	// reported dedupes findings reachable from several degraded edges.
+	reported map[string]bool
+}
+
+func (fc *fcCheck) reportf(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%d:%s", pos, msg)
+	if fc.reported[key] {
+		return
+	}
+	fc.reported[key] = true
+	fc.pass.Reportf(pos, "%s", msg)
+}
+
+// ---------------------------------------------------------------------------
+// Condition classification
+
+// cflags describes what a branch condition implies about its two edges:
+// degT/degF mark the true/false edge as entering a degraded state, and
+// exT/exF mark it as exempt (proven non-sensitive, so fail-open is
+// allowed by the contract).
+type cflags struct {
+	degT, degF bool
+	exT, exF   bool
+}
+
+func (c cflags) not() cflags { return cflags{c.degF, c.degT, c.exF, c.exT} }
+
+// degradedAtomNames are identifiers/selectors/calls whose truth means the
+// context is untrustworthy.
+var degradedAtomNames = map[string]bool{
+	"Anomalous": true, "LowTrust": true, "Missing": true, "Degraded": true,
+	"LowTrustRequired": true,
+	"anomalous":        true, "lowTrust": true, "degraded": true, "missing": true,
+}
+
+// healthyAtomNames are names whose truth means the source is trusted — the
+// FALSE edge is the degraded one.
+var healthyAtomNames = map[string]bool{
+	"TrustedIdx": true, "Trusted": true,
+}
+
+// sensitiveAtomNames gate the contract itself: their false edge is exempt.
+var sensitiveAtomNames = map[string]bool{
+	"IsSensitive": true, "Sensitive": true,
+}
+
+// classifyCond maps a branch condition to its edge flags.
+func classifyCond(info *types.Info, e ast.Expr) cflags {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return classifyCond(info, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			return classifyCond(info, e.X).not()
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			a, b := classifyCond(info, e.X), classifyCond(info, e.Y)
+			// True edge: both held. False edge is ambiguous; treating it
+			// as degraded when either side would be over-approximates
+			// toward walking more paths.
+			return cflags{degT: a.degT || b.degT, degF: a.degF || b.degF, exT: a.exT || b.exT}
+		case token.LOR:
+			a, b := classifyCond(info, e.X), classifyCond(info, e.Y)
+			return cflags{degT: a.degT && b.degT, degF: a.degF || b.degF, exF: a.exF || b.exF}
+		case token.NEQ, token.EQL:
+			return classifyCompare(info, e)
+		case token.GTR:
+			if lenOfDegradedList(info, e.X) && isZeroLit(info, e.Y) {
+				return cflags{degT: true}
+			}
+		}
+	case *ast.CallExpr:
+		return classifyName(calleeSimpleName(e))
+	case *ast.SelectorExpr:
+		return classifyName(e.Sel.Name)
+	case *ast.Ident:
+		return classifyName(e.Name)
+	}
+	return cflags{}
+}
+
+func classifyName(name string) cflags {
+	switch {
+	case degradedAtomNames[name]:
+		return cflags{degT: true}
+	case healthyAtomNames[name]:
+		return cflags{degF: true}
+	case sensitiveAtomNames[name]:
+		return cflags{exF: true}
+	}
+	return cflags{}
+}
+
+// classifyCompare handles x ==/!= nil on errors and len(...) ==/!= 0 on
+// the degraded-source lists.
+func classifyCompare(info *types.Info, e *ast.BinaryExpr) cflags {
+	x, y := e.X, e.Y
+	if isNilIdent(x) {
+		x, y = y, x
+	}
+	if isNilIdent(y) && isErrorType(typeOf(info, x)) {
+		if e.Op == token.NEQ {
+			return cflags{degT: true}
+		}
+		return cflags{degF: true}
+	}
+	if lenOfDegradedList(info, x) && isZeroLit(info, y) {
+		if e.Op == token.NEQ {
+			return cflags{degT: true}
+		}
+		return cflags{degF: true}
+	}
+	return cflags{}
+}
+
+// lenOfDegradedList matches len(v.MissingRequired()) / len(v.LowTrustRequired()).
+func lenOfDegradedList(info *types.Info, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "len" {
+		return false
+	}
+	inner, ok := call.Args[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	name := calleeSimpleName(inner)
+	return name == "MissingRequired" || name == "LowTrustRequired"
+}
+
+// calleeSimpleName returns the bare called name ("TrustedIdx" for
+// h.trust.TrustedIdx(i)).
+func calleeSimpleName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func isZeroLit(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	return ok && v == 0
+}
+
+// ---------------------------------------------------------------------------
+// Degraded-path walk
+
+// checkDegradedPaths builds the CFG, finds every degraded edge, and walks
+// forward from it verifying each reachable return.
+func (fc *fcCheck) checkDegradedPaths() {
+	cfg := buildCFG(fc.fd.Body)
+	for _, blk := range cfg.blocks {
+		if blk.cond == nil || len(blk.succs) < 2 {
+			continue
+		}
+		c := classifyCond(fc.pass.Info, blk.cond)
+		visited := make(map[string]bool)
+		if c.degT && !c.exT {
+			fc.walk(blk.succs[0], map[*types.Var]bool{}, visited)
+		}
+		if c.degF && !c.exF {
+			fc.walk(blk.succs[1], map[*types.Var]bool{}, visited)
+		}
+	}
+}
+
+// walk explores one degraded region. sanitized tracks variables that were
+// reassigned to a provably-deny value on this path.
+func (fc *fcCheck) walk(blk *cfgBlock, sanitized map[*types.Var]bool, visited map[string]bool) {
+	key := visitKey(blk, sanitized)
+	if visited[key] {
+		return
+	}
+	visited[key] = true
+
+	// Copy so sibling paths don't see this path's sanitizations.
+	san := make(map[*types.Var]bool, len(sanitized))
+	for v := range sanitized {
+		san[v] = true
+	}
+	for _, s := range blk.stmts {
+		fc.updateSanitized(s, san)
+	}
+	if blk.ret != nil {
+		fc.checkReturn(blk.ret, san)
+		return
+	}
+	if blk.cond != nil && len(blk.succs) >= 2 {
+		c := classifyCond(fc.pass.Info, blk.cond)
+		if !c.exT {
+			fc.walk(blk.succs[0], san, visited)
+		}
+		if !c.exF {
+			fc.walk(blk.succs[1], san, visited)
+		}
+		return
+	}
+	for _, succ := range blk.succs {
+		fc.walk(succ, san, visited)
+	}
+}
+
+func visitKey(blk *cfgBlock, sanitized map[*types.Var]bool) string {
+	names := make([]string, 0, len(sanitized))
+	for v := range sanitized {
+		names = append(names, fmt.Sprintf("%s@%d", v.Name(), v.Pos()))
+	}
+	sort.Strings(names)
+	return fmt.Sprintf("%p|%s", blk, strings.Join(names, ","))
+}
+
+// updateSanitized tracks per-path variable state: an assignment to a
+// deny-safe value sanitizes the variable, any other assignment taints it.
+func (fc *fcCheck) updateSanitized(s ast.Stmt, san map[*types.Var]bool) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range s.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v := fc.varOf(id)
+			if v == nil {
+				continue
+			}
+			var rhs ast.Expr
+			if len(s.Rhs) == len(s.Lhs) {
+				rhs = s.Rhs[i]
+			}
+			if rhs != nil && fc.denySafeExpr(rhs, san, 0) {
+				san[v] = true
+			} else {
+				delete(san, v)
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				v := fc.varOf(name)
+				if v == nil {
+					continue
+				}
+				if len(vs.Values) == 0 {
+					san[v] = true // zero value denies
+				} else if i < len(vs.Values) && fc.denySafeExpr(vs.Values[i], san, 0) {
+					san[v] = true
+				} else {
+					delete(san, v)
+				}
+			}
+		}
+	}
+}
+
+func (fc *fcCheck) varOf(id *ast.Ident) *types.Var {
+	if v, ok := fc.pass.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := fc.pass.Info.Uses[id].(*types.Var)
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// Return verification
+
+// checkReturn verifies one return statement reached on a degraded path.
+func (fc *fcCheck) checkReturn(ret *ast.ReturnStmt, san map[*types.Var]bool) {
+	res := fc.sig.Results()
+	if len(ret.Results) == 0 {
+		if res.Len() > 0 {
+			fc.reportf(ret.Pos(), "degraded path in fail-closed %s reaches a naked return; spell the deny result explicitly", fc.name)
+		}
+		return
+	}
+	if len(ret.Results) != res.Len() {
+		// return f(...) forwarding a result tuple.
+		if call, ok := ret.Results[0].(*ast.CallExpr); ok && fc.isFailClosedCall(call) {
+			return
+		}
+		fc.reportf(ret.Pos(), "degraded path in fail-closed %s delegates to a function not annotated //iot:failclosed", fc.name)
+		return
+	}
+	for i := 0; i < res.Len(); i++ {
+		if isDecisionType(res.At(i).Type()) {
+			fc.checkDecisionResult(ret.Results[i], san)
+			return
+		}
+	}
+	for i := 0; i < res.Len(); i++ {
+		if isBoolType(res.At(i).Type()) {
+			fc.checkBoolResult(ret.Results[i], san)
+			return
+		}
+	}
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			if isNilIdent(ret.Results[i]) {
+				fc.reportf(ret.Results[i].Pos(), "degraded path in fail-closed %s returns a nil error", fc.name)
+			}
+			return
+		}
+	}
+}
+
+// checkDecisionResult requires the returned decision value to be provably
+// deny on this path.
+func (fc *fcCheck) checkDecisionResult(e ast.Expr, san map[*types.Var]bool) {
+	if fc.denySafeExpr(e, san, 0) {
+		return
+	}
+	fc.reportf(e.Pos(), "degraded path in fail-closed %s may return an allow decision (%s is not provably deny)", fc.name, exprLabel(e))
+}
+
+func (fc *fcCheck) checkBoolResult(e ast.Expr, san map[*types.Var]bool) {
+	if fc.denySafeExpr(e, san, 0) {
+		return
+	}
+	fc.reportf(e.Pos(), "degraded path in fail-closed %s may return true (%s is not provably false)", fc.name, exprLabel(e))
+}
+
+// denySafeExpr reports whether e is provably a deny value: a false bool, a
+// Decision composite without Allowed: true, a sanitized or always-deny
+// variable, or a call into another fail-closed function.
+func (fc *fcCheck) denySafeExpr(e ast.Expr, san map[*types.Var]bool, depth int) bool {
+	if depth > 4 {
+		return false
+	}
+	info := fc.pass.Info
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return fc.denySafeExpr(e.X, san, depth)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return fc.denySafeExpr(e.X, san, depth)
+		}
+	case *ast.CompositeLit:
+		t := typeOf(info, e)
+		if t == nil {
+			return false
+		}
+		if isDecisionType(t) {
+			return !compositeAllows(info, e, t)
+		}
+		return false
+	case *ast.Ident:
+		if e.Name == "nil" {
+			return true // nil *Decision denies by absence
+		}
+		if tv, ok := info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.Bool {
+			return !constant.BoolVal(tv.Value)
+		}
+		v := fc.varOf(e)
+		if v == nil {
+			return false
+		}
+		if san[v] {
+			return true
+		}
+		return fc.allAssignmentsDeny(v, depth)
+	case *ast.CallExpr:
+		return fc.isFailClosedCall(e)
+	}
+	return false
+}
+
+// compositeAllows reports whether the Decision literal sets Allowed to
+// anything that could be true.
+func compositeAllows(info *types.Info, cl *ast.CompositeLit, t types.Type) bool {
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return true
+	}
+	for i, el := range cl.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Allowed" {
+				return !isFalseConst(info, kv.Value)
+			}
+			continue
+		}
+		// Positional literal: match the field index.
+		if i < st.NumFields() && st.Field(i).Name() == "Allowed" {
+			return !isFalseConst(info, el)
+		}
+	}
+	return false // Allowed omitted: zero value denies
+}
+
+func isFalseConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil && tv.Value.Kind() == constant.Bool && !constant.BoolVal(tv.Value)
+}
+
+// allAssignmentsDeny is the flow-insensitive fallback for a returned
+// variable the path never re-assigned: every assignment in the whole
+// function must be deny-safe.
+func (fc *fcCheck) allAssignmentsDeny(v *types.Var, depth int) bool {
+	safe := true
+	seen := false
+	ast.Inspect(fc.fd.Body, func(n ast.Node) bool {
+		if !safe {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || fc.varOf(id) != v {
+					continue
+				}
+				seen = true
+				if len(n.Rhs) != len(n.Lhs) {
+					// Tuple assignment: only a fail-closed call is safe.
+					call, ok := n.Rhs[0].(*ast.CallExpr)
+					if !ok || !fc.isFailClosedCall(call) {
+						safe = false
+					}
+					continue
+				}
+				if !fc.denySafeExpr(n.Rhs[i], nil, depth+1) {
+					safe = false
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if fc.varOf(name) != v {
+					continue
+				}
+				seen = true
+				if len(n.Values) == 0 {
+					continue // zero value denies
+				}
+				if i >= len(n.Values) || !fc.denySafeExpr(n.Values[i], nil, depth+1) {
+					safe = false
+				}
+			}
+		case *ast.RangeStmt:
+			for _, lhs := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := lhs.(*ast.Ident); ok && fc.varOf(id) == v {
+					safe = false
+				}
+			}
+		}
+		return true
+	})
+	return safe && seen
+}
+
+// isFailClosedCall reports whether the call's target is itself annotated
+// //iot:failclosed — delegation keeps the contract compositional.
+func (fc *fcCheck) isFailClosedCall(call *ast.CallExpr) bool {
+	obj := funcObjIn(fc.pass.Info, call.Fun)
+	if obj == nil {
+		return false
+	}
+	pf := fc.pass.Prog.FuncOf(obj)
+	return pf != nil && pf.FailClosed
+}
+
+// isDecisionType matches the authorization result shape: a struct carrying
+// a bool field named Allowed.
+func isDecisionType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "Allowed" {
+			return isBoolType(st.Field(i).Type())
+		}
+	}
+	return false
+}
+
+func isBoolType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+func exprLabel(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.CallExpr:
+		if n := calleeSimpleName(e); n != "" {
+			return n + "(...)"
+		}
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return "value"
+}
+
+// ---------------------------------------------------------------------------
+// Interned-reason discipline
+
+// checkReasons verifies every Reason written anywhere in the function —
+// composite-literal fields and field assignments — resolves to an interned
+// string: a constant, or a package-level var.
+func (fc *fcCheck) checkReasons() {
+	info := fc.pass.Info
+	ast.Inspect(fc.fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			t := typeOf(info, n)
+			if t == nil || !isDecisionType(t) {
+				return true
+			}
+			for _, el := range n.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Reason" {
+					fc.checkReasonValue(kv.Value)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Reason" || i >= len(n.Rhs) {
+					continue
+				}
+				if t := typeOf(info, sel.X); t != nil && isDecisionType(t) {
+					fc.checkReasonValue(n.Rhs[i])
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (fc *fcCheck) checkReasonValue(v ast.Expr) {
+	if how := fc.reasonUnsafe(v, 0); how != "" {
+		fc.reportf(v.Pos(), "rejection reason in fail-closed %s must be an interned package-level string, not %s", fc.name, how)
+	}
+}
+
+// reasonUnsafe returns why the expression mints a fresh reason string, or
+// "" when it is interned: a constant, a package-level var, a struct-field
+// read (reading a field never creates a string; the discipline travels
+// with the write site), or a local whose every assignment is itself
+// interned — the reason-selection pattern `reason := reasonA; ...;
+// reason = reasonB`.
+func (fc *fcCheck) reasonUnsafe(v ast.Expr, depth int) string {
+	if depth > 4 {
+		return "a value of unprovable origin"
+	}
+	info := fc.pass.Info
+	switch v := v.(type) {
+	case *ast.ParenExpr:
+		return fc.reasonUnsafe(v.X, depth)
+	case *ast.BasicLit:
+		if v.Kind == token.STRING && (v.Value == `""` || v.Value == "``") {
+			return "" // zero value, nothing to intern
+		}
+		return "a fresh string literal"
+	case *ast.Ident:
+		return fc.reasonObjUnsafe(v, depth)
+	case *ast.SelectorExpr:
+		return fc.reasonObjUnsafe(v.Sel, depth)
+	case *ast.CallExpr:
+		obj := funcObjIn(info, v.Fun)
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			return "a fmt." + obj.Name() + " call"
+		}
+		return "a function call"
+	case *ast.BinaryExpr:
+		return "string concatenation"
+	}
+	return "a computed value"
+}
+
+// reasonObjUnsafe resolves an identifier/selector to its object and judges
+// its provenance.
+func (fc *fcCheck) reasonObjUnsafe(id *ast.Ident, depth int) string {
+	obj := fc.pass.Info.Uses[id]
+	if obj == nil {
+		obj = fc.pass.Info.Defs[id]
+	}
+	switch obj := obj.(type) {
+	case *types.Const:
+		return ""
+	case *types.Var:
+		if obj.IsField() {
+			return ""
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return ""
+		}
+		if fc.localAlwaysInterned(obj, depth) {
+			return ""
+		}
+		return "a locally computed string"
+	}
+	return "a computed value"
+}
+
+// localAlwaysInterned reports whether every assignment to the local var in
+// this function is itself an interned reason.
+func (fc *fcCheck) localAlwaysInterned(v *types.Var, depth int) bool {
+	safe := true
+	seen := false
+	ast.Inspect(fc.fd.Body, func(n ast.Node) bool {
+		if !safe {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || fc.varOf(id) != v {
+					continue
+				}
+				seen = true
+				if len(n.Rhs) != len(n.Lhs) || fc.reasonUnsafe(n.Rhs[i], depth+1) != "" {
+					safe = false
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if fc.varOf(name) != v {
+					continue
+				}
+				seen = true
+				if len(n.Values) == 0 {
+					continue
+				}
+				if i >= len(n.Values) || fc.reasonUnsafe(n.Values[i], depth+1) != "" {
+					safe = false
+				}
+			}
+		case *ast.RangeStmt:
+			for _, lhs := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := lhs.(*ast.Ident); ok && fc.varOf(id) == v {
+					safe = false
+				}
+			}
+		}
+		return true
+	})
+	return safe && seen
+}

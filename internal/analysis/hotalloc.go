@@ -3,7 +3,6 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
-	"strings"
 )
 
 // hotpathTag marks a function whose steady-state path must not allocate.
@@ -39,17 +38,7 @@ func runHotAlloc(pass *Pass) error {
 
 // isHotpath reports whether the function's doc comment carries the
 // //iot:hotpath directive.
-func isHotpath(fd *ast.FuncDecl) bool {
-	if fd.Doc == nil {
-		return false
-	}
-	for _, c := range fd.Doc.List {
-		if c.Text == hotpathTag || strings.HasPrefix(c.Text, hotpathTag+" ") {
-			return true
-		}
-	}
-	return false
-}
+func isHotpath(fd *ast.FuncDecl) bool { return hasDirective(fd, hotpathTag) }
 
 func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
 	name := fd.Name.Name
@@ -72,7 +61,7 @@ func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
 func checkHotCall(pass *Pass, fn string, call *ast.CallExpr) {
 	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
 		// Explicit conversion T(x).
-		if isBoxing(tv.Type, argType(pass, call.Args)) {
+		if isBoxing(tv.Type, argType(pass.Info, call.Args)) {
 			pass.Reportf(call.Pos(), "conversion to %s allocates in hot path %s", tv.Type, fn)
 		}
 		return
@@ -81,7 +70,7 @@ func checkHotCall(pass *Pass, fn string, call *ast.CallExpr) {
 		pass.Reportf(call.Pos(), "fmt.%s allocates in hot path %s", obj.Name(), fn)
 		return
 	}
-	sig, ok := typeOf(pass, call.Fun).(*types.Signature)
+	sig, ok := typeOf(pass.Info, call.Fun).(*types.Signature)
 	if !ok {
 		return
 	}
@@ -90,7 +79,7 @@ func checkHotCall(pass *Pass, fn string, call *ast.CallExpr) {
 		if pt == nil {
 			continue
 		}
-		at := typeOf(pass, arg)
+		at := typeOf(pass.Info, arg)
 		if isEmptyInterface(pt) && isBoxing(pt, at) {
 			pass.Reportf(arg.Pos(), "argument boxes %s into interface{} in hot path %s", at, fn)
 		}
@@ -99,31 +88,37 @@ func checkHotCall(pass *Pass, fn string, call *ast.CallExpr) {
 
 // checkHotConcat flags non-constant string concatenation.
 func checkHotConcat(pass *Pass, fn string, e *ast.BinaryExpr) {
-	if e.Op.String() != "+" {
-		return
-	}
-	tv, ok := pass.Info.Types[e]
-	if !ok || tv.Value != nil { // constant-folded concatenation is free
-		return
-	}
-	if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+	if isHotConcat(pass.Info, e) {
 		pass.Reportf(e.Pos(), "string concatenation allocates in hot path %s", fn)
 	}
 }
 
-func typeOf(pass *Pass, e ast.Expr) types.Type {
-	if tv, ok := pass.Info.Types[e]; ok {
+// isHotConcat reports whether e is a non-constant string concatenation.
+func isHotConcat(info *types.Info, e *ast.BinaryExpr) bool {
+	if e.Op.String() != "+" {
+		return false
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Value != nil { // constant-folded concatenation is free
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
 		return tv.Type
 	}
 	return nil
 }
 
 // argType returns the sole conversion operand's type, if there is one.
-func argType(pass *Pass, args []ast.Expr) types.Type {
+func argType(info *types.Info, args []ast.Expr) types.Type {
 	if len(args) != 1 {
 		return nil
 	}
-	return typeOf(pass, args[0])
+	return typeOf(info, args[0])
 }
 
 // paramTypeAt resolves the parameter type an argument lands in,

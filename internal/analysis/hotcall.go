@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// HotCall is the interprocedural half of the hot-path discipline. hotalloc
+// checks what an //iot:hotpath function does directly; hotcall checks what
+// it reaches: every callee must itself be hotpath-clean — no fmt, no
+// interface boxing, no closure, no string building, and no hidden map /
+// slice / make / append / new allocation — propagated transitively through
+// the typed call graph with a bounded depth. A callee that is itself
+// annotated //iot:hotpath is skipped here (it is checked at its own
+// declaration), and callees whose source is outside the loaded program
+// (stdlib, export-data deps) are assumed clean. Dynamic dispatch through
+// interfaces or function values is out of scope — the runtime
+// AllocsPerRun gates remain the backstop there. hotcall also flags the
+// allocation forms hotalloc leaves to it inside the annotated body itself:
+// map/slice composite literals and the make/append/new builtins.
+var HotCall = &Analyzer{
+	Name: "hotcall",
+	Doc:  "forbid calls to non-hotpath-clean functions and map/slice/make/append/new allocation in //iot:hotpath functions",
+	Run:  runHotCall,
+}
+
+// maxHotDepth bounds the transitive scan. Verdicts are memoized per
+// function, so the bound only matters on pathologically deep chains, where
+// the scan conservatively assumes clean rather than walking forever.
+const maxHotDepth = 16
+
+func runHotCall(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			checkHotCalls(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotCalls(pass *Pass, fd *ast.FuncDecl) {
+	name := funcDisplayName(fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // hotalloc owns the closure finding; its body is cold
+		case *ast.CompositeLit:
+			if why := compositeDirt(pass.Info, n); why != "" {
+				pass.Reportf(n.Pos(), "%s allocates in hot path %s", why, name)
+				return false
+			}
+		case *ast.CallExpr:
+			checkHotCallee(pass, name, n)
+		}
+		return true
+	})
+}
+
+// checkHotCallee classifies one call inside an annotated body: builtin
+// allocators are flagged directly, resolvable callees are scanned
+// transitively.
+func checkHotCallee(pass *Pass, fn string, call *ast.CallExpr) {
+	if b := builtinDirt(pass.Info, call); b != "" {
+		pass.Reportf(call.Pos(), "%s allocates in hot path %s", b, fn)
+		return
+	}
+	obj := pass.FuncObj(call.Fun)
+	if obj == nil {
+		return // conversion or dynamic call: hotalloc / runtime gates cover these
+	}
+	if obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		return // hotalloc flags direct fmt calls
+	}
+	callee := pass.Prog.FuncOf(obj)
+	if callee == nil || callee.Hotpath || callee.Decl.Body == nil {
+		return
+	}
+	if why := pass.Prog.hotDirt(callee, 1); why != "" {
+		pass.Reportf(call.Pos(), "hot path %s calls %s: not hotpath-clean (%s)", fn, shortFuncName(obj), why)
+	}
+}
+
+// hotDirt returns why fn is not hotpath-clean ("" when it is), scanning
+// its body and, transitively, every resolvable callee. Verdicts are
+// memoized on the Program; recursion is broken by tentatively treating an
+// in-progress function as clean.
+func (p *Program) hotDirt(fn *ProgFunc, depth int) string {
+	if depth > maxHotDepth {
+		return ""
+	}
+	if why, ok := p.hotCache[fn]; ok {
+		return why
+	}
+	p.hotCache[fn] = "" // cycle guard
+	why := p.scanDirt(fn, depth)
+	p.hotCache[fn] = why
+	return why
+}
+
+// scanDirt walks one function body for the first hotpath violation.
+func (p *Program) scanDirt(fn *ProgFunc, depth int) string {
+	info := fn.Pkg.Info
+	var why string
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			why = "declares a closure"
+			return false
+		case *ast.CompositeLit:
+			if w := compositeDirt(info, n); w != "" {
+				why = "builds a " + w
+				return false
+			}
+		case *ast.BinaryExpr:
+			if isHotConcat(info, n) {
+				why = "concatenates strings"
+				return false
+			}
+		case *ast.CallExpr:
+			if w := p.callDirt(info, n, depth); w != "" {
+				why = w
+				return false
+			}
+		}
+		return true
+	})
+	return why
+}
+
+// callDirt classifies one call expression inside a scanned (non-annotated)
+// body.
+func (p *Program) callDirt(info *types.Info, call *ast.CallExpr, depth int) string {
+	if b := builtinDirt(info, call); b != "" {
+		return b + " allocates"
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if isBoxing(tv.Type, argType(info, call.Args)) {
+			return fmt.Sprintf("converts to %s", tv.Type)
+		}
+		return ""
+	}
+	obj := funcObjIn(info, call.Fun)
+	if obj == nil {
+		return ""
+	}
+	if obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		return "calls fmt." + obj.Name()
+	}
+	if sig, ok := typeOf(info, call.Fun).(*types.Signature); ok {
+		for i, arg := range call.Args {
+			pt := paramTypeAt(sig, i, call.Ellipsis.IsValid())
+			if pt != nil && isEmptyInterface(pt) && isBoxing(pt, typeOf(info, arg)) {
+				return "boxes into interface{}"
+			}
+		}
+	}
+	callee := p.FuncOf(obj)
+	if callee == nil || callee.Hotpath || callee.Decl.Body == nil {
+		return ""
+	}
+	if w := p.hotDirt(callee, depth+1); w != "" {
+		return fmt.Sprintf("calls %s: %s", shortFuncName(obj), w)
+	}
+	return ""
+}
+
+// compositeDirt names the composite-literal forms that always allocate.
+// Struct and array literals are value-shaped and stay off the heap unless
+// they escape, which the runtime gates catch; map and slice literals
+// always allocate.
+func compositeDirt(info *types.Info, cl *ast.CompositeLit) string {
+	t := typeOf(info, cl)
+	if t == nil {
+		return ""
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		return "map literal"
+	case *types.Slice:
+		return "slice literal"
+	}
+	return ""
+}
+
+// builtinDirt names the allocating builtins.
+func builtinDirt(info *types.Info, call *ast.CallExpr) string {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, ok := info.Uses[id].(*types.Builtin); !ok {
+		return ""
+	}
+	switch id.Name {
+	case "make", "append", "new":
+		return id.Name
+	}
+	return ""
+}
+
+// shortFuncName renders "pkg.Func" or "Recv.Method" for messages.
+func shortFuncName(obj *types.Func) string {
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + obj.Name()
+		}
+	}
+	if obj.Pkg() != nil {
+		return obj.Pkg().Name() + "." + obj.Name()
+	}
+	return obj.Name()
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"regexp"
+	"strings"
+)
+
+// MetricReg keeps the observability layer off the fast path and the metric
+// namespace coherent. Two rules:
+//
+//  1. no obs registrations or vec lookups inside //iot:hotpath or
+//     //iot:failclosed functions — Registry.New* takes the registry lock
+//     and allocates, CounterVec.With/GaugeVec.With builds a label key;
+//     series must be pre-registered at construction time and captured;
+//  2. every Registry.New* name argument must be a compile-time constant
+//     matching the DESIGN §9 grammar iotsid_<subsystem>_<what>[_<unit>]:
+//     lowercase snake_case with the iotsid_ prefix, counters ending in
+//     _total, histograms in _seconds or _bytes.
+var MetricReg = &Analyzer{
+	Name: "metricreg",
+	Doc:  "no obs registration/lookup in hotpath/failclosed functions; metric names must be constant and match the iotsid_* grammar",
+	Run:  runMetricReg,
+}
+
+// metricNameRE is the DESIGN §9 naming grammar: at least two underscore
+// segments after the iotsid_ prefix.
+var metricNameRE = regexp.MustCompile(`^iotsid_[a-z0-9]+(_[a-z0-9]+)+$`)
+
+// obsRegistryCtors are the registration entry points; the key is the
+// method name, the value the required name suffix ("" = none).
+var obsRegistryCtors = map[string]string{
+	"NewCounter":    "_total",
+	"NewCounterVec": "_total",
+	"NewGauge":      "",
+	"NewGaugeVec":   "",
+	"NewHistogram":  "", // suffix checked specially: _seconds or _bytes
+}
+
+// obsHotBanned are the obs methods banned inside annotated functions:
+// all registrations plus the vec lookups.
+func obsHotBanned(name string) bool {
+	if _, ok := obsRegistryCtors[name]; ok {
+		return true
+	}
+	return name == "With"
+}
+
+func runMetricReg(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			hot := isHotpath(fd) || hasDirective(fd, failclosedTag)
+			checkMetricCalls(pass, fd, hot)
+		}
+	}
+	return nil
+}
+
+func checkMetricCalls(pass *Pass, fd *ast.FuncDecl, hot bool) {
+	name := funcDisplayName(fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.FuncObj(call.Fun)
+		if obj == nil || obj.Pkg() == nil || !pathHasSegs(obj.Pkg().Path(), "internal/obs") {
+			return true
+		}
+		m := obj.Name()
+		if hot && obsHotBanned(m) {
+			kind := "registration"
+			if m == "With" {
+				kind = "vec lookup"
+			}
+			pass.Reportf(call.Pos(), "obs %s %s inside %s: pre-register series at construction time", kind, m, name)
+		}
+		if _, ok := obsRegistryCtors[m]; ok && len(call.Args) > 0 {
+			checkMetricName(pass, m, call.Args[0])
+		}
+		return true
+	})
+}
+
+// checkMetricName enforces the constant-name grammar on one registration.
+func checkMetricName(pass *Pass, method string, arg ast.Expr) {
+	tv, ok := pass.Info.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(arg.Pos(), "metric name passed to %s must be a compile-time constant string", method)
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if !metricNameRE.MatchString(name) {
+		pass.Reportf(arg.Pos(), "metric name %q does not match the iotsid_<subsystem>_<what> grammar (DESIGN §9)", name)
+		return
+	}
+	switch method {
+	case "NewCounter", "NewCounterVec":
+		if !strings.HasSuffix(name, "_total") {
+			pass.Reportf(arg.Pos(), "counter name %q must end in _total (DESIGN §9)", name)
+		}
+	case "NewHistogram":
+		if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") {
+			pass.Reportf(arg.Pos(), "histogram name %q must end in _seconds or _bytes (DESIGN §9)", name)
+		}
+	}
+}

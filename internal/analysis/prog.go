@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// failclosedTag marks a function on the authorization path whose degraded
+// branches (error, missing context, low trust, sequence anomaly) must
+// never reach a return carrying an allow decision, and whose rejection
+// reasons must be interned package-level strings.
+const failclosedTag = "//iot:failclosed"
+
+// Program is the whole-run view the interprocedural analyzers consult: an
+// index from a function's fully qualified name to its declaration, built
+// over every package the engine loaded. Separate packages are type-checked
+// against export data, so the same function is represented by distinct
+// *types.Func objects on its defining side and its importing side — the
+// index therefore keys by types.Func.FullName(), which both sides render
+// identically.
+type Program struct {
+	fns map[string]*ProgFunc
+	// hotCache memoizes hotcall's transitive cleanliness verdicts: the
+	// reason a function is dirty, or "" when clean.
+	hotCache map[*ProgFunc]string
+}
+
+// ProgFunc is one declared function or method with the package context
+// needed to analyze its body.
+type ProgFunc struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	// Hotpath and FailClosed record the function's contract annotations.
+	Hotpath    bool
+	FailClosed bool
+}
+
+// NewProgram indexes every function declaration in the given packages.
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{
+		fns:      make(map[string]*ProgFunc),
+		hotCache: make(map[*ProgFunc]string),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				p.fns[obj.FullName()] = &ProgFunc{
+					Pkg:        pkg,
+					Decl:       fd,
+					Hotpath:    hasDirective(fd, hotpathTag),
+					FailClosed: hasDirective(fd, failclosedTag),
+				}
+			}
+		}
+	}
+	return p
+}
+
+// FuncOf resolves a *types.Func (from either a defining or an importing
+// package's type info) to its declaration, or nil when the function's
+// source is outside the loaded program (stdlib, export-data-only deps).
+func (p *Program) FuncOf(obj *types.Func) *ProgFunc {
+	if obj == nil {
+		return nil
+	}
+	if o := obj.Origin(); o != nil {
+		obj = o
+	}
+	return p.fns[obj.FullName()]
+}
+
+// hasDirective reports whether the function's doc comment carries the
+// given //iot: directive as a whole comment line.
+func hasDirective(fd *ast.FuncDecl, tag string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == tag || strings.HasPrefix(c.Text, tag+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// funcDisplayName renders a short human name for a declared function —
+// "Authorize" for functions, "Framework.Authorize" for methods.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}

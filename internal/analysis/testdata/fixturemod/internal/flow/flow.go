@@ -1,0 +1,62 @@
+// Package flow seeds the fixture's flow-aware violations: one each for
+// hotcall, failclosed, cowpub and metricreg.
+package flow
+
+import (
+	"sync/atomic"
+
+	"fixture/internal/obs"
+)
+
+// Decision mirrors the engine's decision shape for the failclosed rule.
+type Decision struct {
+	Allowed bool
+	Reason  string
+}
+
+// buildIndex allocates freely; legal on its own, dirty for a hot path.
+func buildIndex(keys []string) map[string]int {
+	m := make(map[string]int, len(keys))
+	for i, k := range keys {
+		m[k] = i
+	}
+	return m
+}
+
+// Lookup seeds the hotcall violation: an annotated hot path calling an
+// allocating helper.
+//
+//iot:hotpath
+func Lookup(keys []string, k string) int {
+	return buildIndex(keys)[k]
+}
+
+// Gate seeds the failclosed violation: the error branch falls through to
+// an allow.
+//
+//iot:failclosed
+func Gate(check func() error) (Decision, error) {
+	err := check()
+	if err != nil {
+		return Decision{Allowed: true}, nil
+	}
+	return Decision{Allowed: false}, nil
+}
+
+// config is the published-value type for the cowpub rule.
+type config struct{ limit int }
+
+var current atomic.Pointer[config]
+
+// Publish seeds the cowpub violation: mutating the value after Store.
+func Publish(limit int) {
+	c := &config{}
+	current.Store(c)
+	c.limit = limit
+}
+
+// Register seeds the metricreg violation: a series name outside the
+// iotsid_* grammar.
+func Register(r *obs.Registry) int {
+	return r.NewCounter("fixture_requests")
+}

@@ -1,0 +1,12 @@
+// Package obs mirrors the engine's metrics-registry shape so the fixture
+// can seed a metricreg violation through a real internal/obs call.
+package obs
+
+// Registry registers fixture series.
+type Registry struct{}
+
+// NewCounter registers a counter and returns its series index.
+func (r *Registry) NewCounter(name string) int {
+	_ = name
+	return 0
+}

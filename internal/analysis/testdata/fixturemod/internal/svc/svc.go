@@ -32,3 +32,10 @@ func Allowed() {
 	//iot:allow sleepban fixture exercises suppression through the driver
 	time.Sleep(time.Millisecond)
 }
+
+// Stale carries an //iot:allow that suppresses nothing, feeding the
+// driver's -unused-allows audit mode.
+func Stale() int {
+	//iot:allow sleepban nothing sleeps on this line any more
+	return 0
+}

@@ -1,0 +1,88 @@
+// Package fix seeds cowpub violations: mutating a value shared through
+// an atomic.Pointer, on both sides of the publication — next to the
+// sanctioned copy-on-write shapes.
+package fix
+
+import "sync/atomic"
+
+type view struct {
+	n    int
+	tags []string
+}
+
+var current atomic.Pointer[view]
+
+// PublishThenWrite mutates after Store.
+func PublishThenWrite(n int) {
+	v := &view{}
+	current.Store(v)
+	v.n = n // want "write to v after it was published via atomic.Pointer"
+}
+
+// WriteLoaded mutates a loaded snapshot readers may share.
+func WriteLoaded(n int) {
+	v := current.Load()
+	v.n = n // want "write through v mutates a value published via atomic.Pointer"
+}
+
+// WriteLoadedField mutates deeper state behind a loaded pointer.
+func WriteLoadedField(tag string) {
+	v := current.Load()
+	v.tags[0] = tag // want "write through v mutates a value published via atomic.Pointer"
+}
+
+// CopyFirst is the sanctioned pattern: copy, mutate the copy, re-publish.
+func CopyFirst(n int) {
+	old := current.Load()
+	next := *old
+	next.n = n
+	current.Store(&next)
+}
+
+// PrepareThenPublish mutates before Store — legal.
+func PrepareThenPublish(n int) {
+	v := &view{}
+	v.n = n
+	current.Store(v)
+}
+
+// Waived exercises the suppression grammar.
+func Waived(n int) {
+	v := &view{}
+	current.Store(v)
+	v.n = n //iot:allow cowpub fixture exercises suppression
+}
+
+// Swapped: Swap's result is someone else's published copy.
+func Swapped(n int) {
+	old := current.Swap(&view{})
+	old.n = n // want "write through old mutates a value published via atomic.Pointer"
+}
+
+// Aliased: one level of aliasing does not launder a loaded pointer.
+func Aliased(n int) {
+	v := current.Load()
+	w := v
+	w.n = n // want "write through w mutates a value published via atomic.Pointer"
+}
+
+// DerefWrite: assignment through the dereference is the same mutation.
+func DerefWrite(v2 view) {
+	v := current.Load()
+	*v = v2 // want "write through v mutates a value published via atomic.Pointer"
+}
+
+// CASPublished: CompareAndSwap publishes its new-value argument.
+func CASPublished(old *view, n int) {
+	next := &view{}
+	current.CompareAndSwap(old, next)
+	next.n = n // want "write to next after it was published via atomic.Pointer"
+}
+
+// Rebound: rebinding the identifier itself is not a write through the
+// published value (and republishing the rebound pointer is legal).
+func Rebound() {
+	v := current.Load()
+	v = &view{}
+	current.Store(v)
+}

@@ -44,3 +44,25 @@ func allowed() {
 	//iot:allow errcheck fixture demonstrates suppression
 	fail()
 }
+
+// The http.Response shape: Close hangs off a field, two selectors deep.
+type body struct{}
+
+func (body) Close() error { return errors.New("boom") }
+
+type response struct{ Body body }
+
+func fetch() response { return response{} }
+
+func request() {
+	resp := fetch()
+	defer resp.Body.Close() // want "dropped error from deferred call to resp.Body.Close"
+	other := fetch()
+	defer func() { _ = other.Body.Close() }() // sanctioned wrapped form
+}
+
+func getf() func() error { return fail }
+
+func indirect() {
+	getf()() // want "unchecked error from call"
+}

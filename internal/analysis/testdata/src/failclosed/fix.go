@@ -1,0 +1,323 @@
+// Package fix seeds failclosed violations: degraded branches that escape
+// to an allow, a success tuple with no error, delegation to an
+// unannotated helper, and a reason string minted on the fly — next to the
+// sanctioned shapes (zero-value locals, interned reason selection,
+// fail-closed delegation).
+package fix
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Decision mirrors the engine's decision shape.
+type Decision struct {
+	Allowed     bool
+	Reason      string
+	Explanation string
+}
+
+const (
+	reasonDegraded = "fix: context degraded, fail closed"
+	reasonStale    = "fix: context stale, fail closed"
+)
+
+var errDegraded = errors.New("fix: degraded")
+
+// GateAllow: the error branch escapes to an allow.
+//
+//iot:failclosed
+func GateAllow(check func() error) (Decision, error) {
+	if err := check(); err != nil {
+		return Decision{Allowed: true}, nil // want "may return an allow decision"
+	}
+	return Decision{Allowed: true}, nil
+}
+
+// TrustGate: the low-trust edge may answer true.
+//
+//iot:failclosed
+func TrustGate(lowTrust bool) bool {
+	if lowTrust {
+		return lowTrust // want "may return true"
+	}
+	return true
+}
+
+// Collect: a degraded branch reports success with a nil error.
+//
+//iot:failclosed
+func Collect(missing bool) ([]byte, error) {
+	if missing {
+		return nil, nil // want "returns a nil error"
+	}
+	return []byte{1}, nil
+}
+
+func helper() (Decision, error) { return Decision{}, nil }
+
+// Delegate forwards the degraded tuple to an unannotated helper.
+//
+//iot:failclosed
+func Delegate(anomalous bool) (Decision, error) {
+	if anomalous {
+		return helper() // want "delegates to a function not annotated"
+	}
+	return Decision{}, nil
+}
+
+// Reasons mints a rejection reason on the fly.
+//
+//iot:failclosed
+func Reasons(missing bool, detail string) Decision {
+	if missing {
+		return Decision{
+			Allowed: false,
+			Reason:  "degraded: " + detail, // want "interned package-level string, not string concatenation"
+		}
+	}
+	return Decision{Allowed: false, Reason: reasonDegraded}
+}
+
+// deny is the annotated helper DelegateOK forwards to.
+//
+//iot:failclosed
+func deny() (Decision, error) {
+	return Decision{Allowed: false, Reason: reasonDegraded}, errDegraded
+}
+
+// DelegateOK: forwarding to a fail-closed helper is compositional.
+//
+//iot:failclosed
+func DelegateOK(anomalous bool) (Decision, error) {
+	if anomalous {
+		return deny()
+	}
+	return Decision{}, nil
+}
+
+// Zeroed returns a zero-value local: provably deny.
+//
+//iot:failclosed
+func Zeroed(missing bool) (Decision, error) {
+	if missing {
+		var dec Decision
+		return dec, errDegraded
+	}
+	return Decision{Allowed: true}, nil
+}
+
+// Selector chooses among interned reasons through a local.
+//
+//iot:failclosed
+func Selector(missing bool) Decision {
+	reason := reasonDegraded
+	if missing {
+		reason = reasonStale
+		return Decision{Allowed: false, Reason: reason}
+	}
+	return Decision{Allowed: false, Reason: reason}
+}
+
+// Waived exercises the suppression grammar.
+//
+//iot:failclosed
+func Waived(missing bool) (Decision, error) {
+	if missing {
+		//iot:allow failclosed fixture exercises suppression
+		return Decision{Allowed: true}, nil
+	}
+	return Decision{}, nil
+}
+
+// The condition vocabulary: provenance lists, verdict flags, trust
+// sources and the sensitivity gate.
+
+type prov struct{}
+
+func (prov) MissingRequired() []string  { return nil }
+func (prov) LowTrustRequired() []string { return nil }
+
+type verdict struct{ Anomalous bool }
+
+type source struct{}
+
+func (source) Trusted(name string) bool { return true }
+
+type inst struct{}
+
+func (inst) IsSensitive() bool { return true }
+
+// MissingGate: a non-empty missing-required list is a degraded edge.
+//
+//iot:failclosed
+func MissingGate(p prov) (Decision, error) {
+	if len(p.MissingRequired()) > 0 {
+		return Decision{Allowed: true}, nil // want "may return an allow decision"
+	}
+	return Decision{}, nil
+}
+
+// AnomalyGate: selector atom, OR over two degraded atoms.
+//
+//iot:failclosed
+func AnomalyGate(v verdict, lowTrust bool) (Decision, error) {
+	if v.Anomalous || lowTrust {
+		return Decision{Allowed: true}, nil // want "may return an allow decision"
+	}
+	return Decision{}, nil
+}
+
+// NotTrusted: negating a healthy atom flips the degraded state onto the
+// true edge.
+//
+//iot:failclosed
+func NotTrusted(s source) bool {
+	if !s.Trusted("x") {
+		return true // want "may return true"
+	}
+	return false
+}
+
+// ExemptGate: a degraded state proven non-sensitive may fail open — the
+// contract only covers sensitive instructions.
+//
+//iot:failclosed
+func ExemptGate(in inst, missing bool) (Decision, error) {
+	if missing && !in.IsSensitive() {
+		return Decision{Allowed: true}, nil
+	}
+	if missing {
+		return Decision{}, errDegraded
+	}
+	return Decision{Allowed: true}, nil
+}
+
+// EqNilGate: err == nil puts the degraded state on the false edge.
+//
+//iot:failclosed
+func EqNilGate(check func() error) (Decision, error) {
+	if err := check(); err == nil {
+		return Decision{Allowed: true}, nil
+	} else {
+		return Decision{}, err
+	}
+}
+
+// Accumulated: every assignment to the returned local denies, so the
+// degraded return is provably deny even though the first assignment
+// happened before the branch.
+//
+//iot:failclosed
+func Accumulated(missing bool) (Decision, error) {
+	dec := Decision{Allowed: false, Reason: reasonDegraded}
+	if missing {
+		dec = Decision{Reason: reasonStale}
+		return dec, errDegraded
+	}
+	return dec, nil
+}
+
+// LiteralReason mints the reason inline.
+//
+//iot:failclosed
+func LiteralReason(missing bool) Decision {
+	if missing {
+		return Decision{Allowed: false, Reason: "made up on the spot"} // want "not a fresh string literal"
+	}
+	return Decision{Allowed: false, Reason: reasonDegraded}
+}
+
+// AssignedReason covers the field-assignment form with an unprovable
+// local.
+//
+//iot:failclosed
+func AssignedReason(missing bool, detail string) Decision {
+	dec := Decision{Allowed: false}
+	dec.Reason = detail // want "not a locally computed string"
+	if missing {
+		return dec
+	}
+	return dec
+}
+
+// FmtReason names the offending fmt helper.
+//
+//iot:failclosed
+func FmtReason(missing bool, op string) Decision {
+	if missing {
+		return Decision{Allowed: false, Reason: fmt.Sprintf("deny %s", op)} // want "not a fmt.Sprintf call"
+	}
+	return Decision{Allowed: false, Reason: reasonDegraded}
+}
+
+func pick() string { return "x" }
+
+// CallReason: an opaque call may mint; a parenthesized constant may not.
+//
+//iot:failclosed
+func CallReason(missing bool) Decision {
+	if missing {
+		return Decision{Allowed: false, Reason: pick()} // want "not a function call"
+	}
+	return Decision{Allowed: false, Reason: (reasonDegraded)}
+}
+
+func mk() Decision { return Decision{} }
+
+// CallResult: a call into an unannotated constructor is not provably
+// deny.
+//
+//iot:failclosed
+func CallResult(missing bool) (Decision, error) {
+	if missing {
+		return mk(), errDegraded // want "may return an allow decision"
+	}
+	return Decision{}, nil
+}
+
+// NeqZero: the != 0 spelling of the list check.
+//
+//iot:failclosed
+func NeqZero(p prov) (Decision, error) {
+	if len(p.LowTrustRequired()) != 0 {
+		return Decision{Allowed: true}, nil // want "may return an allow decision"
+	}
+	return Decision{}, nil
+}
+
+// BoolDeny: a constant false answer on the degraded edge is safe.
+//
+//iot:failclosed
+func BoolDeny(missing bool) bool {
+	if missing {
+		return false
+	}
+	return true
+}
+
+// Naked: named results hide what the degraded path answers.
+//
+//iot:failclosed
+func Naked(missing bool) (dec Decision, err error) {
+	if missing {
+		return // want "reaches a naked return"
+	}
+	return Decision{}, nil
+}
+
+// Nested: the walk follows branches and loops beyond the degraded edge.
+//
+//iot:failclosed
+func Nested(missing, extra bool) (Decision, error) {
+	if missing {
+		if extra {
+			return Decision{Allowed: true}, nil // want "may return an allow decision"
+		}
+		for i := 0; i < 2; i++ {
+			_ = i
+		}
+		return Decision{}, errDegraded
+	}
+	return Decision{}, nil
+}

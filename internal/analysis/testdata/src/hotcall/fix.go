@@ -1,0 +1,86 @@
+// Package fix seeds hotcall violations: allocation reached through the
+// call graph rather than performed directly, plus the builtin/composite
+// forms hotalloc leaves to hotcall inside annotated bodies.
+package fix
+
+import "fmt"
+
+// index allocates a map — legal on its own, dirty for a hot path.
+func index(keys []string) map[string]int {
+	m := make(map[string]int, len(keys))
+	for i, k := range keys {
+		m[k] = i
+	}
+	return m
+}
+
+// render reaches fmt through one more hop.
+func render(n int) string { return describe(n) }
+
+func describe(n int) string { return fmt.Sprintf("%d", n) }
+
+// leaf is hotpath-clean: arithmetic only.
+func leaf(a, b int) int { return a + b }
+
+//iot:hotpath
+func Hot(keys []string, k string) int {
+	total := index(keys)[k]   // want "hot path Hot calls fix.index: not hotpath-clean \\(make allocates\\)"
+	_ = render(total)         // want "hot path Hot calls fix.render: not hotpath-clean \\(calls fix.describe: calls fmt.Sprintf\\)"
+	xs := make([]int, 0, 4)   // want "make allocates in hot path Hot"
+	xs = append(xs, total)    // want "append allocates in hot path Hot"
+	m := map[string]int{k: 1} // want "map literal allocates in hot path Hot"
+	_ = m
+	return leaf(total, len(xs))
+}
+
+// HotNested is annotated itself, so calling it from another hot path is
+// legal — it is judged at its own declaration, and leaf is clean.
+//
+//iot:hotpath
+func HotNested(a, b int) int { return leaf(a, b) }
+
+//iot:hotpath
+func HotCaller(a, b int) int { return HotNested(a, b) }
+
+//iot:hotpath
+func HotAllowed(keys []string, k string) int {
+	//iot:allow hotcall fixture exercises suppression
+	return index(keys)[k]
+}
+
+// Each helper carries exactly one of the dirt varieties the transitive
+// scan classifies.
+
+func boxes(n int) any { return any(n) }
+
+func sink(v any) {}
+
+func boxArg(n int) { sink(n) }
+
+func closes() func() int {
+	f := func() int { return 1 }
+	return f
+}
+
+func concats(a, b string) string { return a + b }
+
+func sliced() []int { return []int{1, 2} }
+
+// box carries a dirty method so the diagnostic names a receiver type.
+type box struct{}
+
+func (box) dirty() []int { return []int{1} }
+
+//iot:hotpath
+func HotMethod(b box) {
+	_ = b.dirty() // want "calls box.dirty: not hotpath-clean \\(builds a slice literal\\)"
+}
+
+//iot:hotpath
+func HotVarieties(a, b string, n int) {
+	_ = boxes(n)      // want "calls fix.boxes: not hotpath-clean \\(converts to"
+	boxArg(n)         // want "calls fix.boxArg: not hotpath-clean \\(boxes into interface"
+	_ = closes()      // want "calls fix.closes: not hotpath-clean \\(declares a closure\\)"
+	_ = concats(a, b) // want "calls fix.concats: not hotpath-clean \\(concatenates strings\\)"
+	_ = sliced()      // want "calls fix.sliced: not hotpath-clean \\(builds a slice literal\\)"
+}

@@ -1,0 +1,75 @@
+// Package fix mirrors the obs registry shape (its import path sits under
+// internal/obs, so the analyzer treats these as real registrations) and
+// seeds metricreg violations: off-grammar and non-constant names, and
+// registration/lookup inside annotated functions.
+package fix
+
+// Counter is a registered series handle.
+type Counter struct{ n uint64 }
+
+// Registry registers series.
+type Registry struct{}
+
+// NewCounter registers a counter.
+func (r *Registry) NewCounter(name string) *Counter {
+	_ = name
+	return &Counter{}
+}
+
+// NewHistogram registers a histogram.
+func (r *Registry) NewHistogram(name string) *Counter {
+	_ = name
+	return &Counter{}
+}
+
+// CounterVec is a labeled family.
+type CounterVec struct{}
+
+// With resolves one label combination.
+func (v *CounterVec) With(label string) *Counter {
+	_ = label
+	return &Counter{}
+}
+
+const good = "iotsid_core_decisions_total"
+
+func dynamicName() string { return "iotsid_x_total" }
+
+// Setup registers series at construction time: the right place, but the
+// names still have to obey the grammar.
+func Setup(r *Registry) {
+	r.NewCounter(good)
+	r.NewCounter("core_decisions_total")  // want "does not match the iotsid_"
+	r.NewCounter("iotsid_core_decisions") // want "must end in _total"
+	r.NewHistogram("iotsid_core_latency") // want "must end in _seconds or _bytes"
+	r.NewCounter(dynamicName())           // want "must be a compile-time constant string"
+}
+
+// Hot registers and looks up inside a hot path.
+//
+//iot:hotpath
+func Hot(r *Registry, v *CounterVec) {
+	r.NewCounter(good) // want "obs registration NewCounter inside Hot"
+	v.With("home")     // want "obs vec lookup With inside Hot"
+}
+
+// Gate registers inside a fail-closed function.
+//
+//iot:failclosed
+func Gate(r *Registry) bool {
+	r.NewCounter(good) // want "obs registration NewCounter inside Gate"
+	return false
+}
+
+// NewGauge registers a gauge (no suffix requirement).
+func (r *Registry) NewGauge(name string) *Counter {
+	_ = name
+	return &Counter{}
+}
+
+// SetupCold: gauges and vec lookups are legal outside annotated
+// functions when the names obey the grammar.
+func SetupCold(r *Registry, v *CounterVec) {
+	r.NewGauge("iotsid_fleet_homes")
+	v.With("home")
+}

@@ -47,7 +47,7 @@ func RunWant(t *testing.T, dir, importPath string, analyzers ...*Analyzer) {
 	if err != nil {
 		t.Fatalf("run analyzers on %s: %v", dir, err)
 	}
-	active, _, _ := splitSuppressed(pkg, diags, nil)
+	active, _, _, _ := splitSuppressed(pkg, diags, nil)
 
 	wants, err := collectWants(pkg)
 	if err != nil {

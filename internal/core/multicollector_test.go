@@ -362,8 +362,8 @@ func TestFrameworkFailsClosedOnMissingRequiredSource(t *testing.T) {
 	if dec.Allowed || !dec.Sensitive {
 		t.Fatalf("decision = %+v, want sensitive rejection", dec)
 	}
-	if !strings.Contains(dec.Reason, "fail closed") || !strings.Contains(dec.Reason, "miio") {
-		t.Errorf("reason = %q", dec.Reason)
+	if !strings.Contains(dec.Reason, "fail closed") || !strings.Contains(dec.Explanation, "miio") {
+		t.Errorf("reason = %q, explanation = %q", dec.Reason, dec.Explanation)
 	}
 	// Non-sensitive instructions still serve on the degraded context.
 	dec, err = f.Authorize(context.Background(), buildInstr(t, "window.get_state", "window-1"))

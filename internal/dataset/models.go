@@ -71,13 +71,22 @@ func (m Model) Category() (instr.Category, error) {
 
 // ModelForCategory returns the model evaluating a category's sensitive
 // control instructions, or false when the paper has none (locks, alarms,
-// cameras, vacuums).
+// cameras, vacuums). This sits on the per-judgment hot path, so it is the
+// allocation-free inverse of Category rather than a scan over Models().
 func ModelForCategory(c instr.Category) (Model, bool) {
-	for _, m := range Models() {
-		mc, err := m.Category()
-		if err == nil && mc == c {
-			return m, true
-		}
+	switch c {
+	case instr.CatWindowDoorLock:
+		return ModelWindow, true
+	case instr.CatAirConditioning:
+		return ModelAircon, true
+	case instr.CatLighting:
+		return ModelLight, true
+	case instr.CatCurtain:
+		return ModelCurtain, true
+	case instr.CatEntertainment:
+		return ModelTV, true
+	case instr.CatKitchen:
+		return ModelKitchen, true
 	}
 	return "", false
 }

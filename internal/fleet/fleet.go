@@ -414,7 +414,7 @@ func (f *Fleet) push(h *Home, snap sensor.Snapshot) {
 		if at.IsZero() {
 			at = now
 		}
-		h.trust.Observe(h.trustSource, snap, at)
+		h.trust.Observe(h.trustSource, snap, at) //iot:allow hotcall per-push trust scoring holds a lock by design; the authorize fast path never calls it
 	}
 	v := &homeView{snap: snap, at: now}
 	h.view.Store(v)
@@ -428,6 +428,7 @@ func (f *Fleet) push(h *Home, snap sensor.Snapshot) {
 // zero-allocation judge, a ring-log append and two counter increments.
 //
 //iot:hotpath
+//iot:failclosed
 func (f *Fleet) Authorize(ctx context.Context, homeID string, in instr.Instruction) (core.Decision, error) {
 	if err := ctx.Err(); err != nil {
 		return core.Decision{}, err
@@ -444,6 +445,7 @@ func (f *Fleet) Authorize(ctx context.Context, homeID string, in instr.Instructi
 // degraded path when the view is missing or beyond its freshness budget.
 //
 //iot:hotpath
+//iot:failclosed
 func (f *Fleet) authorizeHome(ctx context.Context, h *Home, in instr.Instruction) (core.Decision, error) {
 	v := h.view.Load()
 	if v == nil || (h.freshFor > 0 && f.now().Sub(v.at) > h.freshFor) {
@@ -468,6 +470,7 @@ func (f *Fleet) authorizeHome(ctx context.Context, h *Home, in instr.Instruction
 // home's ring log, the shard decision counters, and the per-tenant cells.
 //
 //iot:hotpath
+//iot:failclosed
 func (f *Fleet) judgeAndLog(h *Home, in instr.Instruction, snap sensor.Snapshot) (core.Decision, error) {
 	dec, err := f.judger.Judge(in, snap)
 	if err != nil {
@@ -516,6 +519,8 @@ func (f *Fleet) observe(h *Home, in instr.Instruction, dec core.Decision, outcom
 // non-sensitive instructions are still judged on whatever the home last
 // pushed — the same bounded-staleness / fail-closed trade the single-home
 // framework makes.
+//
+//iot:failclosed
 func (f *Fleet) authorizeDegraded(ctx context.Context, h *Home, in instr.Instruction, v *homeView) (core.Decision, error) {
 	reason := reasonNoContext
 	if v != nil {
@@ -589,6 +594,8 @@ type BatchResult struct {
 // index. Decisions depend only on item content and order, never on the
 // shard/worker schedule, so seeded batch streams are bit-identical at any
 // shard or worker count.
+//
+//iot:failclosed
 func (f *Fleet) AuthorizeBatch(ctx context.Context, items []BatchItem, workers int) ([]BatchResult, error) {
 	if len(items) == 0 {
 		return nil, nil

@@ -391,6 +391,7 @@ type Verdict struct {
 // operations under the tracker's mutex — no allocation, no map growth.
 //
 //iot:hotpath
+//iot:failclosed
 func (s *Set) ObserveJudge(tr *Tracker, m dataset.Model, sensitive, allowed bool, snap sensor.Snapshot, at time.Time) Verdict {
 	if !allowed {
 		return Verdict{}

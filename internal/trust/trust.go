@@ -316,6 +316,7 @@ func (e *Engine) Threshold() float64 { return e.cfg.Threshold }
 // threshold. The hot read: one atomic load, no locks, no allocation.
 //
 //iot:hotpath
+//iot:failclosed
 func (e *Engine) TrustedIdx(i int) bool {
 	return e.sources[i].low.Load() == 0
 }
@@ -338,6 +339,8 @@ func (e *Engine) Score(name string) (float64, bool) {
 
 // Trusted reports whether the named source is at or above the threshold;
 // unknown sources report false.
+//
+//iot:failclosed
 func (e *Engine) Trusted(name string) bool {
 	i, ok := e.byName[name]
 	return ok && e.TrustedIdx(i)
@@ -345,6 +348,8 @@ func (e *Engine) Trusted(name string) bool {
 
 // LowTrustRequired reports whether any required source is currently
 // below the trust threshold — the health-degradation predicate.
+//
+//iot:failclosed
 func (e *Engine) LowTrustRequired() bool {
 	for _, s := range e.sources {
 		if s.required && s.low.Load() != 0 {

@@ -22,16 +22,26 @@ if ! go mod tidy -diff; then
     exit 1
 fi
 
-# Static-analysis gate: iotlint (cmd/iotlint, DESIGN.md section 10)
-# machine-enforces the repo invariants — no wall clock or global rand in
-# deterministic packages, no allocation in //iot:hotpath functions, no raw
-# time.Sleep in internal/, context.Context discipline, no silently dropped
-# errors. Findings exit non-zero; suppress only with
-# "//iot:allow <analyzer> <reason>".
-if ! go run ./cmd/iotlint ./...; then
-    echo 'iotlint gate: invariant violation — fix it or add "//iot:allow <analyzer> <reason>"' >&2
+# Static-analysis gate: iotlint (cmd/iotlint, DESIGN.md sections 10 and
+# 15) machine-enforces the repo invariants — no wall clock or global rand
+# in deterministic packages, no allocation in or reachable from
+# //iot:hotpath functions, fail-closed flow discipline in //iot:failclosed
+# functions, copy-on-write around atomic.Pointer publication, metric-name
+# grammar, no raw time.Sleep in internal/, context.Context discipline, no
+# silently dropped errors. Findings exit non-zero; suppress only with
+# "//iot:allow <analyzer> <reason>". -unused-allows keeps the suppression
+# inventory honest: a marker no finding matches fails the gate too.
+if ! go run ./cmd/iotlint -unused-allows ./...; then
+    echo 'iotlint gate: invariant violation — fix it or add "//iot:allow <analyzer> <reason>" (stale allows fail too)' >&2
     exit 1
 fi
+
+# Analyzer-suite gate: the linter is load-bearing for every other gate, so
+# its own fixtures (// want harness, fixture module, golden JSON, CFG and
+# call-graph plumbing) run focused and uncached. Refresh the golden after
+# intentional output changes with:
+#   go test ./cmd/iotlint/ -run Golden -update
+go test -count=1 ./internal/analysis/ ./cmd/iotlint/
 
 go test -race ./...
 
@@ -111,8 +121,18 @@ echo "$chain_smoke" | grep -q 'unsafe chain allows *0' || { echo 'fleetload chai
 # Coverage gate: no package may fall below its recorded floor
 # (coverage_floors.txt; internal/obs carries a hard 90% minimum). The race
 # detector is off here so the allocation-count gates run too.
+# POSIX sh has no pipefail, so piping go test through tee would let a
+# test failure vanish behind tee's exit 0 under set -e — capture the
+# test's own status explicitly and fail on it before the floor check.
 cov="$(mktemp)"
-go test -count=1 -cover ./internal/... | tee "$cov"
+cov_status=0
+go test -count=1 -cover ./internal/... >"$cov" 2>&1 || cov_status=$?
+cat "$cov"
+if [ "$cov_status" -ne 0 ]; then
+    echo "coverage gate: go test failed (exit $cov_status)" >&2
+    rm -f "$cov"
+    exit "$cov_status"
+fi
 awk 'NR==FNR { if ($1 !~ /^#/ && NF >= 2) floor[$1]=$2; next }
      $1=="ok" && $4=="coverage:" && ($2 in floor) {
        pct=$5; sub(/%/, "", pct); seen[$2]=1
